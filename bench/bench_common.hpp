@@ -1,0 +1,55 @@
+// bench_common.hpp — shared helpers for the figure-reproduction binaries.
+//
+// Every bench prints the same rows/series the corresponding paper figure
+// plots, using fixed seeds for bit-for-bit reproducibility. Sample counts
+// default to the paper's but can be scaled down for quick runs via the
+// TMB_SCALE environment variable (e.g. TMB_SCALE=0.1 → 10 % of the samples).
+// Set TMB_CSV=<directory> to additionally dump every printed table as
+// <directory>/<name>.csv for plotting.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/table_printer.hpp"
+
+namespace tmb::bench {
+
+/// Multiplies a paper-default sample count by TMB_SCALE (default 1.0),
+/// with a floor of 50 so results stay meaningful.
+[[nodiscard]] inline std::uint32_t scaled(std::uint32_t paper_default) {
+    double scale = 1.0;
+    if (const char* env = std::getenv("TMB_SCALE")) {
+        scale = std::strtod(env, nullptr);
+        if (scale <= 0.0) scale = 1.0;
+    }
+    const double n = static_cast<double>(paper_default) * scale;
+    return n < 50.0 ? 50u : static_cast<std::uint32_t>(n);
+}
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+    std::cout << "==============================================================\n"
+              << title << "\n"
+              << "(reproduces " << paper_ref << ")\n"
+              << "==============================================================\n";
+}
+
+/// Renders `table` to stdout and, when TMB_CSV names a directory, mirrors it
+/// to <dir>/<name>.csv.
+inline void emit(const std::string& name, const util::TablePrinter& table) {
+    table.render(std::cout);
+    if (const char* dir = std::getenv("TMB_CSV")) {
+        const std::string path = std::string(dir) + "/" + name + ".csv";
+        std::ofstream os(path);
+        if (os) {
+            table.render_csv(os);
+        } else {
+            std::cerr << "TMB_CSV: cannot write " << path << '\n';
+        }
+    }
+}
+
+}  // namespace tmb::bench

@@ -1,0 +1,87 @@
+// ext_cache_geometry — extension of Fig. 3: how HTM overflow capacity
+// depends on cache geometry.
+//
+// The paper fixes a 32 KB 4-way cache with one optional victim-buffer entry
+// and notes that victim buffers are "a cost-effective approach for
+// supporting larger transactions". We sweep both axes:
+//   * associativity at fixed capacity (set conflicts are the overflow cause)
+//   * victim-buffer depth 0..8 entries
+// reporting the mean transactional footprint at overflow over the 12
+// SPEC2000-like profiles.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cache/overflow.hpp"
+#include "trace/spec2000.hpp"
+#include "util/stats.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using tmb::cache::CacheGeometry;
+using tmb::util::TablePrinter;
+
+/// Mean overflow footprint across all profiles (5 traces each).
+double mean_footprint(const CacheGeometry& geometry) {
+    tmb::util::RunningStats stats;
+    for (const auto& profile : tmb::trace::spec2000_profiles()) {
+        std::vector<tmb::trace::Stream> streams;
+        for (std::size_t i = 0; i < 5; ++i) {
+            streams.push_back(tmb::trace::generate_spec2000_stream(
+                profile, 60000, 9000 + 17 * i));
+        }
+        stats.add(summarize_overflows(geometry, streams).mean_footprint);
+    }
+    return stats.mean();
+}
+
+}  // namespace
+
+int main() {
+    tmb::bench::header("Fig. 3 extension — cache-geometry sensitivity",
+                       "Zilles & Rajwar, SPAA 2007, §2.3 victim-buffer discussion");
+
+    std::cout << "mean transactional footprint at overflow (blocks; capacity "
+                 "512 blocks = 32KB/64B)\n\n";
+
+    std::cout << "associativity sweep (no victim buffer):\n";
+    {
+        TablePrinter t({"ways", "mean footprint", "utilization%"});
+        for (const std::uint32_t ways : {1u, 2u, 4u, 8u, 16u}) {
+            const CacheGeometry g{.size_bytes = 32 * 1024,
+                                  .ways = ways,
+                                  .block_bytes = 64,
+                                  .victim_entries = 0};
+            const double fp = mean_footprint(g);
+            t.add_row({std::to_string(ways), TablePrinter::fmt(fp, 0),
+                       TablePrinter::fmt(100.0 * fp / 512.0, 1)});
+        }
+        tmb::bench::emit("ext_cache_associativity", t);
+        std::cout << "shape: higher associativity defers set-conflict "
+                     "overflow; returns diminish past 8 ways.\n\n";
+    }
+
+    std::cout << "victim-buffer sweep (4-way base, the paper's config):\n";
+    {
+        TablePrinter t({"victim entries", "mean footprint", "utilization%",
+                        "gain vs none"});
+        double base = 0.0;
+        for (const std::uint32_t vb : {0u, 1u, 2u, 4u, 8u}) {
+            const CacheGeometry g{.size_bytes = 32 * 1024,
+                                  .ways = 4,
+                                  .block_bytes = 64,
+                                  .victim_entries = vb};
+            const double fp = mean_footprint(g);
+            if (vb == 0) base = fp;
+            t.add_row({std::to_string(vb), TablePrinter::fmt(fp, 0),
+                       TablePrinter::fmt(100.0 * fp / 512.0, 1),
+                       TablePrinter::fmt(100.0 * (fp / base - 1.0), 1) + "%"});
+        }
+        tmb::bench::emit("ext_cache_victim_buffer", t);
+        std::cout << "shape: the first entry buys the most (paper: ~16%); "
+                     "each further entry helps less —\nvictim buffers are "
+                     "cost-effective but not a substitute for STM fallback.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+// ext_strong_isolation — extension experiment for the paper's §6 remark:
+//
+//   "if we consider strong isolation, then even threads outside of
+//    [atomic] regions must perform ownership table look-ups ... This
+//    additional concurrency makes the use of tagless ownership tables even
+//    more untenable."
+//
+// The paper states this without data; we quantify it. S non-transactional
+// accesses per lock-step round probe the tagless table (reads conflict with
+// Write entries, writes with any entry). The derived model term (see
+// core/conflict_model.hpp) is S·C·(1+βα)·W²/2N on top of Eq. 8; the
+// open-system simulation validates it.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/conflict_model.hpp"
+#include "sim/open_system.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+using tmb::bench::scaled;
+using tmb::core::ModelParams;
+using tmb::util::TablePrinter;
+}  // namespace
+
+int main() {
+    tmb::bench::header(
+        "§6 extension — strong isolation vs tagless ownership tables",
+        "Zilles & Rajwar, SPAA 2007, §6 (claim stated without data)");
+
+    constexpr std::uint64_t kTable = 65536;
+    constexpr double kBeta = 1.0 / 3.0;
+    const ModelParams p{.alpha = 2.0, .table_entries = kTable};
+
+    std::cout << "open-system simulation, C=2, alpha=2, N=64k; S = "
+                 "non-transactional accesses per\nround (write fraction 1/3). "
+                 "S=0 is the paper's weak-isolation baseline.\n\n";
+
+    TablePrinter t({"W", "S=0 sim%", "S=0 model%", "S=4 sim%", "S=4 model%",
+                    "S=16 sim%", "S=16 model%", "nonTx share S=16"});
+    for (const std::uint64_t w : {5u, 10u, 20u, 30u}) {
+        std::vector<std::string> row{std::to_string(w)};
+        double nontx_share = 0.0;
+        for (const std::uint32_t s : {0u, 4u, 16u}) {
+            const auto r = tmb::sim::run_open_system(
+                {.concurrency = 2,
+                 .write_footprint = w,
+                 .alpha = 2.0,
+                 .table_entries = kTable,
+                 .experiments = scaled(4000),
+                 .seed = 0x51ULL ^ (w << 8) ^ s,
+                 .non_tx_accesses_per_step = s,
+                 .non_tx_write_fraction = kBeta});
+            const double model = std::min(
+                1.0, tmb::core::strong_isolation_conflict_likelihood(
+                         p, 2, w, static_cast<double>(s), kBeta));
+            row.push_back(TablePrinter::fmt(100.0 * r.conflict_rate(), 2));
+            row.push_back(TablePrinter::fmt(100.0 * model, 2));
+            if (s == 16 && r.conflicted > 0) {
+                nontx_share = static_cast<double>(r.non_tx_conflicted) /
+                              static_cast<double>(r.conflicted);
+            }
+        }
+        row.push_back(TablePrinter::fmt(100.0 * nontx_share, 1) + "%");
+        t.add_row(std::move(row));
+    }
+    tmb::bench::emit("ext_strong_isolation", t);
+
+    std::cout << "\nreading: at realistic S (non-transactional code touches "
+                 "memory constantly, S >> 16),\nthe non-transactional term — "
+                 "linear in C but linear in S — swamps Eq. 8's C(C-1) term;\n"
+                 "a tagless table then aborts transactions even with zero "
+                 "transactional concurrency.\nThe tagged table (Fig. 7) is "
+                 "immune: non-transactional lookups miss unless the exact\n"
+                 "block is owned.\n";
+    return 0;
+}

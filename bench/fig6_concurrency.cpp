@@ -1,0 +1,95 @@
+// fig6_concurrency — reproduces paper Figure 6 (§4): closed-system conflict
+// counts against (a) the APPLIED concurrency (thread count) and (b) the
+// ACTUAL concurrency (occupancy-derived effective concurrency). At high
+// conflict rates aborts drain the ownership table, reducing the effective
+// concurrency; plotting against the actual value recovers the model's
+// straight-line relationships. Also reports the §4 occupancy measurement:
+// mean occupancy ≈ C·(1+α)·W/2 when conflicts are rare, up to ~40 % lower
+// when they are frequent.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/closed_system.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using tmb::sim::ClosedSystemConfig;
+using tmb::sim::ClosedSystemResult;
+using tmb::sim::run_closed_system_averaged;
+using tmb::util::TablePrinter;
+
+ClosedSystemResult point(std::uint32_t c, std::uint64_t w, std::uint64_t n) {
+    const ClosedSystemConfig config{
+        .concurrency = c,
+        .write_footprint = w,
+        .alpha = 2.0,
+        .table_entries = n,
+        .target_transactions = 650,
+        .seed = 0xf16'0000 ^ (c * 131ULL) ^ (w << 16) ^ n,
+    };
+    return run_closed_system_averaged(config, 8);
+}
+
+}  // namespace
+
+int main() {
+    tmb::bench::header(
+        "Fig. 6 — applied vs actual concurrency in the closed system",
+        "Zilles & Rajwar, SPAA 2007, Figure 6");
+
+    const std::vector<std::uint64_t> tables{1024, 4096, 16384};
+    const std::vector<std::uint64_t> footprints{20, 10, 5};
+
+    // --- Fig. 6(a): conflicts vs applied concurrency ----------------------
+    std::cout << "Fig. 6(a): conflicts vs APPLIED concurrency, series <N-W>\n";
+    {
+        std::vector<std::string> headers{"C"};
+        for (const auto n : tables) {
+            for (const auto w : footprints) {
+                headers.push_back(std::to_string(n / 1024) + "k-" + std::to_string(w));
+            }
+        }
+        TablePrinter t(headers);
+        for (const std::uint32_t c : {2u, 4u, 8u}) {
+            std::vector<std::string> row{std::to_string(c)};
+            for (const auto n : tables) {
+                for (const auto w : footprints) {
+                    row.push_back(std::to_string(point(c, w, n).conflicts));
+                }
+            }
+            t.add_row(std::move(row));
+        }
+        tmb::bench::emit("fig6a_applied_concurrency", t);
+        std::cout << "paper shape: lines converge at high conflict rates "
+                     "(effective concurrency collapses).\n\n";
+    }
+
+    // --- Fig. 6(b): conflicts vs actual concurrency -----------------------
+    std::cout << "Fig. 6(b): conflicts vs ACTUAL (occupancy-derived) "
+                 "concurrency, series <N-W>\n";
+    {
+        TablePrinter t({"N-W", "applied C", "actual C", "conflicts",
+                        "occupancy", "expected occ (no conflicts)"});
+        for (const auto n : tables) {
+            for (const auto w : footprints) {
+                for (const std::uint32_t c : {2u, 4u, 8u}) {
+                    const auto r = point(c, w, n);
+                    t.add_row({std::to_string(n / 1024) + "k-" + std::to_string(w),
+                               std::to_string(c),
+                               TablePrinter::fmt(r.actual_concurrency, 2),
+                               std::to_string(r.conflicts),
+                               TablePrinter::fmt(r.mean_occupancy, 1),
+                               TablePrinter::fmt(r.expected_occupancy_no_conflicts, 1)});
+                }
+            }
+        }
+        tmb::bench::emit("fig6b_actual_concurrency", t);
+        std::cout << "paper shape: against actual concurrency the expected "
+                     "power-law relationships reappear;\n  occupancy matches "
+                     "C(1+a)W/2 when conflicts are rare and drops as much as "
+                     "~40% when frequent.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,127 @@
+// table_commit_probability — reproduces the paper's §3 back-of-envelope
+// numbers: the ownership-table sizes required to sustain target commit
+// probabilities at the empirically measured hybrid-TM fallback point
+// (W = 71 written blocks, α = 2), plus the birthday-paradox touchstones the
+// analysis is built on.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/birthday.hpp"
+#include "core/conflict_model.hpp"
+#include "core/space_model.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+using tmb::core::ModelParams;
+using tmb::util::TablePrinter;
+}  // namespace
+
+int main() {
+    tmb::bench::header("§3 back-of-envelope — required ownership-table sizes",
+                       "Zilles & Rajwar, SPAA 2007, §3.1-3.2 text");
+
+    // --- Birthday-paradox touchstones --------------------------------------
+    std::cout << "Birthday paradox (the analysis's foundation):\n";
+    {
+        TablePrinter t({"people", "P(shared birthday)"});
+        for (const std::uint64_t n : {10u, 22u, 23u, 30u, 50u, 70u}) {
+            t.add_row({std::to_string(n),
+                       TablePrinter::fmt(
+                           tmb::core::birthday_collision_probability(n, 365), 4)});
+        }
+        t.render(std::cout);
+        std::cout << "  minimum people for >50%: "
+                  << tmb::core::birthday_min_people(0.5, 365)
+                  << " (the paper's '23')\n\n";
+    }
+
+    // --- Required table sizes (Eq. 8 inverted) -----------------------------
+    std::cout << "Required table entries for W=71, alpha=2 "
+                 "(the Fig. 3 fallback point):\n";
+    {
+        TablePrinter t({"concurrency", "commit target", "required N",
+                        "paper says"});
+        const struct {
+            std::uint32_t c;
+            double target;
+            const char* paper;
+        } rows[] = {
+            {2, 0.50, "> 50,000"},
+            {2, 0.95, "> 500,000 (half million)"},
+            {4, 0.95, "(not quoted)"},
+            {8, 0.95, "> 14 million"},
+        };
+        for (const auto& row : rows) {
+            t.add_row({std::to_string(row.c), TablePrinter::fmt(row.target, 2),
+                       std::to_string(
+                           tmb::core::required_table_entries(2.0, row.c, 71, row.target)),
+                       row.paper});
+        }
+        t.render(std::cout);
+        std::cout << '\n';
+    }
+
+    // --- Forward view: commit probability for practical table sizes --------
+    std::cout << "Commit probability at W=71, alpha=2 (linear Eq. 8 form, "
+                 "clamped / exact product form):\n";
+    {
+        TablePrinter t({"N", "C=2 lin", "C=2 prod", "C=4 lin", "C=4 prod",
+                        "C=8 lin", "C=8 prod"});
+        for (const std::uint64_t n :
+             {16384u, 65536u, 262144u, 1048576u, 4194304u, 16777216u}) {
+            const ModelParams p{.alpha = 2.0, .table_entries = n};
+            std::vector<std::string> row{std::to_string(n)};
+            for (const std::uint32_t c : {2u, 4u, 8u}) {
+                row.push_back(TablePrinter::fmt(
+                    tmb::core::commit_probability_linear(p, c, 71), 3));
+                row.push_back(TablePrinter::fmt(
+                    tmb::core::commit_probability_product(p, c, 71), 3));
+            }
+            t.add_row(std::move(row));
+        }
+        t.render(std::cout);
+        std::cout << "\nconclusion (paper): no reasonable tagless table size "
+                     "sustains overflowed transactions at\n  useful "
+                     "concurrency; a hybrid TM falling back to a tagless-table "
+                     "STM serializes (concurrency -> 1).\n";
+    }
+
+    // --- Max sustainable footprint per table size ---------------------------
+    std::cout << "\nLargest W sustaining a 90% commit rate (alpha=2):\n";
+    {
+        TablePrinter t({"N", "C=2", "C=4", "C=8"});
+        for (const std::uint64_t n : {4096u, 65536u, 1048576u}) {
+            const ModelParams p{.alpha = 2.0, .table_entries = n};
+            t.add_row({std::to_string(n),
+                       std::to_string(tmb::core::max_write_footprint(p, 2, 0.9)),
+                       std::to_string(tmb::core::max_write_footprint(p, 4, 0.9)),
+                       std::to_string(tmb::core::max_write_footprint(p, 8, 0.9))});
+        }
+        t.render(std::cout);
+    }
+
+    // --- §5 space-overhead argument ----------------------------------------
+    std::cout << "\n§5 space check — tagged vs tagless table bytes "
+                 "(in-flight records: C=8, alpha=2, W=71 -> ~852):\n";
+    {
+        TablePrinter t({"N", "tag bits (32b/64B)", "tagless KB", "tagged KB",
+                        "overhead"});
+        for (const std::uint64_t n : {4096u, 16384u, 65536u, 262144u}) {
+            const auto tagless = tmb::core::tagless_space(n);
+            const auto tagged = tmb::core::tagged_space(n, 852);
+            t.add_row({std::to_string(n),
+                       std::to_string(tmb::core::residual_tag_bits(32, 6, n)),
+                       TablePrinter::fmt(tagless.total() / 1024.0, 1),
+                       TablePrinter::fmt(tagged.total() / 1024.0, 1),
+                       TablePrinter::fmt(
+                           100.0 * (tmb::core::tagged_overhead_ratio(n, 852) - 1.0),
+                           2) +
+                           "%"});
+        }
+        t.render(std::cout);
+        std::cout << "paper §5: the tag fits in a word-sized entry and chains "
+                     "are rare at sane sizes —\n  the overhead column is the "
+                     "whole price of eliminating false conflicts.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+// birthday_calc — command-line calculator for the paper's analytical model.
+//
+// Usage:
+//   ./build/examples/birthday_calc                  # paper defaults (W=71, a=2)
+//   ./build/examples/birthday_calc W alpha C N      # custom design point
+//
+// Given a transaction write footprint W, read/write ratio alpha, concurrency
+// C and a tagless-ownership-table size N, prints the predicted conflict
+// likelihood (Eq. 8), commit probability, and the table sizes required for
+// common commit-rate targets — the calculation an STM designer would run
+// before choosing a metadata organization.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/birthday.hpp"
+#include "core/conflict_model.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) {
+    using tmb::util::TablePrinter;
+
+    const std::uint64_t w = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 71;
+    const double alpha = argc > 2 ? std::strtod(argv[2], nullptr) : 2.0;
+    const std::uint32_t c =
+        argc > 3 ? static_cast<std::uint32_t>(std::strtoul(argv[3], nullptr, 10)) : 2;
+    const std::uint64_t n =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 65536;
+
+    if (w == 0 || c < 2 || n == 0 || alpha < 0.0) {
+        std::cerr << "usage: birthday_calc [W>=1] [alpha>=0] [C>=2] [N>=1]\n";
+        return 1;
+    }
+
+    const tmb::core::ModelParams params{.alpha = alpha, .table_entries = n};
+
+    std::cout << "design point: W=" << w << " written blocks, alpha=" << alpha
+              << " (footprint ~" << static_cast<std::uint64_t>((1 + alpha) * static_cast<double>(w))
+              << " blocks), C=" << c << ", N=" << n << " entries\n\n";
+
+    const double likelihood = tmb::core::conflict_likelihood(params, c, w);
+    std::cout << "conflict likelihood (Eq. 8, sum form):  "
+              << TablePrinter::fmt(100.0 * likelihood, 2) << "%"
+              << (likelihood > 1.0 ? "  (saturated: > 100% means certain)" : "")
+              << '\n';
+    std::cout << "commit probability (linear, clamped):   "
+              << TablePrinter::fmt(
+                     100.0 * tmb::core::commit_probability_linear(params, c, w), 2)
+              << "%\n";
+    std::cout << "commit probability (exact product):     "
+              << TablePrinter::fmt(
+                     100.0 * tmb::core::commit_probability_product(params, c, w), 2)
+              << "%\n";
+    std::cout << "intra-transaction alias probability:    "
+              << TablePrinter::fmt(
+                     100.0 * tmb::core::intra_transaction_alias_probability(params, w),
+                     2)
+              << "%\n\n";
+
+    std::cout << "required tagless-table sizes at this (W, alpha, C):\n";
+    TablePrinter req({"commit target", "required N", "vs your N"});
+    for (const double target : {0.50, 0.90, 0.95, 0.99}) {
+        const auto needed = tmb::core::required_table_entries(alpha, c, w, target);
+        req.add_row({TablePrinter::fmt(target, 2), std::to_string(needed),
+                     needed <= n ? "ok" : "too small"});
+    }
+    req.render(std::cout);
+
+    std::cout << "\nfor intuition, the classic birthday paradox: "
+              << tmb::core::birthday_min_people(0.5, 365)
+              << " people suffice for a >50% shared-birthday chance among 365 "
+                 "days.\n"
+              << "a tagged table (paper Fig. 7 / this library's "
+                 "kTaggedTable) avoids this entirely.\n";
+    return 0;
+}

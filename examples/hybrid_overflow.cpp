@@ -1,0 +1,87 @@
+// hybrid_overflow — end-to-end hybrid-TM sizing walkthrough.
+//
+// Usage:
+//   ./build/examples/hybrid_overflow [benchmark-profile]   (default: gcc)
+//
+// Plays the role of a hybrid-TM designer: generate a transaction-like
+// access stream (SPEC2000-style profile), find where it overflows the
+// HTM's 32 KB L1 (the point the STM takes over, paper §2.3), then use the
+// analytical model (paper §3) to size the STM's ownership table — and show
+// why a tagless table is hopeless for these overflow transactions while a
+// tagged table simply works.
+#include <iostream>
+#include <string>
+
+#include "cache/overflow.hpp"
+#include "core/conflict_model.hpp"
+#include "trace/spec2000.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) {
+    using tmb::util::TablePrinter;
+
+    const std::string name = argc > 1 ? argv[1] : "gcc";
+    const auto& profile = [&]() -> const tmb::trace::Spec2000Profile& {
+        try {
+            return tmb::trace::spec2000_profile(name);
+        } catch (const std::out_of_range&) {
+            std::cerr << "unknown profile '" << name << "'; available:";
+            for (const auto& p : tmb::trace::spec2000_profiles()) {
+                std::cerr << ' ' << p.name;
+            }
+            std::cerr << '\n';
+            std::exit(1);
+        }
+    }();
+
+    // --- Step 1: where does the HTM overflow? ------------------------------
+    const tmb::cache::CacheGeometry l1{};  // 32KB, 4-way, 64B (paper config)
+    const auto stream = tmb::trace::generate_spec2000_stream(profile, 60000, 2024);
+    const auto overflow = tmb::cache::find_overflow(l1, stream);
+
+    std::cout << "hybrid-TM walkthrough for '" << profile.name << "'\n\n";
+    std::cout << "step 1 — HTM capacity (32KB 4-way 64B L1):\n";
+    if (!overflow.overflowed) {
+        std::cout << "  the trace never overflowed; transactions this small "
+                     "stay in hardware. Done.\n";
+        return 0;
+    }
+    std::cout << "  overflow after " << overflow.accesses << " accesses / "
+              << overflow.instructions << " instructions\n"
+              << "  footprint at overflow: " << overflow.footprint_blocks()
+              << " blocks (" << overflow.read_blocks << " read-only, "
+              << overflow.write_blocks << " written; "
+              << TablePrinter::fmt(100.0 * overflow.utilization(l1), 1)
+              << "% of cache capacity)\n\n";
+
+    // --- Step 2: model the STM fallback ------------------------------------
+    const auto w = overflow.write_blocks;
+    const double alpha =
+        overflow.write_blocks
+            ? static_cast<double>(overflow.read_blocks) /
+                  static_cast<double>(overflow.write_blocks)
+            : 2.0;
+    std::cout << "step 2 — STM fallback transactions start at W=" << w
+              << " written blocks, alpha=" << TablePrinter::fmt(alpha, 2)
+              << ".\n  Tagless ownership-table prognosis (Eq. 8):\n";
+
+    TablePrinter t({"table entries", "C=2 commit%", "C=4 commit%", "C=8 commit%"});
+    for (const std::uint64_t n : {16384u, 65536u, 262144u, 1048576u, 16777216u}) {
+        const tmb::core::ModelParams p{.alpha = alpha, .table_entries = n};
+        t.add_row({std::to_string(n),
+                   TablePrinter::fmt(
+                       100.0 * tmb::core::commit_probability_product(p, 2, w), 1),
+                   TablePrinter::fmt(
+                       100.0 * tmb::core::commit_probability_product(p, 4, w), 1),
+                   TablePrinter::fmt(
+                       100.0 * tmb::core::commit_probability_product(p, 8, w), 1)});
+    }
+    t.render(std::cout);
+
+    std::cout << "\nstep 3 — conclusion: overflowed transactions need either "
+                 "an impractically large tagless\n  table or (the paper's "
+                 "recommendation) a tagged, chaining ownership table, which "
+                 "has no false\n  conflicts at any size — see "
+                 "examples/tagged_vs_tagless for the live demonstration.\n";
+    return 0;
+}

@@ -1,0 +1,187 @@
+// kmeans — parallel k-means clustering with transactional accumulators.
+//
+// Build & run:   ./build/examples/kmeans [threads] [points] [clusters]
+//
+// The classic TM-benchmark pattern: worker threads assign points to the
+// nearest centroid and accumulate per-cluster sums atomically. Each
+// accumulation is one transaction over three transactional variables (sum_x,
+// sum_y, count) of the chosen cluster — a tiny, hot critical section where
+// lock-free accuracy matters. Fixed-point arithmetic keeps values within
+// TVar's 8-byte word.
+//
+// Correctness check: the sums accumulated transactionally must equal a
+// sequential recomputation, every iteration, on every backend.
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stm/stm.hpp"
+#include "util/rng.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace tmb::stm;
+
+constexpr long kFixed = 1000;  // fixed-point scale
+
+struct Point {
+    double x, y;
+};
+
+struct ClusterAcc {
+    TVar<long> sum_x{0};
+    TVar<long> sum_y{0};
+    TVar<long> count{0};
+};
+
+struct RunResult {
+    double inertia = 0.0;
+    bool sums_exact = true;
+    StmStats stats;
+    double millis = 0.0;
+};
+
+RunResult run(BackendKind kind, int threads, std::size_t n_points, int k) {
+    // Deterministic synthetic data: k true centers plus noise.
+    tmb::util::Xoshiro256 rng{4242};
+    std::vector<Point> points(n_points);
+    for (auto& p : points) {
+        const auto c = static_cast<double>(rng.below(static_cast<std::uint64_t>(k)));
+        p.x = c * 10.0 + rng.uniform01();
+        p.y = c * -7.0 + rng.uniform01();
+    }
+
+    StmConfig config;
+    config.backend = kind;
+    Stm tm(config);
+    std::vector<ClusterAcc> acc(static_cast<std::size_t>(k));
+    std::vector<Point> centroids(static_cast<std::size_t>(k));
+    for (int c = 0; c < k; ++c) {
+        centroids[static_cast<std::size_t>(c)] = {static_cast<double>(c) * 10.0 + 0.5,
+                                                  static_cast<double>(c) * -7.0 + 0.5};
+    }
+
+    RunResult result;
+    const auto start = std::chrono::steady_clock::now();
+
+    std::vector<int> assignment(n_points, 0);
+    for (int iter = 0; iter < 5; ++iter) {
+        for (auto& a : acc) {
+            tm.atomically([&](Transaction& tx) {
+                a.sum_x.write(tx, 0);
+                a.sum_y.write(tx, 0);
+                a.count.write(tx, 0);
+            });
+        }
+
+        // Parallel assignment + transactional accumulation.
+        std::vector<std::thread> workers;
+        const std::size_t chunk = (n_points + static_cast<std::size_t>(threads) - 1) /
+                                  static_cast<std::size_t>(threads);
+        for (int t = 0; t < threads; ++t) {
+            workers.emplace_back([&, t] {
+                const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+                const std::size_t end = std::min(n_points, begin + chunk);
+                for (std::size_t i = begin; i < end; ++i) {
+                    int best = 0;
+                    double best_d = 1e300;
+                    for (int c = 0; c < k; ++c) {
+                        const auto& ct = centroids[static_cast<std::size_t>(c)];
+                        const double dx = points[i].x - ct.x;
+                        const double dy = points[i].y - ct.y;
+                        const double d = dx * dx + dy * dy;
+                        if (d < best_d) {
+                            best_d = d;
+                            best = c;
+                        }
+                    }
+                    assignment[i] = best;
+                    auto& a = acc[static_cast<std::size_t>(best)];
+                    const auto fx = static_cast<long>(points[i].x * kFixed);
+                    const auto fy = static_cast<long>(points[i].y * kFixed);
+                    tm.atomically([&](Transaction& tx) {
+                        a.sum_x.write(tx, a.sum_x.read(tx) + fx);
+                        a.sum_y.write(tx, a.sum_y.read(tx) + fy);
+                        a.count.write(tx, a.count.read(tx) + 1);
+                    });
+                }
+            });
+        }
+        for (auto& w : workers) w.join();
+
+        // Verify the transactional sums against a sequential recomputation.
+        std::vector<long> check_x(static_cast<std::size_t>(k), 0);
+        std::vector<long> check_y(static_cast<std::size_t>(k), 0);
+        std::vector<long> check_n(static_cast<std::size_t>(k), 0);
+        for (std::size_t i = 0; i < n_points; ++i) {
+            const auto c = static_cast<std::size_t>(assignment[i]);
+            check_x[c] += static_cast<long>(points[i].x * kFixed);
+            check_y[c] += static_cast<long>(points[i].y * kFixed);
+            ++check_n[c];
+        }
+        for (int c = 0; c < k; ++c) {
+            auto& a = acc[static_cast<std::size_t>(c)];
+            if (a.sum_x.unsafe_read() != check_x[static_cast<std::size_t>(c)] ||
+                a.sum_y.unsafe_read() != check_y[static_cast<std::size_t>(c)] ||
+                a.count.unsafe_read() != check_n[static_cast<std::size_t>(c)]) {
+                result.sums_exact = false;
+            }
+        }
+
+        // Centroid update (sequential; cheap).
+        for (int c = 0; c < k; ++c) {
+            auto& a = acc[static_cast<std::size_t>(c)];
+            const long n = a.count.unsafe_read();
+            if (n > 0) {
+                centroids[static_cast<std::size_t>(c)] = {
+                    static_cast<double>(a.sum_x.unsafe_read()) / kFixed /
+                        static_cast<double>(n),
+                    static_cast<double>(a.sum_y.unsafe_read()) / kFixed /
+                        static_cast<double>(n)};
+            }
+        }
+    }
+
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    for (std::size_t i = 0; i < n_points; ++i) {
+        const auto& ct = centroids[static_cast<std::size_t>(assignment[i])];
+        const double dx = points[i].x - ct.x;
+        const double dy = points[i].y - ct.y;
+        result.inertia += dx * dx + dy * dy;
+    }
+    result.stats = tm.stats();
+    result.millis = std::chrono::duration<double, std::milli>(elapsed).count();
+    return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const int threads = argc > 1 ? std::stoi(argv[1]) : 4;
+    const std::size_t n_points =
+        argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 4000;
+    const int k = argc > 3 ? std::stoi(argv[3]) : 8;
+
+    std::cout << "kmeans: " << threads << " threads, " << n_points
+              << " points, k=" << k << ", 5 iterations\n\n";
+
+    tmb::util::TablePrinter t({"backend", "sums exact", "inertia", "commits",
+                               "aborts", "ms"});
+    for (const auto kind : {BackendKind::kTaglessTable, BackendKind::kTaglessAtomic,
+                            BackendKind::kTaggedTable, BackendKind::kTl2}) {
+        const auto r = run(kind, threads, n_points, k);
+        t.add_row({std::string(to_string(kind)), r.sums_exact ? "yes" : "NO!",
+                   tmb::util::TablePrinter::fmt(r.inertia, 1),
+                   std::to_string(r.stats.commits),
+                   std::to_string(r.stats.aborts),
+                   tmb::util::TablePrinter::fmt(r.millis, 1)});
+    }
+    t.render(std::cout);
+    std::cout << "\nhot per-cluster accumulators are the contended case: "
+                 "aborts show up under real\nparallelism, and the per-backend "
+                 "inertia must agree (same fixed-point arithmetic).\n";
+    return 0;
+}

@@ -1,0 +1,141 @@
+#include "cache/cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace tmb::cache {
+
+void CacheGeometry::validate() const {
+    if (block_bytes == 0 || !util::is_pow2(block_bytes)) {
+        throw std::invalid_argument("block_bytes must be a power of two");
+    }
+    if (ways == 0) throw std::invalid_argument("ways must be > 0");
+    if (size_bytes == 0 || size_bytes % (static_cast<std::uint64_t>(block_bytes) * ways) != 0) {
+        throw std::invalid_argument("size must be a multiple of ways*block_bytes");
+    }
+    if (!util::is_pow2(set_count())) {
+        throw std::invalid_argument("set count must be a power of two");
+    }
+}
+
+SetAssociativeCache::SetAssociativeCache(CacheGeometry geometry)
+    : geom_(geometry) {
+    geom_.validate();
+    lines_.resize(geom_.block_count());
+    victim_.resize(geom_.victim_entries);
+}
+
+std::uint64_t SetAssociativeCache::set_index(std::uint64_t block) const noexcept {
+    return block & (geom_.set_count() - 1);
+}
+
+std::optional<std::uint64_t> SetAssociativeCache::victim_insert(std::uint64_t block) {
+    if (victim_.empty()) return block;  // no buffer: straight out
+    // Find an invalid slot or the LRU victim-buffer entry.
+    Line* target = &victim_[0];
+    for (auto& line : victim_) {
+        if (!line.valid) {
+            target = &line;
+            break;
+        }
+        if (line.lru_stamp < target->lru_stamp) target = &line;
+    }
+    std::optional<std::uint64_t> pushed_out;
+    if (target->valid) pushed_out = target->block;
+    target->block = block;
+    target->valid = true;
+    target->lru_stamp = ++stamp_;
+    return pushed_out;
+}
+
+AccessResult SetAssociativeCache::access(std::uint64_t block) {
+    AccessResult result;
+    const std::uint64_t set = set_index(block);
+    Line* const set_begin = &lines_[set * geom_.ways];
+
+    // 1) Cache lookup.
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        Line& line = set_begin[w];
+        if (line.valid && line.block == block) {
+            line.lru_stamp = ++stamp_;
+            ++hits_;
+            result.hit = true;
+            return result;
+        }
+    }
+    ++misses_;
+
+    // 2) Victim-buffer lookup: on hit, swap back into the cache set.
+    Line* vb_hit = nullptr;
+    for (auto& line : victim_) {
+        if (line.valid && line.block == block) {
+            vb_hit = &line;
+            break;
+        }
+    }
+
+    // 3) Choose the cache victim (invalid slot first, else LRU).
+    Line* victim_line = set_begin;
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        Line& line = set_begin[w];
+        if (!line.valid) {
+            victim_line = &line;
+            break;
+        }
+        if (line.lru_stamp < victim_line->lru_stamp) victim_line = &line;
+    }
+
+    std::optional<std::uint64_t> displaced;
+    if (victim_line->valid) displaced = victim_line->block;
+
+    victim_line->block = block;
+    victim_line->valid = true;
+    victim_line->lru_stamp = ++stamp_;
+
+    if (vb_hit != nullptr) {
+        ++victim_hits_;
+        result.victim_hit = true;
+        if (displaced) {
+            // Swap: displaced cache block takes the VB slot of the hit block.
+            vb_hit->block = *displaced;
+            vb_hit->lru_stamp = ++stamp_;
+        } else {
+            vb_hit->valid = false;
+        }
+        return result;
+    }
+
+    if (displaced) {
+        result.evicted = victim_insert(*displaced);
+        if (result.evicted) ++evictions_;
+    }
+    return result;
+}
+
+bool SetAssociativeCache::contains(std::uint64_t block) const noexcept {
+    const std::uint64_t set = set_index(block);
+    const Line* set_begin = &lines_[set * geom_.ways];
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        if (set_begin[w].valid && set_begin[w].block == block) return true;
+    }
+    return std::any_of(victim_.begin(), victim_.end(), [&](const Line& l) {
+        return l.valid && l.block == block;
+    });
+}
+
+std::uint64_t SetAssociativeCache::resident_count() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& l : lines_) n += l.valid ? 1 : 0;
+    for (const auto& l : victim_) n += l.valid ? 1 : 0;
+    return n;
+}
+
+void SetAssociativeCache::reset() {
+    std::fill(lines_.begin(), lines_.end(), Line{});
+    std::fill(victim_.begin(), victim_.end(), Line{});
+    stamp_ = hits_ = misses_ = victim_hits_ = evictions_ = 0;
+}
+
+}  // namespace tmb::cache

@@ -1,0 +1,70 @@
+#include "cache/overflow.hpp"
+
+#include <unordered_map>
+
+namespace tmb::cache {
+
+OverflowPoint find_overflow(const CacheGeometry& geometry,
+                            std::span<const trace::Access> stream) {
+    SetAssociativeCache cache(geometry);
+    OverflowPoint point;
+
+    // Footprint: block -> written? (write dominates read once seen).
+    std::unordered_map<std::uint64_t, bool> footprint;
+    footprint.reserve(geometry.block_count() * 2);
+
+    std::uint64_t instructions = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const trace::Access& a = stream[i];
+        instructions += a.instr_delta;
+
+        auto [it, inserted] = footprint.try_emplace(a.block, a.is_write);
+        if (!inserted && a.is_write) it->second = true;
+
+        const AccessResult r = cache.access(a.block);
+        if (r.evicted && footprint.contains(*r.evicted)) {
+            // A transactional block left the tracking hierarchy: overflow.
+            point.overflowed = true;
+            point.accesses = i + 1;
+            break;
+        }
+        point.accesses = i + 1;
+    }
+
+    point.instructions = instructions;
+    for (const auto& [block, written] : footprint) {
+        (void)block;
+        if (written) {
+            ++point.write_blocks;
+        } else {
+            ++point.read_blocks;
+        }
+    }
+    return point;
+}
+
+OverflowSummary summarize_overflows(const CacheGeometry& geometry,
+                                    std::span<const trace::Stream> streams) {
+    OverflowSummary s;
+    for (const auto& stream : streams) {
+        const OverflowPoint p = find_overflow(geometry, stream);
+        s.mean_footprint += static_cast<double>(p.footprint_blocks());
+        s.mean_read_blocks += static_cast<double>(p.read_blocks);
+        s.mean_write_blocks += static_cast<double>(p.write_blocks);
+        s.mean_instructions += static_cast<double>(p.instructions);
+        s.mean_utilization += p.utilization(geometry);
+        ++s.traces;
+        if (p.overflowed) ++s.overflowed;
+    }
+    if (s.traces > 0) {
+        const auto n = static_cast<double>(s.traces);
+        s.mean_footprint /= n;
+        s.mean_read_blocks /= n;
+        s.mean_write_blocks /= n;
+        s.mean_instructions /= n;
+        s.mean_utilization /= n;
+    }
+    return s;
+}
+
+}  // namespace tmb::cache

@@ -1,0 +1,64 @@
+// overflow.hpp — HTM transactional-overflow detection (paper §2.3, Fig. 3).
+//
+// An HTM that tracks read/write sets in the L1 data cache overflows the
+// moment a cache block belonging to the running transaction's footprint is
+// evicted from the tracking hierarchy (cache + optional victim buffer): the
+// hardware can no longer guarantee conflict detection for that block. This
+// module replays an access stream through the cache simulator and reports
+// the footprint composition and dynamic instruction count at that first
+// transactional eviction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cache/cache.hpp"
+#include "trace/trace.hpp"
+
+namespace tmb::cache {
+
+/// State of a transaction at the moment of HTM overflow (or at end of trace
+/// if it never overflowed).
+struct OverflowPoint {
+    bool overflowed = false;
+    std::size_t accesses = 0;         ///< accesses consumed before overflow
+    std::uint64_t instructions = 0;   ///< dynamic instruction count
+    std::uint64_t read_blocks = 0;    ///< footprint blocks only ever read
+    std::uint64_t write_blocks = 0;   ///< footprint blocks written at least once
+
+    [[nodiscard]] std::uint64_t footprint_blocks() const noexcept {
+        return read_blocks + write_blocks;
+    }
+    /// Fraction of the cache's capacity occupied by the footprint.
+    [[nodiscard]] double utilization(const CacheGeometry& geom) const noexcept {
+        return static_cast<double>(footprint_blocks()) /
+               static_cast<double>(geom.block_count());
+    }
+};
+
+/// Replays `stream` through a fresh cache of the given geometry and stops at
+/// the first eviction of a block in the transaction's footprint. All blocks
+/// touched by the stream are transactional (the paper's traces represent the
+/// transaction body only).
+[[nodiscard]] OverflowPoint find_overflow(const CacheGeometry& geometry,
+                                          std::span<const trace::Access> stream);
+
+/// Aggregate of many overflow measurements for one benchmark/configuration.
+struct OverflowSummary {
+    double mean_footprint = 0.0;
+    double mean_read_blocks = 0.0;
+    double mean_write_blocks = 0.0;
+    double mean_instructions = 0.0;
+    double mean_utilization = 0.0;
+    std::size_t traces = 0;
+    std::size_t overflowed = 0;  ///< traces that actually overflowed
+};
+
+/// Runs `find_overflow` over several streams and averages (arithmetic mean,
+/// as the paper does per benchmark). Streams that never overflow contribute
+/// their end-of-trace state.
+[[nodiscard]] OverflowSummary summarize_overflows(
+    const CacheGeometry& geometry,
+    std::span<const trace::Stream> streams);
+
+}  // namespace tmb::cache

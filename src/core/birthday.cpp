@@ -1,0 +1,55 @@
+#include "core/birthday.hpp"
+
+#include <cmath>
+
+namespace tmb::core {
+
+double birthday_collision_probability(std::uint64_t people, std::uint64_t days) {
+    if (days == 0) return 1.0;
+    if (people > days) return 1.0;
+    if (people < 2) return 0.0;
+    // Work in log space to stay accurate for large arguments.
+    double log_no_collision = 0.0;
+    const double d = static_cast<double>(days);
+    for (std::uint64_t k = 1; k < people; ++k) {
+        log_no_collision += std::log1p(-static_cast<double>(k) / d);
+    }
+    return 1.0 - std::exp(log_no_collision);
+}
+
+double birthday_collision_approx(std::uint64_t people, std::uint64_t days) {
+    if (days == 0) return 1.0;
+    if (people < 2) return 0.0;
+    const double n = static_cast<double>(people);
+    const double d = static_cast<double>(days);
+    return 1.0 - std::exp(-n * (n - 1.0) / (2.0 * d));
+}
+
+std::uint64_t birthday_min_people(double threshold, std::uint64_t days) {
+    if (days == 0) return 1;
+    if (threshold <= 0.0) return 2;
+    if (threshold >= 1.0) return days + 1;
+    // Incremental product: cheaper and exact versus repeated full evaluation.
+    double no_collision = 1.0;
+    const double d = static_cast<double>(days);
+    for (std::uint64_t n = 2; n <= days + 1; ++n) {
+        no_collision *= 1.0 - static_cast<double>(n - 1) / d;
+        if (1.0 - no_collision >= threshold) return n;
+    }
+    return days + 1;
+}
+
+double expected_occupied_bins(std::uint64_t balls, std::uint64_t bins) {
+    if (bins == 0) return 0.0;
+    const double b = static_cast<double>(bins);
+    const double k = static_cast<double>(balls);
+    return b * (1.0 - std::exp(k * std::log1p(-1.0 / b)));
+}
+
+double expected_collision_pairs(std::uint64_t balls, std::uint64_t bins) {
+    if (bins == 0 || balls < 2) return 0.0;
+    const double n = static_cast<double>(balls);
+    return n * (n - 1.0) / (2.0 * static_cast<double>(bins));
+}
+
+}  // namespace tmb::core

@@ -1,0 +1,44 @@
+// birthday.hpp — the classic birthday-paradox machinery underlying the
+// paper's analysis.
+//
+// The paper's title observation: two addresses are likely to map to the same
+// ownership-table entry long before the table is full, exactly as 23 people
+// suffice for a >50 % chance of a shared birthday among 365 days. These
+// functions compute the exact and approximate collision probabilities and
+// their inverses; they also serve the intra-transaction aliasing estimate
+// used to justify the model's assumption 5 (footprint ≈ R + W).
+#pragma once
+
+#include <cstdint>
+
+namespace tmb::core {
+
+/// Exact probability that at least two of `people` uniform choices among
+/// `days` values collide: 1 - prod_{k=0}^{people-1} (days - k)/days.
+/// Returns 1.0 when people > days (pigeonhole).
+[[nodiscard]] double birthday_collision_probability(std::uint64_t people,
+                                                    std::uint64_t days);
+
+/// Second-order approximation 1 - exp(-n(n-1) / (2d)). Accurate for n << d.
+[[nodiscard]] double birthday_collision_approx(std::uint64_t people,
+                                               std::uint64_t days);
+
+/// Smallest number of people for which the exact collision probability
+/// reaches `threshold` (0 < threshold < 1). birthday_min_people(0.5, 365)
+/// == 23, the paper's touchstone.
+[[nodiscard]] std::uint64_t birthday_min_people(double threshold,
+                                                std::uint64_t days);
+
+/// Expected number of distinct bins occupied after throwing `balls` balls
+/// uniformly into `bins` bins: bins * (1 - (1 - 1/bins)^balls). Used for
+/// ownership-table occupancy estimates (§4's occupancy measurements).
+[[nodiscard]] double expected_occupied_bins(std::uint64_t balls,
+                                            std::uint64_t bins);
+
+/// Expected number of pairwise collisions among `balls` uniform balls in
+/// `bins` bins: C(balls,2) / bins. The linear-regime workhorse behind the
+/// paper's Eq. 4.
+[[nodiscard]] double expected_collision_pairs(std::uint64_t balls,
+                                              std::uint64_t bins);
+
+}  // namespace tmb::core

@@ -1,0 +1,171 @@
+#include "core/conflict_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/birthday.hpp"
+
+namespace tmb::core {
+
+namespace {
+
+[[nodiscard]] double n_of(const ModelParams& p) {
+    return static_cast<double>(p.table_entries);
+}
+
+/// The per-step total increment summed in Eq. 7 (all C transactions advance
+/// one write step at footprint w, minus the double-count compensation).
+[[nodiscard]] double step_increment(const ModelParams& p, std::uint64_t concurrency,
+                                    std::uint64_t w) {
+    const double C = static_cast<double>(concurrency);
+    const double wd = static_cast<double>(w);
+    const double numer =
+        C * (C - 1.0) * (p.rw_factor() * wd - p.alpha) - (C / 2.0) * (C - 1.0);
+    return numer / n_of(p);
+}
+
+}  // namespace
+
+double delta_conflict_c2(const ModelParams& p, std::uint64_t w) {
+    // Eq. 2: ((1+2α)w − α)/N — one transaction's step against the other's
+    // current footprint.
+    return (p.rw_factor() * static_cast<double>(w) - p.alpha) / n_of(p);
+}
+
+double conflict_sum_c2(const ModelParams& p, std::uint64_t W) {
+    // Eq. 3: Σ_{w=1..W} ((2+4α)w − 2α − 1)/N.
+    double sum = 0.0;
+    for (std::uint64_t w = 1; w <= W; ++w) {
+        sum += ((2.0 + 4.0 * p.alpha) * static_cast<double>(w) - 2.0 * p.alpha - 1.0) /
+               n_of(p);
+    }
+    return sum;
+}
+
+double conflict_likelihood_c2(const ModelParams& p, std::uint64_t W) {
+    // Eq. 4: (1+2α)W²/N.
+    const double wd = static_cast<double>(W);
+    return p.rw_factor() * wd * wd / n_of(p);
+}
+
+double delta_conflict(const ModelParams& p, std::uint64_t concurrency,
+                      std::uint64_t w) {
+    // Eq. 6: (C−1)((1+2α)w − α)/N.
+    return static_cast<double>(concurrency - 1) *
+           (p.rw_factor() * static_cast<double>(w) - p.alpha) / n_of(p);
+}
+
+double conflict_sum(const ModelParams& p, std::uint64_t concurrency,
+                    std::uint64_t W) {
+    // Eq. 7 evaluated term by term.
+    double sum = 0.0;
+    for (std::uint64_t w = 1; w <= W; ++w) sum += step_increment(p, concurrency, w);
+    return sum;
+}
+
+double conflict_likelihood(const ModelParams& p, std::uint64_t concurrency,
+                           std::uint64_t W) {
+    // Eq. 8: C(C−1)(1+2α)W²/(2N).
+    const double C = static_cast<double>(concurrency);
+    const double wd = static_cast<double>(W);
+    return C * (C - 1.0) * p.rw_factor() * wd * wd / (2.0 * n_of(p));
+}
+
+double commit_probability_linear(const ModelParams& p, std::uint64_t concurrency,
+                                 std::uint64_t W) {
+    return std::max(0.0, 1.0 - conflict_likelihood(p, concurrency, W));
+}
+
+double commit_probability_product(const ModelParams& p, std::uint64_t concurrency,
+                                  std::uint64_t W) {
+    double survival = 1.0;
+    for (std::uint64_t w = 1; w <= W; ++w) {
+        const double step = std::clamp(step_increment(p, concurrency, w), 0.0, 1.0);
+        survival *= 1.0 - step;
+    }
+    return survival;
+}
+
+std::uint64_t required_table_entries(double alpha, std::uint64_t concurrency,
+                                     std::uint64_t W,
+                                     double target_commit_probability) {
+    const double tolerated = 1.0 - target_commit_probability;
+    if (tolerated <= 0.0 || W == 0 || concurrency < 2) return 1;
+    const double C = static_cast<double>(concurrency);
+    const double wd = static_cast<double>(W);
+    const double numer = C * (C - 1.0) * (1.0 + 2.0 * alpha) * wd * wd;
+    return static_cast<std::uint64_t>(std::ceil(numer / (2.0 * tolerated)));
+}
+
+std::uint64_t max_write_footprint(const ModelParams& p, std::uint64_t concurrency,
+                                  double target_commit_probability) {
+    const double tolerated = 1.0 - target_commit_probability;
+    if (tolerated <= 0.0 || concurrency < 2) return 0;
+    const double C = static_cast<double>(concurrency);
+    const double w2 =
+        2.0 * n_of(p) * tolerated / (C * (C - 1.0) * p.rw_factor());
+    return static_cast<std::uint64_t>(std::floor(std::sqrt(std::max(0.0, w2))));
+}
+
+double concurrency_ratio(std::uint64_t c_num, std::uint64_t c_den) {
+    if (c_den < 2) return 0.0;
+    const double a = static_cast<double>(c_num);
+    const double b = static_cast<double>(c_den);
+    return (a * (a - 1.0)) / (b * (b - 1.0));
+}
+
+double closed_system_abort_probability(const ModelParams& p,
+                                       std::uint64_t concurrency,
+                                       std::uint64_t W) {
+    if (concurrency < 2) return 0.0;
+    const double C = static_cast<double>(concurrency);
+    const double wd = static_cast<double>(W);
+    // Per step: α reads hit others' write entries (α·(C−1)·w̄/N) and one
+    // write hits any of their entries ((1+α)(C−1)·w̄/N), with the others'
+    // average write footprint w̄ ≈ W/2 under staggered starts. Summed over
+    // the W steps of one attempt.
+    const double q = (C - 1.0) * p.rw_factor() * wd * wd / (2.0 * n_of(p));
+    return std::clamp(q, 0.0, 1.0 - 1e-9);
+}
+
+double closed_system_conflicts_estimate(const ModelParams& p,
+                                        std::uint64_t concurrency,
+                                        std::uint64_t W,
+                                        std::uint64_t target_transactions) {
+    const double q = closed_system_abort_probability(p, concurrency, W);
+    return static_cast<double>(target_transactions) * q / (1.0 - q);
+}
+
+double strong_isolation_delta(const ModelParams& p, std::uint64_t concurrency,
+                              std::uint64_t w, double accesses_per_step,
+                              double write_fraction) {
+    const double C = static_cast<double>(concurrency);
+    const double wd = static_cast<double>(w);
+    // Non-tx reads hit the C·w write entries; non-tx writes hit all
+    // C·(1+α)·w entries.
+    const double hit_targets =
+        (1.0 - write_fraction) * C * wd +
+        write_fraction * C * (1.0 + p.alpha) * wd;
+    return accesses_per_step * hit_targets / n_of(p);
+}
+
+double strong_isolation_conflict_likelihood(const ModelParams& p,
+                                            std::uint64_t concurrency,
+                                            std::uint64_t W,
+                                            double accesses_per_step,
+                                            double write_fraction) {
+    double si = 0.0;
+    for (std::uint64_t w = 1; w <= W; ++w) {
+        si += strong_isolation_delta(p, concurrency, w, accesses_per_step,
+                                     write_fraction);
+    }
+    return conflict_likelihood(p, concurrency, W) + si;
+}
+
+double intra_transaction_alias_probability(const ModelParams& p, std::uint64_t W) {
+    const auto footprint =
+        static_cast<std::uint64_t>(std::llround((1.0 + p.alpha) * static_cast<double>(W)));
+    return birthday_collision_approx(footprint, p.table_entries);
+}
+
+}  // namespace tmb::core

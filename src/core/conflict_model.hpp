@@ -1,0 +1,151 @@
+// conflict_model.hpp — the paper's analytical model of alias-induced
+// conflicts in a tagless ownership table (paper §3, Equations 2–8).
+//
+// Model setting: C transactions progress in lock step; each step a
+// transaction reads α new cache blocks then writes one new block; blocks map
+// uniformly at random to an N-entry tagless table; transactions are
+// footprint-disjoint (no true conflicts). The paper derives:
+//
+//   Eq. 2  Δp(W)          = ((1+2α)W − α) / N                  (C = 2, per step, both txns)
+//   Eq. 4  p(W)           = (1+2α) W² / N                       (C = 2, cumulative)
+//   Eq. 6  Δp(C, W)       = (C−1)((1+2α)W − α) / N              (per transaction per step)
+//   Eq. 8  p(C, W)        = C(C−1)(1+2α) W² / (2N)              (cumulative)
+//
+// These are *sums of probabilities* (assumption 6): accurate when the
+// conflict likelihood is small, and able to exceed 1 outside that regime.
+// Alongside the paper's forms we provide the exact product-form survival
+// probability using the same per-step increments, which tests use to bound
+// the approximation error in the region of interest.
+#pragma once
+
+#include <cstdint>
+
+namespace tmb::core {
+
+/// Parameters of the analytical model.
+struct ModelParams {
+    double alpha = 2.0;          ///< reads per write (paper's α; §2.3 finds ≈ 2)
+    std::uint64_t table_entries = 4096;  ///< N
+
+    [[nodiscard]] double rw_factor() const noexcept { return 1.0 + 2.0 * alpha; }
+};
+
+/// Eq. 2: incremental conflict likelihood when each of two lock-step
+/// transactions advances by α reads and one write, at current write
+/// footprint `w` (the per-pair, per-step term; includes both directions and
+/// the double-count correction when accumulated via conflict_sum_c2).
+[[nodiscard]] double delta_conflict_c2(const ModelParams& p, std::uint64_t w);
+
+/// Eq. 3 evaluated literally: sum over w = 1..W of ((2+4α)w − 2α − 1)/N.
+/// Algebraically equal to Eq. 4 (tests verify the identity).
+[[nodiscard]] double conflict_sum_c2(const ModelParams& p, std::uint64_t W);
+
+/// Eq. 4 closed form: (1+2α) W² / N. Can exceed 1 (sum-of-probabilities).
+[[nodiscard]] double conflict_likelihood_c2(const ModelParams& p, std::uint64_t W);
+
+/// Eq. 6: per-transaction per-step increment at concurrency C.
+[[nodiscard]] double delta_conflict(const ModelParams& p, std::uint64_t concurrency,
+                                    std::uint64_t w);
+
+/// Eq. 7 evaluated literally (sum over write steps with the double-count
+/// compensation term). Algebraically equal to Eq. 8.
+[[nodiscard]] double conflict_sum(const ModelParams& p, std::uint64_t concurrency,
+                                  std::uint64_t W);
+
+/// Eq. 8 closed form: C(C−1)(1+2α) W² / (2N).
+[[nodiscard]] double conflict_likelihood(const ModelParams& p,
+                                         std::uint64_t concurrency,
+                                         std::uint64_t W);
+
+/// Clamped commit probability from the paper's linear form:
+/// max(0, 1 − conflict_likelihood).
+[[nodiscard]] double commit_probability_linear(const ModelParams& p,
+                                               std::uint64_t concurrency,
+                                               std::uint64_t W);
+
+/// Exact product-form survival probability using the same per-step
+/// increments: prod over steps of (1 − clamp(Δp_step, 0, 1)). More accurate
+/// at high conflict rates; converges to the linear form when likelihoods are
+/// small (assumption 6).
+[[nodiscard]] double commit_probability_product(const ModelParams& p,
+                                                std::uint64_t concurrency,
+                                                std::uint64_t W);
+
+/// Inverse of Eq. 8 in N: smallest table size such that the *linear* commit
+/// probability at (C, W, α) is at least `target` (0 < target < 1). This is
+/// the paper's back-of-envelope: W=71, α=2, C=2, target 0.5 → >50 000
+/// entries; target 0.95 → >500 000; C=8, target 0.95 → >14 million.
+[[nodiscard]] std::uint64_t required_table_entries(double alpha,
+                                                   std::uint64_t concurrency,
+                                                   std::uint64_t W,
+                                                   double target_commit_probability);
+
+/// Inverse of Eq. 8 in W: largest write footprint sustainable at the target
+/// commit probability for a given table (useful for sizing hybrid-TM
+/// fallback policies).
+[[nodiscard]] std::uint64_t max_write_footprint(const ModelParams& p,
+                                                std::uint64_t concurrency,
+                                                double target_commit_probability);
+
+/// Model-predicted ratio between conflict likelihoods at two concurrencies
+/// (the paper highlights C=4 vs C=2 → 6×, from C(C−1)).
+[[nodiscard]] double concurrency_ratio(std::uint64_t c_num, std::uint64_t c_den);
+
+/// Intra-transaction aliasing estimate backing assumption 5: probability any
+/// two of one transaction's own (1+α)·W blocks self-collide in the table
+/// (a birthday bound). The paper measures < 3 % whenever the cross-
+/// transaction conflict rate is < 50 %.
+[[nodiscard]] double intra_transaction_alias_probability(const ModelParams& p,
+                                                         std::uint64_t W);
+
+// ---------------------------------------------------------------------------
+// Closed-system estimates (extension: a model overlay for the paper's
+// Figs. 5–6, which the paper validates only qualitatively via slopes)
+// ---------------------------------------------------------------------------
+
+/// Per-attempt abort probability of ONE transaction in the closed system:
+/// its own probes against C−1 other transactions whose footprints average
+/// W/2 (staggered starts): q ≈ (C−1)(1+2α)W²/(2N), clamped to [0, 1).
+[[nodiscard]] double closed_system_abort_probability(const ModelParams& p,
+                                                     std::uint64_t concurrency,
+                                                     std::uint64_t W);
+
+/// First-order estimate of total conflicts in a closed-system run that
+/// commits `target_transactions` when conflict-free: commits · q/(1−q).
+/// Accurate to a small constant factor in the modest-conflict regime (aborts
+/// happen mid-transaction, so attempts are shorter than the full footprint;
+/// tests bound the error at 2x and verify the scaling laws exactly).
+[[nodiscard]] double closed_system_conflicts_estimate(
+    const ModelParams& p, std::uint64_t concurrency, std::uint64_t W,
+    std::uint64_t target_transactions);
+
+// ---------------------------------------------------------------------------
+// Strong isolation (paper §6 — extension beyond the paper's derivations)
+// ---------------------------------------------------------------------------
+// Under strong isolation, even non-transactional accesses must check the
+// ownership table: a non-transactional read conflicts with any Write entry,
+// and a non-transactional write conflicts with any entry. With S
+// non-transactional accesses (write fraction β) interleaved per lock-step
+// round, the incremental conflict likelihood at footprint w is
+//
+//   Δ_SI(w) = S · ( (1−β)·C·w  +  β·C·(1+α)·w ) / N = S·C·(1+βα)·w / N
+//
+// which sums to ≈ S·C·(1+βα)·W² / (2N): LINEAR in concurrency but linear in
+// S too — and S (all of the non-transactional code's memory traffic) is
+// typically enormous, which is why the paper concludes strong isolation
+// makes tagless tables "even more untenable".
+
+/// Per-step strong-isolation increment Δ_SI(w) above.
+[[nodiscard]] double strong_isolation_delta(const ModelParams& p,
+                                            std::uint64_t concurrency,
+                                            std::uint64_t w,
+                                            double accesses_per_step,
+                                            double write_fraction);
+
+/// Total conflict likelihood under strong isolation: Eq. 8 plus the summed
+/// non-transactional term (sum-of-probabilities form; can exceed 1).
+[[nodiscard]] double strong_isolation_conflict_likelihood(
+    const ModelParams& p, std::uint64_t concurrency, std::uint64_t W,
+    double accesses_per_step, double write_fraction);
+
+}  // namespace tmb::core

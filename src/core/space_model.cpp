@@ -1,0 +1,48 @@
+#include "core/space_model.hpp"
+
+#include "core/birthday.hpp"
+#include "util/bits.hpp"
+
+namespace tmb::core {
+
+unsigned residual_tag_bits(unsigned address_bits, unsigned block_offset_bits,
+                           std::uint64_t table_entries) {
+    const unsigned index_bits =
+        util::is_pow2(table_entries) ? util::log2_pow2(table_entries) : 0;
+    const unsigned consumed = block_offset_bits + index_bits;
+    return consumed >= address_bits ? 0 : address_bits - consumed;
+}
+
+double expected_chained_records(std::uint64_t resident_records,
+                                std::uint64_t table_entries) {
+    const double occupied =
+        expected_occupied_bins(resident_records, table_entries);
+    const double overflow = static_cast<double>(resident_records) - occupied;
+    return overflow < 0.0 ? 0.0 : overflow;
+}
+
+TableSpace tagless_space(std::uint64_t table_entries, unsigned bytes_per_entry) {
+    return TableSpace{.first_level_bytes = table_entries * bytes_per_entry,
+                      .chain_bytes = 0.0};
+}
+
+TableSpace tagged_space(std::uint64_t table_entries,
+                        std::uint64_t resident_records,
+                        unsigned bytes_per_entry,
+                        unsigned bytes_per_chain_record) {
+    return TableSpace{
+        .first_level_bytes = table_entries * bytes_per_entry,
+        .chain_bytes = expected_chained_records(resident_records, table_entries) *
+                       bytes_per_chain_record,
+    };
+}
+
+double tagged_overhead_ratio(std::uint64_t table_entries,
+                             std::uint64_t resident_records) {
+    const double tagless = tagless_space(table_entries).total();
+    return tagless > 0.0 ? tagged_space(table_entries, resident_records).total() /
+                               tagless
+                         : 1.0;
+}
+
+}  // namespace tmb::core

@@ -1,0 +1,56 @@
+// space_model.hpp — the §5 space-overhead argument, quantified.
+//
+// The paper argues that a tagged ownership table "need not actually" cost
+// much more than a tagless one: the residual tag fits in an
+// architectural-word entry, and with records-or-pointer first-level slots
+// the chain overhead applies only to the (rare) aliased slots. This module
+// computes the expected sizes so the claim can be checked for any
+// configuration (see bench/table_commit_probability).
+#pragma once
+
+#include <cstdint>
+
+namespace tmb::core {
+
+/// Residual tag bits a tagged entry must store: address bits not implied by
+/// the block offset or the table index (paper example: 32-bit addresses,
+/// 64 B blocks, 4096 entries → 14 bits).
+[[nodiscard]] unsigned residual_tag_bits(unsigned address_bits,
+                                         unsigned block_offset_bits,
+                                         std::uint64_t table_entries);
+
+/// Expected number of records that do NOT fit inline in their first-level
+/// slot when `resident_records` live records hash uniformly into
+/// `table_entries` slots with one inline record per slot: R − E[occupied].
+[[nodiscard]] double expected_chained_records(std::uint64_t resident_records,
+                                              std::uint64_t table_entries);
+
+/// Size estimates in bytes.
+struct TableSpace {
+    std::uint64_t first_level_bytes = 0;  ///< the slot array
+    double chain_bytes = 0.0;             ///< expected out-of-line records
+    [[nodiscard]] double total() const noexcept {
+        return static_cast<double>(first_level_bytes) + chain_bytes;
+    }
+};
+
+/// Tagless table: one word per entry, nothing else — the design's entire
+/// appeal.
+[[nodiscard]] TableSpace tagless_space(std::uint64_t table_entries,
+                                       unsigned bytes_per_entry = 8);
+
+/// Tagged table with record-or-pointer slots: one word per slot plus, for
+/// the expected chained records, an out-of-line record + next pointer each.
+/// `resident_records` is the steady-state live-record count — for the
+/// paper's workload model, C·(1+α)·W/2.
+[[nodiscard]] TableSpace tagged_space(std::uint64_t table_entries,
+                                      std::uint64_t resident_records,
+                                      unsigned bytes_per_entry = 8,
+                                      unsigned bytes_per_chain_record = 16);
+
+/// Space ratio tagged/tagless at the same entry count (≥ 1; approaches 1 as
+/// the table grows relative to the in-flight footprint — §5's claim).
+[[nodiscard]] double tagged_overhead_ratio(std::uint64_t table_entries,
+                                           std::uint64_t resident_records);
+
+}  // namespace tmb::core

@@ -1,0 +1,56 @@
+#include "ownership/any_table.hpp"
+
+namespace tmb::ownership {
+
+namespace {
+
+template <typename Table>
+class AnyTableImpl final : public AnyTable {
+public:
+    AnyTableImpl(TableKind kind, TableConfig config)
+        : kind_(kind), table_(config) {}
+
+    AcquireResult acquire_read(TxId tx, std::uint64_t block) override {
+        return table_.acquire_read(tx, block);
+    }
+    AcquireResult acquire_write(TxId tx, std::uint64_t block) override {
+        return table_.acquire_write(tx, block);
+    }
+    void release(TxId tx, std::uint64_t block, Mode mode) override {
+        table_.release(tx, block, mode);
+    }
+    [[nodiscard]] std::uint64_t entry_count() const noexcept override {
+        return table_.entry_count();
+    }
+    [[nodiscard]] TableCounters counters() const noexcept override {
+        return table_.counters();
+    }
+    void clear() override { table_.clear(); }
+    [[nodiscard]] TableKind kind() const noexcept override { return kind_; }
+
+private:
+    TableKind kind_;
+    Table table_;
+};
+
+}  // namespace
+
+std::string_view to_string(TableKind kind) noexcept {
+    switch (kind) {
+        case TableKind::kTagless: return "tagless";
+        case TableKind::kTagged: return "tagged";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<AnyTable> make_table(TableKind kind, TableConfig config) {
+    switch (kind) {
+        case TableKind::kTagless:
+            return std::make_unique<AnyTableImpl<TaglessTable>>(kind, config);
+        case TableKind::kTagged:
+            return std::make_unique<AnyTableImpl<TaggedTable>>(kind, config);
+    }
+    return nullptr;
+}
+
+}  // namespace tmb::ownership

@@ -1,0 +1,39 @@
+// any_table.hpp — type-erased ownership table for tooling.
+//
+// Simulators, the STM and the benches are templates over the concrete table
+// type (the acquire path is hot). Example programs and runtime-configurable
+// tools instead use this small virtual wrapper, selected by `TableKind`.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "ownership/ownership.hpp"
+#include "ownership/tagged_table.hpp"
+#include "ownership/tagless_table.hpp"
+
+namespace tmb::ownership {
+
+enum class TableKind { kTagless, kTagged };
+
+[[nodiscard]] std::string_view to_string(TableKind kind) noexcept;
+
+/// Virtual interface mirroring the OwnershipTable concept.
+class AnyTable {
+public:
+    virtual ~AnyTable() = default;
+
+    virtual AcquireResult acquire_read(TxId tx, std::uint64_t block) = 0;
+    virtual AcquireResult acquire_write(TxId tx, std::uint64_t block) = 0;
+    virtual void release(TxId tx, std::uint64_t block, Mode mode) = 0;
+    [[nodiscard]] virtual std::uint64_t entry_count() const noexcept = 0;
+    [[nodiscard]] virtual TableCounters counters() const noexcept = 0;
+    virtual void clear() = 0;
+    [[nodiscard]] virtual TableKind kind() const noexcept = 0;
+};
+
+/// Creates a table of the requested organization.
+[[nodiscard]] std::unique_ptr<AnyTable> make_table(TableKind kind,
+                                                   TableConfig config);
+
+}  // namespace tmb::ownership

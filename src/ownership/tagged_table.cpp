@@ -1,0 +1,133 @@
+#include "ownership/tagged_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace tmb::ownership {
+
+TaggedTable::TaggedTable(TableConfig config) : config_(config) {
+    if (config_.entries == 0) throw std::invalid_argument("table must have entries");
+    slots_.resize(config_.entries);
+}
+
+std::uint64_t TaggedTable::index_of(std::uint64_t block) const noexcept {
+    return util::hash_block(config_.hash, block, config_.entries);
+}
+
+unsigned TaggedTable::tag_bits(unsigned address_bits,
+                               unsigned block_offset_bits) const noexcept {
+    const unsigned index_bits =
+        util::is_pow2(config_.entries) ? util::log2_pow2(config_.entries) : 0;
+    const unsigned consumed = block_offset_bits + index_bits;
+    return consumed >= address_bits ? 0 : address_bits - consumed;
+}
+
+TaggedTable::Record* TaggedTable::find(Slot& slot, std::uint64_t block) {
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+        ++probe_steps_;
+        if (slot[i].block == block) {
+            if (i > 0) ++alias_traversals_;
+            return &slot[i];
+        }
+    }
+    if (!slot.empty()) ++alias_traversals_;
+    return nullptr;
+}
+
+TaggedTable::Record& TaggedTable::find_or_create(Slot& slot, std::uint64_t block) {
+    if (Record* r = find(slot, block)) return *r;
+    slot.push_back(Record{.block = block});
+    ++live_records_;
+    return slot.back();
+}
+
+AcquireResult TaggedTable::acquire_read(TxId tx, std::uint64_t block) {
+    ++counters_.read_acquires;
+    Slot& slot = slots_[index_of(block)];
+    Record& r = find_or_create(slot, block);
+    switch (r.mode) {
+        case Mode::kFree:
+            r.mode = Mode::kRead;
+            r.sharers = tx_bit(tx);
+            return {.ok = true};
+        case Mode::kRead:
+            r.sharers |= tx_bit(tx);
+            return {.ok = true};
+        case Mode::kWrite:
+            if (r.writer == tx) return {.ok = true};
+            ++counters_.conflicts;
+            return {.ok = false, .conflicting = tx_bit(r.writer)};
+    }
+    return {.ok = false};
+}
+
+AcquireResult TaggedTable::acquire_write(TxId tx, std::uint64_t block) {
+    ++counters_.write_acquires;
+    Slot& slot = slots_[index_of(block)];
+    Record& r = find_or_create(slot, block);
+    switch (r.mode) {
+        case Mode::kFree:
+            r.mode = Mode::kWrite;
+            r.writer = tx;
+            r.sharers = 0;
+            return {.ok = true};
+        case Mode::kRead: {
+            const std::uint64_t others = r.sharers & ~tx_bit(tx);
+            if (others == 0) {
+                r.mode = Mode::kWrite;
+                r.writer = tx;
+                r.sharers = 0;
+                return {.ok = true};
+            }
+            ++counters_.conflicts;
+            return {.ok = false, .conflicting = others};
+        }
+        case Mode::kWrite:
+            if (r.writer == tx) return {.ok = true};
+            ++counters_.conflicts;
+            return {.ok = false, .conflicting = tx_bit(r.writer)};
+    }
+    return {.ok = false};
+}
+
+void TaggedTable::release(TxId tx, std::uint64_t block, Mode /*mode*/) {
+    ++counters_.releases;
+    Slot& slot = slots_[index_of(block)];
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+        Record& r = slot[i];
+        if (r.block != block) continue;
+        bool now_free = false;
+        if (r.mode == Mode::kRead) {
+            r.sharers &= ~tx_bit(tx);
+            if (r.sharers == 0) now_free = true;
+        } else if (r.mode == Mode::kWrite && r.writer == tx) {
+            now_free = true;
+        }
+        if (now_free) {
+            slot.erase(slot.begin() + static_cast<std::ptrdiff_t>(i));
+            --live_records_;
+        }
+        return;
+    }
+}
+
+std::uint64_t TaggedTable::chained_slots() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s.size() >= 2 ? 1u : 0u;
+    return n;
+}
+
+util::Histogram TaggedTable::chain_length_histogram() const {
+    util::Histogram h(32);
+    for (const auto& s : slots_) h.add(s.size());
+    return h;
+}
+
+void TaggedTable::clear() {
+    for (auto& s : slots_) s.clear();
+    live_records_ = 0;
+}
+
+}  // namespace tmb::ownership

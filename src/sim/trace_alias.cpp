@@ -1,0 +1,112 @@
+#include "sim/trace_alias.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace tmb::sim {
+
+namespace {
+
+using ownership::Mode;
+using ownership::TxId;
+
+struct StreamCursor {
+    const trace::Stream* stream = nullptr;
+    std::size_t pos = 0;
+    std::uint64_t distinct_writes = 0;
+    std::unordered_set<std::uint64_t> written;   ///< distinct written blocks
+    std::vector<std::uint64_t> acquired_blocks;  ///< for end-of-sample release
+
+    [[nodiscard]] bool done(std::uint64_t target) const noexcept {
+        return distinct_writes >= target;
+    }
+    [[nodiscard]] bool exhausted() const noexcept {
+        return pos >= stream->size();
+    }
+};
+
+}  // namespace
+
+TraceAliasResult run_trace_alias(const TraceAliasConfig& config,
+                                 const trace::MultiThreadTrace& trace) {
+    if (config.concurrency < 2 || config.concurrency > ownership::kMaxTx) {
+        throw std::invalid_argument("concurrency must be in [2, 64]");
+    }
+    if (trace.streams.size() < config.concurrency) {
+        throw std::invalid_argument("trace has fewer streams than concurrency");
+    }
+
+    auto table = ownership::make_table(
+        config.table_kind,
+        {.entries = config.table_entries, .hash = config.hash});
+
+    util::Xoshiro256 rng{config.seed};
+    TraceAliasResult result;
+    result.samples = config.samples;
+
+    std::vector<StreamCursor> cursors(config.concurrency);
+
+    for (std::uint32_t sample = 0; sample < config.samples; ++sample) {
+        for (std::uint32_t c = 0; c < config.concurrency; ++c) {
+            auto& cur = cursors[c];
+            cur.stream = &trace.streams[c];
+            // Random start offset, leaving room for the footprint to grow.
+            const std::size_t len = cur.stream->size();
+            cur.pos = len > 1 ? rng.below(len) : 0;
+            cur.distinct_writes = 0;
+            cur.written.clear();
+            cur.acquired_blocks.clear();
+        }
+
+        bool aliased = false;
+        bool exhausted = false;
+
+        // Consume the streams round-robin, one access at a time, until every
+        // stream has written W distinct blocks or a conflict occurs.
+        bool all_done = false;
+        while (!aliased && !exhausted && !all_done) {
+            all_done = true;
+            for (std::uint32_t c = 0; c < config.concurrency; ++c) {
+                auto& cur = cursors[c];
+                if (cur.done(config.write_footprint)) continue;
+                all_done = false;
+                if (cur.exhausted()) {
+                    // Wrap around once; if still exhausted the trace is too
+                    // short for this footprint.
+                    if (cur.pos != 0) {
+                        cur.pos = 0;
+                    } else {
+                        exhausted = true;
+                        break;
+                    }
+                }
+                const trace::Access& a = (*cur.stream)[cur.pos++];
+                const auto tx = static_cast<TxId>(c);
+                const auto r = a.is_write ? table->acquire_write(tx, a.block)
+                                          : table->acquire_read(tx, a.block);
+                if (!r.ok) {
+                    aliased = true;
+                    break;
+                }
+                cur.acquired_blocks.push_back(a.block);
+                if (a.is_write && cur.written.insert(a.block).second) {
+                    ++cur.distinct_writes;
+                }
+            }
+        }
+
+        if (aliased) ++result.aliased;
+        if (exhausted) ++result.exhausted;
+
+        // O(footprint) cleanup keeps per-sample cost independent of N.
+        for (std::uint32_t c = 0; c < config.concurrency; ++c) {
+            const auto tx = static_cast<TxId>(c);
+            for (std::uint64_t block : cursors[c].acquired_blocks) {
+                table->release(tx, block, Mode::kWrite);
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace tmb::sim

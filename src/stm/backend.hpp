@@ -1,0 +1,84 @@
+// backend.hpp — internal backend interface of the STM runtime.
+//
+// A backend owns the conflict-detection metadata (ownership table or
+// versioned locks) and implements the transactional load/store/commit
+// protocol. One TxContext per in-flight atomically() call carries the
+// per-transaction logs; contexts are backend-specific and reused across
+// retries of the same transaction.
+//
+// Protocol per attempt:
+//   begin(cx) → { load/store }* → commit(cx) → true
+//                                            → false: validation failed, retry
+//   any load/store may throw detail::ConflictAbort → abort(cx), retry
+//
+// Backends synchronize internally; the runtime calls them from arbitrary
+// threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "stm/stm.hpp"
+
+namespace tmb::stm::detail {
+
+/// Shared atomic counters (one set per Stm instance).
+struct SharedStats {
+    std::atomic<std::uint64_t> commits{0};
+    std::atomic<std::uint64_t> aborts{0};
+    std::atomic<std::uint64_t> explicit_retries{0};
+    std::atomic<std::uint64_t> true_conflicts{0};
+    std::atomic<std::uint64_t> false_conflicts{0};
+
+    [[nodiscard]] StmStats snapshot() const noexcept {
+        return StmStats{
+            .commits = commits.load(std::memory_order_relaxed),
+            .aborts = aborts.load(std::memory_order_relaxed),
+            .explicit_retries = explicit_retries.load(std::memory_order_relaxed),
+            .true_conflicts = true_conflicts.load(std::memory_order_relaxed),
+            .false_conflicts = false_conflicts.load(std::memory_order_relaxed),
+        };
+    }
+};
+
+/// Per-transaction state; concrete type owned by the backend.
+class TxContext {
+public:
+    virtual ~TxContext() = default;
+};
+
+/// Metadata-organization-specific transactional engine.
+class Backend {
+public:
+    virtual ~Backend() = default;
+
+    /// Creates a context for one atomically() call (reused across retries).
+    [[nodiscard]] virtual std::unique_ptr<TxContext> make_context() = 0;
+
+    /// Starts (or restarts) an attempt.
+    virtual void begin(TxContext& cx) = 0;
+
+    /// Transactional word read; throws ConflictAbort on conflict.
+    [[nodiscard]] virtual std::uint64_t load(TxContext& cx,
+                                             const std::uint64_t* addr) = 0;
+
+    /// Transactional word write; throws ConflictAbort on conflict.
+    virtual void store(TxContext& cx, std::uint64_t* addr,
+                       std::uint64_t value) = 0;
+
+    /// Attempts to commit; false means validation failed (retry).
+    [[nodiscard]] virtual bool commit(TxContext& cx) = 0;
+
+    /// Rolls back after ConflictAbort (or failed commit cleanup is internal).
+    virtual void abort(TxContext& cx) = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Backend> make_tl2_backend(const StmConfig& config,
+                                                        SharedStats& stats);
+[[nodiscard]] std::unique_ptr<Backend> make_table_backend(const StmConfig& config,
+                                                          SharedStats& stats);
+[[nodiscard]] std::unique_ptr<Backend> make_atomic_backend(const StmConfig& config,
+                                                           SharedStats& stats);
+
+}  // namespace tmb::stm::detail

@@ -1,0 +1,37 @@
+#include "stm/contention.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace tmb::stm {
+
+void ContentionManager::on_abort() {
+    ++attempt_;
+    switch (config_->policy) {
+        case ContentionPolicy::kNone:
+            return;
+        case ContentionPolicy::kYield:
+            std::this_thread::yield();
+            return;
+        case ContentionPolicy::kExponentialBackoff: {
+            if (attempt_ <= config_->yield_attempts) {
+                std::this_thread::yield();
+                return;
+            }
+            const std::uint32_t exp_attempt =
+                std::min(attempt_ - config_->yield_attempts, 24u);
+            const std::uint64_t ceiling = std::min(
+                config_->max_delay_ns,
+                config_->initial_delay_ns << (exp_attempt - 1));
+            // Full jitter: uniform in [0, ceiling] avoids lockstep retries.
+            const std::uint64_t delay = rng_.below(ceiling + 1);
+            if (delay > 0) {
+                std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+            }
+            return;
+        }
+    }
+}
+
+}  // namespace tmb::stm

@@ -1,0 +1,50 @@
+// contention.hpp — contention management for the STM retry loop.
+//
+// On abort, a transaction backs off before retrying so that the conflicting
+// winner can finish. Exponential backoff with jitter is the classic policy;
+// pure yielding and no-wait are provided for experiments (the paper's
+// simulations restart immediately, which kNone reproduces).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace tmb::stm {
+
+enum class ContentionPolicy {
+    kExponentialBackoff,  ///< sleep with exponentially growing jittered delay
+    kYield,               ///< std::this_thread::yield between attempts
+    kNone,                ///< immediate retry (paper-simulation behaviour)
+};
+
+struct ContentionConfig {
+    ContentionPolicy policy = ContentionPolicy::kExponentialBackoff;
+    std::uint64_t initial_delay_ns = 200;
+    std::uint64_t max_delay_ns = 100'000;
+    /// Attempts served by yield() before sleeping starts (keeps the fast
+    /// path cheap under light contention).
+    std::uint32_t yield_attempts = 2;
+};
+
+/// Per-transaction contention manager; reset() at transaction start,
+/// on_abort() before each retry.
+class ContentionManager {
+public:
+    ContentionManager(const ContentionConfig& config, std::uint64_t seed) noexcept
+        : config_(&config), rng_(seed) {}
+
+    void reset() noexcept { attempt_ = 0; }
+
+    /// Blocks (or not) according to policy; `attempt` grows per call.
+    void on_abort();
+
+    [[nodiscard]] std::uint32_t attempts() const noexcept { return attempt_; }
+
+private:
+    const ContentionConfig* config_;
+    util::Xoshiro256 rng_;
+    std::uint32_t attempt_ = 0;
+};
+
+}  // namespace tmb::stm

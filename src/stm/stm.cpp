@@ -1,0 +1,115 @@
+#include "stm/stm.hpp"
+
+#include "stm/backend.hpp"
+#include "stm/contention.hpp"
+
+#include <atomic>
+
+namespace tmb::stm {
+
+std::string_view to_string(BackendKind kind) noexcept {
+    switch (kind) {
+        case BackendKind::kTaglessTable: return "tagless-table";
+        case BackendKind::kTaglessAtomic: return "tagless-atomic";
+        case BackendKind::kTaggedTable: return "tagged-table";
+        case BackendKind::kTl2: return "tl2";
+    }
+    return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Transaction: thin forwarding layer over the backend.
+// ---------------------------------------------------------------------------
+
+std::uint64_t Transaction::load(const std::uint64_t* addr) {
+    return backend_.load(cx_, addr);
+}
+
+void Transaction::store(std::uint64_t* addr, std::uint64_t value) {
+    backend_.store(cx_, addr, value);
+}
+
+void Transaction::retry() {
+    throw detail::ConflictAbort{.user_requested = true};
+}
+
+// ---------------------------------------------------------------------------
+// Stm
+// ---------------------------------------------------------------------------
+
+class Stm::Impl {
+public:
+    explicit Impl(StmConfig config) : config_(std::move(config)) {
+        switch (config_.backend) {
+            case BackendKind::kTl2:
+                backend_ = detail::make_tl2_backend(config_, stats_);
+                break;
+            case BackendKind::kTaglessAtomic:
+                backend_ = detail::make_atomic_backend(config_, stats_);
+                break;
+            case BackendKind::kTaglessTable:
+            case BackendKind::kTaggedTable:
+                backend_ = detail::make_table_backend(config_, stats_);
+                break;
+        }
+    }
+
+    StmConfig config_;
+    detail::SharedStats stats_;
+    std::unique_ptr<detail::Backend> backend_;
+    std::atomic<std::uint64_t> cm_seed_{0x5eedc0ffee123457ULL};
+};
+
+Stm::Stm(StmConfig config) : impl_(std::make_unique<Impl>(std::move(config))) {}
+Stm::~Stm() = default;
+
+StmStats Stm::stats() const noexcept { return impl_->stats_.snapshot(); }
+
+const StmConfig& Stm::config() const noexcept { return impl_->config_; }
+
+void Stm::run(BodyRef body) {
+    detail::Backend& backend = *impl_->backend_;
+    const auto cx = backend.make_context();
+
+    ContentionManager cm(
+        impl_->config_.contention,
+        impl_->cm_seed_.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed));
+
+    std::uint32_t attempts = 0;
+    for (;;) {
+        ++attempts;
+        backend.begin(*cx);
+        Transaction tx(backend, *cx);
+        try {
+            body.invoke(body.object, tx);
+        } catch (const detail::ConflictAbort& conflict) {
+            backend.abort(*cx);
+            auto& counter = conflict.user_requested ? impl_->stats_.explicit_retries
+                                                    : impl_->stats_.aborts;
+            counter.fetch_add(1, std::memory_order_relaxed);
+            if (impl_->config_.max_attempts != 0 &&
+                attempts >= impl_->config_.max_attempts) {
+                throw TooMuchContention(attempts);
+            }
+            cm.on_abort();
+            continue;
+        } catch (...) {
+            // User exception: roll back and propagate (failure atomicity).
+            backend.abort(*cx);
+            throw;
+        }
+
+        if (backend.commit(*cx)) {
+            impl_->stats_.commits.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        impl_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+        if (impl_->config_.max_attempts != 0 &&
+            attempts >= impl_->config_.max_attempts) {
+            throw TooMuchContention(attempts);
+        }
+        cm.on_abort();
+    }
+}
+
+}  // namespace tmb::stm

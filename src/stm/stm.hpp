@@ -1,0 +1,269 @@
+// stm.hpp — public API of the word-based software transactional memory.
+//
+// This is the "real system" context for the paper's analysis: a word-based
+// STM whose conflict-detection metadata organization is pluggable:
+//
+//   * BackendKind::kTaglessTable — ownership table per paper Fig. 1
+//     (encounter-time two-phase locking; false conflicts under aliasing);
+//   * BackendKind::kTaggedTable  — ownership table per paper Fig. 7
+//     (tags + chaining; no false conflicts);
+//   * BackendKind::kTl2          — TL2-style versioned write-locks with a
+//     global version clock (Shavit/Dice/Shalev [19]), the classic word STM
+//     design, as a baseline.
+//
+// Usage:
+//
+//   stm::Stm tm({.backend = stm::BackendKind::kTaggedTable});
+//   stm::TVar<long> balance{100};
+//   tm.atomically([&](stm::Transaction& tx) {
+//       balance.write(tx, balance.read(tx) - 42);
+//   });
+//
+// Transactions are serializable: table backends implement strict two-phase
+// locking with abort-on-conflict (no waiting → no deadlock); TL2 validates
+// read versions against the global clock at access and commit time.
+//
+// Threading: any thread may call atomically() at any time; at most 64
+// transactions may be live simultaneously (table holder bitmaps are 64-bit).
+// Weak isolation: non-transactional accesses to data that a live
+// transaction touches are not detected (the paper's §6 discusses why strong
+// isolation makes tagless tables even less tenable).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+#include "ownership/ownership.hpp"
+#include "stm/contention.hpp"
+
+namespace tmb::stm {
+
+/// Metadata organizations available to the runtime.
+///
+///   kTaglessTable   — Fig. 1 organization under one global metadata lock
+///                     (exact conflict classification; the reference).
+///   kTaglessAtomic  — same organization, lock-free single-CAS entries
+///                     (production fast path; best-effort classification;
+///                     at most 62 concurrent transactions).
+///   kTaggedTable    — Fig. 7 tagged/chaining organization (no false
+///                     conflicts), global metadata lock.
+///   kTl2            — TL2-style versioned locks + global version clock.
+enum class BackendKind { kTaglessTable, kTaglessAtomic, kTaggedTable, kTl2 };
+
+[[nodiscard]] std::string_view to_string(BackendKind kind) noexcept;
+
+/// Runtime configuration.
+struct StmConfig {
+    BackendKind backend = BackendKind::kTaggedTable;
+    /// Ownership-table shape (table backends only).
+    ownership::TableConfig table{.entries = 1u << 16,
+                                 .hash = util::HashKind::kMix64};
+    /// Conflict-tracking granularity in bytes (table backends): the paper
+    /// uses 64-byte cache blocks. Must be a power of two >= 8.
+    std::uint32_t block_bytes = 64;
+    /// Number of versioned locks (TL2 backend). Power of two.
+    std::uint64_t tl2_locks = 1u << 20;
+    /// Table backends only: acquire WRITE ownership at commit time (lazy /
+    /// commit-time locking with a redo buffer) instead of at first write
+    /// (eager / encounter-time locking with an undo log). Read ownership is
+    /// always acquired at encounter, so both variants are strict 2PL and
+    /// serializable; they differ in when write-write conflicts surface and
+    /// how long write ownership is held.
+    bool commit_time_locks = false;
+    ContentionConfig contention{};
+    /// Abort an atomically() call with TooMuchContention after this many
+    /// consecutive failed attempts (0 = retry forever).
+    std::uint32_t max_attempts = 0;
+};
+
+/// Counters exposed by Stm::stats(). Snapshot semantics; monotonic.
+struct StmStats {
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;            ///< conflict-induced aborts
+    std::uint64_t explicit_retries = 0;  ///< Transaction::retry() calls
+    /// Table backends classify each conflict by checking whether any
+    /// conflicting transaction actually holds the same block: same block →
+    /// true conflict; different blocks aliasing to one entry → false
+    /// conflict (tagless only; tagged tables never report one).
+    std::uint64_t true_conflicts = 0;
+    std::uint64_t false_conflicts = 0;
+
+    [[nodiscard]] double abort_rate() const noexcept {
+        const auto attempts = commits + aborts;
+        return attempts ? static_cast<double>(aborts) /
+                              static_cast<double>(attempts)
+                        : 0.0;
+    }
+};
+
+/// Thrown by atomically() when max_attempts is exhausted.
+class TooMuchContention : public std::runtime_error {
+public:
+    explicit TooMuchContention(std::uint32_t attempts)
+        : std::runtime_error("transaction aborted after " +
+                             std::to_string(attempts) + " attempts") {}
+};
+
+namespace detail {
+
+/// Internal control-flow exception: conflict detected, roll back and retry.
+/// Never escapes atomically().
+struct ConflictAbort {
+    bool user_requested = false;
+};
+
+class Backend;
+class TxContext;
+
+}  // namespace detail
+
+class Stm;
+
+/// Handle passed to the user's transaction body. All transactional data
+/// access goes through this object; it is valid only during the atomically()
+/// call that created it.
+class Transaction {
+public:
+    Transaction(const Transaction&) = delete;
+    Transaction& operator=(const Transaction&) = delete;
+
+    /// Transactionally reads the 8-byte word at `addr` (8-byte aligned).
+    [[nodiscard]] std::uint64_t load(const std::uint64_t* addr);
+
+    /// Transactionally writes the 8-byte word at `addr`.
+    void store(std::uint64_t* addr, std::uint64_t value);
+
+    /// Aborts the current attempt and re-executes the body (e.g. when a
+    /// precondition does not hold yet). Counted in StmStats::explicit_retries.
+    [[noreturn]] void retry();
+
+private:
+    friend class Stm;
+    Transaction(detail::Backend& backend, detail::TxContext& cx)
+        : backend_(backend), cx_(cx) {}
+
+    detail::Backend& backend_;
+    detail::TxContext& cx_;
+};
+
+/// A transactional variable holding a trivially copyable value of at most
+/// 8 bytes. The storage is a single aligned word, so every backend can track
+/// it precisely.
+template <typename T>
+    requires(std::is_trivially_copyable_v<T> && sizeof(T) <= 8)
+class TVar {
+public:
+    TVar() noexcept { set_raw(T{}); }
+    explicit TVar(T value) noexcept { set_raw(value); }
+
+    TVar(const TVar&) = delete;
+    TVar& operator=(const TVar&) = delete;
+
+    [[nodiscard]] T read(Transaction& tx) const {
+        return from_word(tx.load(&storage_));
+    }
+    void write(Transaction& tx, T value) {
+        tx.store(&storage_, to_word(value));
+    }
+
+    /// Non-transactional read; safe only when no transaction can be writing
+    /// (e.g. quiescent verification in tests).
+    [[nodiscard]] T unsafe_read() const noexcept { return from_word(storage_); }
+
+    /// Non-transactional write; safe only before the variable is published
+    /// to other threads (e.g. initializing a freshly allocated container
+    /// node before transactionally linking it in) or at quiescent points.
+    void unsafe_write(T value) noexcept { storage_ = to_word(value); }
+
+private:
+    static std::uint64_t to_word(T value) noexcept {
+        std::uint64_t w = 0;
+        std::memcpy(&w, &value, sizeof(T));
+        return w;
+    }
+    static T from_word(std::uint64_t w) noexcept {
+        T value;
+        std::memcpy(&value, &w, sizeof(T));
+        return value;
+    }
+    void set_raw(T value) noexcept { storage_ = to_word(value); }
+
+    alignas(8) mutable std::uint64_t storage_ = 0;
+};
+
+/// The STM runtime. One instance owns one metadata organization; independent
+/// instances are fully isolated (do not share TVars between instances).
+class Stm {
+public:
+    explicit Stm(StmConfig config);
+    ~Stm();
+
+    Stm(const Stm&) = delete;
+    Stm& operator=(const Stm&) = delete;
+
+    /// Runs `fn(Transaction&)` as an atomic transaction, retrying on
+    /// conflict with contention-managed backoff. Returns fn's result.
+    /// `fn` must be safe to re-execute (no irrevocable side effects).
+    template <typename F>
+        requires std::invocable<F&, Transaction&>
+    decltype(auto) atomically(F&& fn) {
+        using R = std::invoke_result_t<F&, Transaction&>;
+        if constexpr (std::is_void_v<R>) {
+            BodyRef body{&fn, [](void* f, Transaction& tx) {
+                             (*static_cast<std::remove_reference_t<F>*>(f))(tx);
+                         }};
+            run(body);
+        } else if constexpr (std::is_default_constructible_v<R>) {
+            // Default-construct the result slot: run() returns only after a
+            // committed attempt overwrote it, and a definitely-initialized
+            // object keeps -Wmaybe-uninitialized quiet in caller code.
+            R out{};
+            struct Capture {
+                std::remove_reference_t<F>* fn;
+                R* out;
+            } capture{&fn, &out};
+            BodyRef body{&capture, [](void* c, Transaction& tx) {
+                             auto* cap = static_cast<Capture*>(c);
+                             *cap->out = (*cap->fn)(tx);
+                         }};
+            run(body);
+            return out;
+        } else {
+            std::optional<R> out;
+            struct Capture {
+                std::remove_reference_t<F>* fn;
+                std::optional<R>* out;
+            } capture{&fn, &out};
+            BodyRef body{&capture, [](void* c, Transaction& tx) {
+                             auto* cap = static_cast<Capture*>(c);
+                             cap->out->emplace((*cap->fn)(tx));
+                         }};
+            run(body);
+            return std::move(out).value();
+        }
+    }
+
+    [[nodiscard]] StmStats stats() const noexcept;
+    [[nodiscard]] const StmConfig& config() const noexcept;
+
+private:
+    /// Type-erased reference to the transaction body (no allocation).
+    struct BodyRef {
+        void* object;
+        void (*invoke)(void*, Transaction&);
+    };
+
+    void run(BodyRef body);
+
+    class Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tmb::stm

@@ -1,0 +1,356 @@
+// table_backend.cpp — ownership-table STM backend (tagless or tagged).
+//
+// This is the organization the paper analyzes: transactional accesses are
+// tracked at cache-block granularity in a central ownership table
+// (encounter-time two-phase locking). Writes are performed in place under
+// write ownership with an undo log; a conflicting acquire aborts the
+// acquiring transaction immediately (no waiting → no deadlock), rolls back,
+// and retries.
+//
+// Conflict classification: on a failed acquire the table reports the bitmap
+// of conflicting transactions; under the same lock we check whether any of
+// them holds the *same block*. If none does, the conflict is alias-induced —
+// a false conflict (possible only with the tagless organization).
+//
+// Synchronization: one mutex guards the table and the per-slot held-block
+// sets. This serializes metadata operations only — data reads/writes happen
+// outside the lock, made safe by the two-phase-locking invariant. The
+// single lock keeps the *organization's* behaviour (the object of study)
+// free of lock-splitting artifacts.
+
+#include <array>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ownership/tagged_table.hpp"
+#include "ownership/tagless_table.hpp"
+#include "stm/backend.hpp"
+#include "stm/slot_pool.hpp"
+#include "util/bits.hpp"
+
+namespace tmb::stm::detail {
+
+namespace {
+
+using ownership::AcquireResult;
+using ownership::Mode;
+using ownership::TxId;
+
+struct UndoEntry {
+    std::uint64_t* addr;
+    std::uint64_t old_value;
+};
+
+template <typename Table>
+class TableBackend;
+
+template <typename Table>
+class TableContext final : public TxContext {
+public:
+    TableContext(TableBackend<Table>& backend, TxId slot)
+        : backend_(backend), slot_(slot) {}
+    ~TableContext() override;
+
+    TableBackend<Table>& backend_;
+    TxId slot_;
+    /// Block -> strongest mode acquired (local cache avoiding table trips).
+    std::unordered_map<std::uint64_t, Mode> modes_;
+    std::vector<UndoEntry> undo_;
+};
+
+template <typename Table>
+class TableBackend final : public Backend {
+public:
+    TableBackend(const StmConfig& config, SharedStats& stats)
+        : stats_(stats),
+          block_shift_(util::log2_pow2(util::next_pow2(config.block_bytes))),
+          table_(config.table) {}
+
+    std::unique_ptr<TxContext> make_context() override {
+        const TxId slot = slots_.acquire();
+        return std::make_unique<TableContext<Table>>(*this, slot);
+    }
+
+    void begin(TxContext& cx_base) override {
+        auto& cx = static_cast<TableContext<Table>&>(cx_base);
+        cx.modes_.clear();
+        cx.undo_.clear();
+    }
+
+    std::uint64_t load(TxContext& cx_base, const std::uint64_t* addr) override {
+        auto& cx = static_cast<TableContext<Table>&>(cx_base);
+        const std::uint64_t block = block_of(addr);
+        if (!cx.modes_.contains(block)) {
+            acquire_block(cx, block, /*for_write=*/false);
+        }
+        return *addr;  // safe: we hold >= read ownership (2PL)
+    }
+
+    void store(TxContext& cx_base, std::uint64_t* addr,
+               std::uint64_t value) override {
+        auto& cx = static_cast<TableContext<Table>&>(cx_base);
+        const std::uint64_t block = block_of(addr);
+        const auto it = cx.modes_.find(block);
+        if (it == cx.modes_.end() || it->second != Mode::kWrite) {
+            acquire_block(cx, block, /*for_write=*/true);
+        }
+        cx.undo_.push_back({addr, *addr});
+        *addr = value;  // in place, exclusive under write ownership
+    }
+
+    bool commit(TxContext& cx_base) override {
+        auto& cx = static_cast<TableContext<Table>&>(cx_base);
+        release_all(cx);
+        return true;  // 2PL: reaching commit means the transaction is valid
+    }
+
+    void abort(TxContext& cx_base) override {
+        auto& cx = static_cast<TableContext<Table>&>(cx_base);
+        // Roll back newest-first; we still hold exclusive write ownership of
+        // every touched block, so plain stores are race-free.
+        for (auto it = cx.undo_.rbegin(); it != cx.undo_.rend(); ++it) {
+            *it->addr = it->old_value;
+        }
+        release_all(cx);
+    }
+
+    void release_slot(TxId slot) {
+        {
+            const std::lock_guard<std::mutex> guard(mutex_);
+            held_blocks_[slot].clear();
+        }
+        slots_.release(slot);
+    }
+
+private:
+    [[nodiscard]] std::uint64_t block_of(const std::uint64_t* addr) const noexcept {
+        return reinterpret_cast<std::uintptr_t>(addr) >> block_shift_;
+    }
+
+    void acquire_block(TableContext<Table>& cx, std::uint64_t block,
+                       bool for_write) {
+        const std::lock_guard<std::mutex> guard(mutex_);
+        const AcquireResult r = for_write ? table_.acquire_write(cx.slot_, block)
+                                          : table_.acquire_read(cx.slot_, block);
+        if (!r.ok) {
+            classify_conflict(block, r.conflicting);
+            throw ConflictAbort{};
+        }
+        held_blocks_[cx.slot_].insert(block);
+        cx.modes_[block] = for_write ? Mode::kWrite : Mode::kRead;
+    }
+
+    /// Pre: mutex_ held.
+    void classify_conflict(std::uint64_t block, std::uint64_t conflicting) {
+        bool same_block = false;
+        while (conflicting != 0) {
+            const auto slot = static_cast<std::uint32_t>(std::countr_zero(conflicting));
+            conflicting &= conflicting - 1;
+            if (held_blocks_[slot].contains(block)) {
+                same_block = true;
+                break;
+            }
+        }
+        auto& counter = same_block ? stats_.true_conflicts : stats_.false_conflicts;
+        counter.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void release_all(TableContext<Table>& cx) {
+        const std::lock_guard<std::mutex> guard(mutex_);
+        for (const auto& [block, mode] : cx.modes_) {
+            table_.release(cx.slot_, block, mode);
+        }
+        held_blocks_[cx.slot_].clear();
+        cx.modes_.clear();
+        cx.undo_.clear();
+    }
+
+    SharedStats& stats_;
+    unsigned block_shift_;
+    std::mutex mutex_;
+    Table table_;
+    std::array<std::unordered_set<std::uint64_t>, ownership::kMaxTx> held_blocks_;
+    SlotPool slots_;
+};
+
+template <typename Table>
+TableContext<Table>::~TableContext() {
+    backend_.release_slot(slot_);
+}
+
+// ---------------------------------------------------------------------------
+// Lazy (commit-time-locking) variant: reads acquire ownership at encounter,
+// writes go to a redo buffer and acquire ownership only inside commit().
+// Still strict 2PL (all locks are held simultaneously at the commit point),
+// so serializability is unchanged; write-write conflicts just surface later
+// and write ownership is held only across the commit.
+// ---------------------------------------------------------------------------
+
+template <typename Table>
+class LazyTableBackend;
+
+template <typename Table>
+class LazyTableContext final : public TxContext {
+public:
+    LazyTableContext(LazyTableBackend<Table>& backend, TxId slot)
+        : backend_(backend), slot_(slot) {}
+    ~LazyTableContext() override;
+
+    LazyTableBackend<Table>& backend_;
+    TxId slot_;
+    std::unordered_map<std::uint64_t, Mode> held_;   ///< blocks owned (reads + commit-time writes)
+    std::vector<std::pair<std::uint64_t*, std::uint64_t>> redo_;  ///< program order
+};
+
+template <typename Table>
+class LazyTableBackend final : public Backend {
+public:
+    LazyTableBackend(const StmConfig& config, SharedStats& stats)
+        : stats_(stats),
+          block_shift_(util::log2_pow2(util::next_pow2(config.block_bytes))),
+          table_(config.table) {}
+
+    std::unique_ptr<TxContext> make_context() override {
+        const TxId slot = slots_.acquire();
+        return std::make_unique<LazyTableContext<Table>>(*this, slot);
+    }
+
+    void begin(TxContext& cx_base) override {
+        auto& cx = static_cast<LazyTableContext<Table>&>(cx_base);
+        cx.held_.clear();
+        cx.redo_.clear();
+    }
+
+    std::uint64_t load(TxContext& cx_base, const std::uint64_t* addr) override {
+        auto& cx = static_cast<LazyTableContext<Table>&>(cx_base);
+        // Read-your-own-write from the redo buffer (newest entry wins).
+        for (auto it = cx.redo_.rbegin(); it != cx.redo_.rend(); ++it) {
+            if (it->first == addr) return it->second;
+        }
+        const std::uint64_t block = block_of(addr);
+        if (!cx.held_.contains(block)) {
+            const std::lock_guard<std::mutex> guard(mutex_);
+            const AcquireResult r = table_.acquire_read(cx.slot_, block);
+            if (!r.ok) {
+                classify_conflict(block, r.conflicting);
+                throw ConflictAbort{};
+            }
+            held_blocks_[cx.slot_].insert(block);
+            cx.held_[block] = Mode::kRead;
+        }
+        return *addr;  // safe: >= read ownership until transaction end
+    }
+
+    void store(TxContext& cx_base, std::uint64_t* addr,
+               std::uint64_t value) override {
+        auto& cx = static_cast<LazyTableContext<Table>&>(cx_base);
+        cx.redo_.push_back({addr, value});  // ownership deferred to commit
+    }
+
+    bool commit(TxContext& cx_base) override {
+        auto& cx = static_cast<LazyTableContext<Table>&>(cx_base);
+        {
+            const std::lock_guard<std::mutex> guard(mutex_);
+            for (const auto& [addr, value] : cx.redo_) {
+                const std::uint64_t block = block_of(addr);
+                const auto it = cx.held_.find(block);
+                if (it != cx.held_.end() && it->second == Mode::kWrite) continue;
+                const AcquireResult r = table_.acquire_write(cx.slot_, block);
+                if (!r.ok) {
+                    classify_conflict(block, r.conflicting);
+                    release_all_locked(cx);
+                    return false;  // retry
+                }
+                held_blocks_[cx.slot_].insert(block);
+                cx.held_[block] = Mode::kWrite;
+            }
+        }
+        // Write back in program order under exclusive ownership, then drop
+        // everything.
+        for (const auto& [addr, value] : cx.redo_) *addr = value;
+        const std::lock_guard<std::mutex> guard(mutex_);
+        release_all_locked(cx);
+        return true;
+    }
+
+    void abort(TxContext& cx_base) override {
+        auto& cx = static_cast<LazyTableContext<Table>&>(cx_base);
+        // Nothing was published (redo buffering): just drop ownership.
+        const std::lock_guard<std::mutex> guard(mutex_);
+        release_all_locked(cx);
+    }
+
+    void release_slot(TxId slot) {
+        {
+            const std::lock_guard<std::mutex> guard(mutex_);
+            held_blocks_[slot].clear();
+        }
+        slots_.release(slot);
+    }
+
+private:
+    [[nodiscard]] std::uint64_t block_of(const std::uint64_t* addr) const noexcept {
+        return reinterpret_cast<std::uintptr_t>(addr) >> block_shift_;
+    }
+
+    /// Pre: mutex_ held.
+    void classify_conflict(std::uint64_t block, std::uint64_t conflicting) {
+        bool same_block = false;
+        while (conflicting != 0) {
+            const auto slot = static_cast<std::uint32_t>(std::countr_zero(conflicting));
+            conflicting &= conflicting - 1;
+            if (held_blocks_[slot].contains(block)) {
+                same_block = true;
+                break;
+            }
+        }
+        auto& counter = same_block ? stats_.true_conflicts : stats_.false_conflicts;
+        counter.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Pre: mutex_ held.
+    void release_all_locked(LazyTableContext<Table>& cx) {
+        for (const auto& [block, mode] : cx.held_) {
+            table_.release(cx.slot_, block, mode);
+        }
+        held_blocks_[cx.slot_].clear();
+        cx.held_.clear();
+        cx.redo_.clear();
+    }
+
+    SharedStats& stats_;
+    unsigned block_shift_;
+    std::mutex mutex_;
+    Table table_;
+    std::array<std::unordered_set<std::uint64_t>, ownership::kMaxTx> held_blocks_;
+    SlotPool slots_;
+};
+
+template <typename Table>
+LazyTableContext<Table>::~LazyTableContext() {
+    backend_.release_slot(slot_);
+}
+
+}  // namespace
+
+std::unique_ptr<Backend> make_table_backend(const StmConfig& config,
+                                            SharedStats& stats) {
+    const bool tagless = config.backend == BackendKind::kTaglessTable;
+    if (config.commit_time_locks) {
+        if (tagless) {
+            return std::make_unique<LazyTableBackend<ownership::TaglessTable>>(config,
+                                                                               stats);
+        }
+        return std::make_unique<LazyTableBackend<ownership::TaggedTable>>(config,
+                                                                          stats);
+    }
+    if (tagless) {
+        return std::make_unique<TableBackend<ownership::TaglessTable>>(config, stats);
+    }
+    return std::make_unique<TableBackend<ownership::TaggedTable>>(config, stats);
+}
+
+}  // namespace tmb::stm::detail

@@ -1,0 +1,183 @@
+// tl2_backend.cpp — TL2-style versioned-lock STM backend.
+//
+// Transactional Locking II (Shavit, Dice & Shalev — the paper's ref [19]):
+// a global version clock plus a striped table of versioned write-locks.
+// Reads validate the lock version against the transaction's read version;
+// writes are buffered and published at commit under write locks with a new
+// clock value. Lazy versioning → aborts are cheap (discard buffers).
+//
+// Lock word layout: (version << 1) | locked. Versions come from the global
+// clock and only grow.
+
+#include <algorithm>
+#include <vector>
+
+#include "stm/backend.hpp"
+#include "util/bits.hpp"
+#include "util/hash.hpp"
+
+namespace tmb::stm::detail {
+
+namespace {
+
+class Tl2Backend;
+
+struct WriteEntry {
+    std::uint64_t* addr;
+    std::uint64_t value;
+};
+
+class Tl2Context final : public TxContext {
+public:
+    std::uint64_t rv = 0;                       ///< read version
+    std::vector<std::atomic<std::uint64_t>*> read_set;
+    std::vector<WriteEntry> write_set;          ///< program order, last wins
+
+    void reset() {
+        read_set.clear();
+        write_set.clear();
+    }
+
+    [[nodiscard]] WriteEntry* find_write(const std::uint64_t* addr) {
+        // Scanned backwards so the latest buffered write wins.
+        for (auto it = write_set.rbegin(); it != write_set.rend(); ++it) {
+            if (it->addr == addr) return &*it;
+        }
+        return nullptr;
+    }
+};
+
+class Tl2Backend final : public Backend {
+public:
+    Tl2Backend(const StmConfig& config, SharedStats& stats)
+        : stats_(stats),
+          lock_mask_(util::next_pow2(config.tl2_locks) - 1),
+          locks_(lock_mask_ + 1) {}
+
+    std::unique_ptr<TxContext> make_context() override {
+        return std::make_unique<Tl2Context>();
+    }
+
+    void begin(TxContext& cx_base) override {
+        auto& cx = static_cast<Tl2Context&>(cx_base);
+        cx.reset();
+        cx.rv = clock_.load(std::memory_order_acquire);
+    }
+
+    std::uint64_t load(TxContext& cx_base, const std::uint64_t* addr) override {
+        auto& cx = static_cast<Tl2Context&>(cx_base);
+        if (const WriteEntry* w = cx.find_write(addr)) return w->value;
+
+        std::atomic<std::uint64_t>& lock = lock_for(addr);
+        const std::uint64_t v1 = lock.load(std::memory_order_acquire);
+        if ((v1 & 1) || (v1 >> 1) > cx.rv) {
+            stats_.true_conflicts.fetch_add(1, std::memory_order_relaxed);
+            throw ConflictAbort{};
+        }
+        const std::uint64_t value =
+            std::atomic_ref<const std::uint64_t>(*addr).load(
+                std::memory_order_acquire);
+        const std::uint64_t v2 = lock.load(std::memory_order_acquire);
+        if (v1 != v2) {
+            stats_.true_conflicts.fetch_add(1, std::memory_order_relaxed);
+            throw ConflictAbort{};
+        }
+        cx.read_set.push_back(&lock);
+        return value;
+    }
+
+    void store(TxContext& cx_base, std::uint64_t* addr,
+               std::uint64_t value) override {
+        auto& cx = static_cast<Tl2Context&>(cx_base);
+        if (WriteEntry* w = cx.find_write(addr)) {
+            w->value = value;
+            return;
+        }
+        cx.write_set.push_back({addr, value});
+    }
+
+    bool commit(TxContext& cx_base) override {
+        auto& cx = static_cast<Tl2Context&>(cx_base);
+        if (cx.write_set.empty()) return true;  // read-only: rv validation done per load
+
+        // Lock the write set in lock-index order (deadlock freedom), one
+        // lock at most once.
+        std::vector<std::atomic<std::uint64_t>*> locks;
+        locks.reserve(cx.write_set.size());
+        for (const WriteEntry& w : cx.write_set) locks.push_back(&lock_for(w.addr));
+        std::sort(locks.begin(), locks.end());
+        locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
+
+        std::size_t held = 0;
+        for (; held < locks.size(); ++held) {
+            std::uint64_t expected = locks[held]->load(std::memory_order_relaxed);
+            // A locked word or a version beyond rv both doom the attempt.
+            if ((expected & 1) || (expected >> 1) > cx.rv ||
+                !locks[held]->compare_exchange_strong(
+                    expected, expected | 1, std::memory_order_acquire)) {
+                break;
+            }
+        }
+        if (held != locks.size()) {
+            for (std::size_t i = 0; i < held; ++i) {
+                locks[i]->fetch_and(~std::uint64_t{1}, std::memory_order_release);
+            }
+            stats_.true_conflicts.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+
+        const std::uint64_t wv = clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+        // Validate the read set unless we were the only clock increment
+        // since begin (TL2's rv+1 == wv shortcut).
+        if (wv != cx.rv + 1) {
+            for (std::atomic<std::uint64_t>* lock : cx.read_set) {
+                const std::uint64_t v = lock->load(std::memory_order_acquire);
+                const bool locked_by_me =
+                    (v & 1) && std::find(locks.begin(), locks.end(), lock) != locks.end();
+                if (((v & 1) && !locked_by_me) || (v >> 1) > cx.rv) {
+                    for (std::atomic<std::uint64_t>* l : locks) {
+                        l->fetch_and(~std::uint64_t{1}, std::memory_order_release);
+                    }
+                    stats_.true_conflicts.fetch_add(1, std::memory_order_relaxed);
+                    return false;
+                }
+            }
+        }
+
+        // Publish the write set, then release locks with the new version.
+        for (const WriteEntry& w : cx.write_set) {
+            std::atomic_ref<std::uint64_t>(*w.addr).store(
+                w.value, std::memory_order_release);
+        }
+        for (std::atomic<std::uint64_t>* lock : locks) {
+            lock->store(wv << 1, std::memory_order_release);
+        }
+        return true;
+    }
+
+    void abort(TxContext& cx_base) override {
+        // Lazy versioning: nothing was published; just drop the buffers.
+        static_cast<Tl2Context&>(cx_base).reset();
+    }
+
+private:
+    [[nodiscard]] std::atomic<std::uint64_t>& lock_for(const std::uint64_t* addr) {
+        const auto key = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+        return locks_[util::mix64(key) & lock_mask_];
+    }
+
+    SharedStats& stats_;
+    std::atomic<std::uint64_t> clock_{0};
+    std::uint64_t lock_mask_;
+    std::vector<std::atomic<std::uint64_t>> locks_;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_tl2_backend(const StmConfig& config,
+                                          SharedStats& stats) {
+    return std::make_unique<Tl2Backend>(config, stats);
+}
+
+}  // namespace tmb::stm::detail

@@ -1,0 +1,182 @@
+// tlist.hpp — a transactional sorted linked-list set.
+//
+// The canonical STM data structure (used by Harris & Fraser [6] and
+// essentially every STM evaluation since): a sorted singly linked list with
+// set semantics, where node links are transactional variables so that
+// insert/erase/contains compose into serializable operations on any of the
+// library's backends.
+//
+// Memory reclamation: nodes unlinked by erase() are *retired*, not freed —
+// an optimistic reader (TL2 backend) may still dereference them after the
+// unlink commits. Retired nodes are reclaimed when the list is destroyed or
+// when the single-threaded owner calls reclaim_retired(). This is the
+// simplest sound policy; epoch-based reclamation would bound the footprint
+// but is orthogonal to this library's subject.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "stm/stm.hpp"
+
+namespace tmb::stm {
+
+/// Sorted transactional set of Key (trivially copyable, <= 8 bytes, totally
+/// ordered). All operations are full transactions; they may also be
+/// composed into a larger transaction via the *_in variants.
+template <typename Key = long>
+    requires(std::is_trivially_copyable_v<Key> && sizeof(Key) <= 8)
+class TList {
+public:
+    explicit TList(Stm& stm) : stm_(stm) {
+        head_ = new Node{Key{}, TVar<Node*>{nullptr}};
+    }
+
+    TList(const TList&) = delete;
+    TList& operator=(const TList&) = delete;
+
+    ~TList() {
+        Node* n = head_;
+        while (n != nullptr) {
+            Node* next = n->next.unsafe_read();
+            delete n;
+            n = next;
+        }
+        reclaim_retired();
+    }
+
+    /// Inserts `key`; returns false if already present.
+    bool insert(Key key) {
+        // The spare node is reused across conflict retries so aborted
+        // attempts do not leak an allocation; it is published at most once.
+        Node* spare = nullptr;
+        const bool inserted = stm_.atomically(
+            [&](Transaction& tx) { return insert_in_impl(tx, key, &spare); });
+        if (!inserted) delete spare;  // allocated on an attempt that then found the key
+        return inserted;
+    }
+
+    /// Removes `key`; returns false if absent.
+    bool erase(Key key) {
+        Node* victim = nullptr;
+        const bool removed = stm_.atomically([&](Transaction& tx) {
+            victim = nullptr;  // body may re-execute: reset captured state
+            return erase_in(tx, key, &victim);
+        });
+        if (removed && victim != nullptr) retire(victim);
+        return removed;
+    }
+
+    [[nodiscard]] bool contains(Key key) {
+        return stm_.atomically(
+            [&](Transaction& tx) { return contains_in(tx, key); });
+    }
+
+    /// Element count via a full transactional traversal.
+    [[nodiscard]] std::size_t size() {
+        return stm_.atomically([&](Transaction& tx) {
+            std::size_t n = 0;
+            for (Node* cur = read_next(tx, head_); cur != nullptr;
+                 cur = read_next(tx, cur)) {
+                ++n;
+            }
+            return n;
+        });
+    }
+
+    /// Sum of elements in one transaction (a consistent snapshot — useful
+    /// for invariant checks in tests).
+    [[nodiscard]] long sum() {
+        return stm_.atomically([&](Transaction& tx) {
+            long total = 0;
+            for (Node* cur = read_next(tx, head_); cur != nullptr;
+                 cur = read_next(tx, cur)) {
+                total += static_cast<long>(cur->key);
+            }
+            return total;
+        });
+    }
+
+    // --- composable variants (run inside a caller-provided transaction) ---
+
+    /// Composable insert. Note: allocates a node that leaks if the caller's
+    /// enclosing transaction ultimately aborts for good; prefer insert() for
+    /// standalone use.
+    bool insert_in(Transaction& tx, Key key) {
+        Node* spare = nullptr;
+        return insert_in_impl(tx, key, &spare);
+    }
+
+    bool contains_in(Transaction& tx, Key key) {
+        auto [prev, cur] = locate(tx, key);
+        (void)prev;
+        return cur != nullptr && cur->key == key;
+    }
+
+    /// Frees retired nodes. Caller must guarantee no transaction (on any
+    /// thread) can still hold pointers into this list.
+    void reclaim_retired() {
+        const std::lock_guard<std::mutex> guard(retired_mutex_);
+        for (Node* n : retired_) delete n;
+        retired_.clear();
+    }
+
+    [[nodiscard]] std::size_t retired_count() const {
+        const std::lock_guard<std::mutex> guard(retired_mutex_);
+        return retired_.size();
+    }
+
+private:
+    struct Node {
+        Key key;
+        TVar<Node*> next;
+    };
+
+    static Node* read_next(Transaction& tx, Node* n) { return n->next.read(tx); }
+    static void write_next(Transaction& tx, Node* n, Node* value) {
+        n->next.write(tx, value);
+    }
+
+    bool insert_in_impl(Transaction& tx, Key key, Node** spare) {
+        auto [prev, cur] = locate(tx, key);
+        if (cur != nullptr && cur->key == key) return false;
+        if (*spare == nullptr) *spare = new Node{key, TVar<Node*>{nullptr}};
+        // Pre-publication init is non-transactional by design: the node is
+        // invisible until the write to prev->next commits.
+        (*spare)->next.unsafe_write(cur);
+        write_next(tx, prev, *spare);
+        return true;
+    }
+
+    /// Finds the first node with key >= `key`; returns {predecessor, node}.
+    std::pair<Node*, Node*> locate(Transaction& tx, Key key) {
+        Node* prev = head_;
+        Node* cur = read_next(tx, prev);
+        while (cur != nullptr && cur->key < key) {
+            prev = cur;
+            cur = read_next(tx, cur);
+        }
+        return {prev, cur};
+    }
+
+    bool erase_in(Transaction& tx, Key key, Node** victim) {
+        auto [prev, cur] = locate(tx, key);
+        if (cur == nullptr || cur->key != key) return false;
+        write_next(tx, prev, read_next(tx, cur));
+        *victim = cur;
+        return true;
+    }
+
+    void retire(Node* node) {
+        const std::lock_guard<std::mutex> guard(retired_mutex_);
+        retired_.push_back(node);
+    }
+
+    Stm& stm_;
+    Node* head_;  ///< sentinel; never removed
+    mutable std::mutex retired_mutex_;
+    std::vector<Node*> retired_;
+};
+
+}  // namespace tmb::stm

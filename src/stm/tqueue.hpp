@@ -1,0 +1,83 @@
+// tqueue.hpp — a bounded transactional FIFO queue.
+//
+// A ring buffer whose head/tail cursors and slots are transactional
+// variables: push/pop are serializable, and a pop observes exactly the
+// prefix of pushes that committed before it. try_* variants return failure
+// on full/empty instead of blocking, which keeps tests deterministic;
+// blocking pop via Transaction::retry() is available through pop_or_retry
+// when composed by the caller.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "stm/stm.hpp"
+
+namespace tmb::stm {
+
+template <typename T = long>
+    requires(std::is_trivially_copyable_v<T> && sizeof(T) <= 8)
+class TQueue {
+public:
+    TQueue(Stm& stm, std::size_t capacity)
+        : stm_(stm), capacity_(capacity), slots_(capacity) {}
+
+    TQueue(const TQueue&) = delete;
+    TQueue& operator=(const TQueue&) = delete;
+
+    /// Appends `value`; returns false when the queue is full.
+    bool try_push(T value) {
+        return stm_.atomically([&](Transaction& tx) {
+            const std::uint64_t head = head_.read(tx);
+            const std::uint64_t tail = tail_.read(tx);
+            if (tail - head == capacity_) return false;
+            slots_[tail % capacity_].write(tx, value);
+            tail_.write(tx, tail + 1);
+            return true;
+        });
+    }
+
+    /// Removes the oldest element; nullopt when empty.
+    std::optional<T> try_pop() {
+        return stm_.atomically([&](Transaction& tx) -> std::optional<T> {
+            const std::uint64_t head = head_.read(tx);
+            if (head == tail_.read(tx)) return std::nullopt;
+            const T value = slots_[head % capacity_].read(tx);
+            head_.write(tx, head + 1);
+            return value;
+        });
+    }
+
+    /// Composable pop that requests a retry when empty; for use inside a
+    /// caller transaction that also checks a shutdown flag, e.g.
+    ///   tm.atomically([&](Transaction& tx) {
+    ///       if (done.read(tx)) return -1L;
+    ///       return q.pop_or_retry(tx);
+    ///   });
+    T pop_or_retry(Transaction& tx) {
+        const std::uint64_t head = head_.read(tx);
+        if (head == tail_.read(tx)) tx.retry();
+        const T value = slots_[head % capacity_].read(tx);
+        head_.write(tx, head + 1);
+        return value;
+    }
+
+    [[nodiscard]] std::size_t size() {
+        return stm_.atomically([&](Transaction& tx) {
+            return static_cast<std::size_t>(tail_.read(tx) - head_.read(tx));
+        });
+    }
+
+    [[nodiscard]] bool empty() { return size() == 0; }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+    Stm& stm_;
+    std::size_t capacity_;
+    TVar<std::uint64_t> head_{0};
+    TVar<std::uint64_t> tail_{0};
+    std::vector<TVar<T>> slots_;
+};
+
+}  // namespace tmb::stm

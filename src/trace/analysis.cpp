@@ -1,0 +1,97 @@
+#include "trace/analysis.hpp"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tmb::trace {
+
+StreamProfile analyze_stream(std::span<const Access> stream) {
+    StreamProfile p;
+    p.accesses = stream.size();
+    if (stream.empty()) return p;
+
+    std::unordered_map<std::uint64_t, std::size_t> last_touch;  // block -> index
+    std::unordered_set<std::uint64_t> written_blocks;
+    last_touch.reserve(stream.size());
+
+    std::size_t writes = 0;
+    std::size_t sequential = 0;
+    std::size_t reused = 0;
+    std::uint64_t instr_total = 0;
+    std::uint64_t current_run = 1;
+
+    std::size_t next_pow2_mark = 1;
+
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const Access& a = stream[i];
+        instr_total += a.instr_delta;
+        if (a.is_write) {
+            ++writes;
+            written_blocks.insert(a.block);
+        }
+
+        if (i > 0) {
+            if (a.block == stream[i - 1].block + 1) {
+                ++sequential;
+                ++current_run;
+            } else {
+                p.run_lengths.add(current_run);
+                current_run = 1;
+            }
+        }
+
+        const auto it = last_touch.find(a.block);
+        if (it != last_touch.end()) {
+            ++reused;
+            p.reuse_distances.add(i - it->second);
+            it->second = i;
+        } else {
+            last_touch.emplace(a.block, i);
+        }
+
+        if (i + 1 == next_pow2_mark) {
+            p.footprint_at_pow2.push_back(last_touch.size());
+            next_pow2_mark *= 2;
+        }
+    }
+    p.run_lengths.add(current_run);
+    if (p.footprint_at_pow2.empty() ||
+        p.footprint_at_pow2.back() != last_touch.size()) {
+        p.footprint_at_pow2.push_back(last_touch.size());
+    }
+
+    const double n = static_cast<double>(stream.size());
+    p.unique_blocks = last_touch.size();
+    p.write_fraction = static_cast<double>(writes) / n;
+    p.written_block_fraction =
+        static_cast<double>(written_blocks.size()) /
+        static_cast<double>(p.unique_blocks);
+    p.alpha = writes ? static_cast<double>(stream.size() - writes) /
+                           static_cast<double>(writes)
+                     : 0.0;
+    p.mean_run_length = p.run_lengths.mean();
+    p.sequential_fraction = static_cast<double>(sequential) / n;
+    p.reuse_fraction = static_cast<double>(reused) / n;
+    p.median_reuse_distance =
+        static_cast<double>(p.reuse_distances.percentile(0.5));
+    p.instr_per_access = static_cast<double>(instr_total) / n;
+    return p;
+}
+
+std::string to_string(const StreamProfile& p) {
+    std::ostringstream os;
+    os << "accesses:            " << p.accesses << '\n'
+       << "unique blocks:       " << p.unique_blocks << '\n'
+       << "write fraction:      " << p.write_fraction << '\n'
+       << "written-block frac:  " << p.written_block_fraction << '\n'
+       << "alpha (reads/write): " << p.alpha << '\n'
+       << "mean run length:     " << p.mean_run_length << '\n'
+       << "sequential fraction: " << p.sequential_fraction << '\n'
+       << "reuse fraction:      " << p.reuse_fraction << '\n'
+       << "median reuse dist:   " << p.median_reuse_distance << '\n'
+       << "instr per access:    " << p.instr_per_access << '\n';
+    return os.str();
+}
+
+}  // namespace tmb::trace

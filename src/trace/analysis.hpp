@@ -1,0 +1,58 @@
+// analysis.hpp — locality analytics for access traces.
+//
+// Quantifies the properties the paper's experiments are sensitive to:
+// sequential-run structure (the §4 discussion of consecutive addresses
+// mapping to consecutive table entries), temporal reuse, write mix, and
+// footprint growth. Used to validate the synthetic generators against the
+// qualitative properties of the workloads they substitute for, and useful
+// standalone for users profiling their own traces before running the
+// experiments on them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/histogram.hpp"
+
+namespace tmb::trace {
+
+/// Summary statistics of one access stream.
+struct StreamProfile {
+    std::size_t accesses = 0;
+    std::size_t unique_blocks = 0;
+    double write_fraction = 0.0;      ///< fraction of accesses that write
+    double written_block_fraction = 0.0;  ///< fraction of blocks ever written
+    /// Effective α: reads per write over the whole stream.
+    double alpha = 0.0;
+
+    /// Sequential-run structure: lengths of maximal runs of +1-block
+    /// successors (run length 1 = isolated access).
+    util::Histogram run_lengths{128};
+    double mean_run_length = 0.0;
+    /// Fraction of accesses whose block is previous block + 1.
+    double sequential_fraction = 0.0;
+
+    /// Temporal reuse: fraction of accesses to an already-touched block.
+    double reuse_fraction = 0.0;
+    /// Reuse distance in *accesses since previous touch of the same block*
+    /// (a cheap proxy for stack distance), over reused accesses only.
+    util::Histogram reuse_distances{4096};
+    double median_reuse_distance = 0.0;
+
+    /// Footprint growth curve: unique blocks after each power-of-two access
+    /// count (1, 2, 4, ... accesses), for sizing experiments.
+    std::vector<std::size_t> footprint_at_pow2;
+
+    /// Mean dynamic instructions per access.
+    double instr_per_access = 0.0;
+};
+
+/// Computes the profile in one pass (O(accesses) time and space).
+[[nodiscard]] StreamProfile analyze_stream(std::span<const Access> stream);
+
+/// Pretty one-line-per-metric rendering for tools and benches.
+[[nodiscard]] std::string to_string(const StreamProfile& profile);
+
+}  // namespace tmb::trace

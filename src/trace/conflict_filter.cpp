@@ -1,0 +1,75 @@
+#include "trace/conflict_filter.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace tmb::trace {
+
+namespace {
+
+struct BlockUse {
+    std::uint32_t reader_mask = 0;  ///< bit per stream (capped at 32 streams)
+    std::uint32_t writer_mask = 0;
+
+    [[nodiscard]] bool multi_stream() const noexcept {
+        const std::uint32_t any = reader_mask | writer_mask;
+        return (any & (any - 1)) != 0;  // more than one bit set
+    }
+    [[nodiscard]] bool true_conflict() const noexcept {
+        if (writer_mask == 0) return false;            // read-only sharing is fine
+        if (!multi_stream()) return false;             // single stream only
+        // A writer plus any other stream (reader or writer) conflicts.
+        const std::uint32_t others = (reader_mask | writer_mask) & ~writer_mask;
+        const bool multiple_writers = (writer_mask & (writer_mask - 1)) != 0;
+        return multiple_writers || others != 0;
+    }
+};
+
+std::unordered_map<std::uint64_t, BlockUse> build_use_map(
+    const MultiThreadTrace& trace) {
+    std::unordered_map<std::uint64_t, BlockUse> use;
+    use.reserve(trace.total_accesses());
+    for (std::size_t t = 0; t < trace.streams.size(); ++t) {
+        const auto bit = std::uint32_t{1} << (t & 31);
+        for (const auto& a : trace.streams[t]) {
+            auto& u = use[a.block];
+            if (a.is_write) {
+                u.writer_mask |= bit;
+            } else {
+                u.reader_mask |= bit;
+            }
+        }
+    }
+    return use;
+}
+
+}  // namespace
+
+ConflictFilterStats remove_true_conflicts(MultiThreadTrace& trace) {
+    ConflictFilterStats stats;
+    stats.accesses_before = trace.total_accesses();
+
+    const auto use = build_use_map(trace);
+    for (const auto& [block, u] : use) {
+        (void)block;
+        if (u.true_conflict()) ++stats.blocks_removed;
+    }
+
+    for (auto& stream : trace.streams) {
+        std::erase_if(stream, [&](const Access& a) {
+            const auto it = use.find(a.block);
+            return it != use.end() && it->second.true_conflict();
+        });
+    }
+    stats.accesses_after = trace.total_accesses();
+    return stats;
+}
+
+bool has_true_conflicts(const MultiThreadTrace& trace) {
+    const auto use = build_use_map(trace);
+    return std::any_of(use.begin(), use.end(), [](const auto& kv) {
+        return kv.second.true_conflict();
+    });
+}
+
+}  // namespace tmb::trace

@@ -1,0 +1,45 @@
+// conflict_filter.hpp — true-conflict removal.
+//
+// The paper's §2.2 experiment explicitly removes true conflicts from the
+// concurrent address streams so that every remaining cross-stream collision
+// in the ownership table is a *false* (alias-induced) conflict:
+//
+//   "As we consume these traces, we remove any true conflicts so we can
+//    focus on the aliasing-induced conflicts found in real address streams."
+//
+// A true conflict exists when two different streams access the same block
+// and at least one access is a write. We remove them by dropping, from every
+// stream, all accesses to blocks that any *other* stream touches with a
+// conflicting mode. Read-read sharing is not a conflict and is kept.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace tmb::trace {
+
+/// Statistics describing what the filter removed.
+struct ConflictFilterStats {
+    std::size_t accesses_before = 0;
+    std::size_t accesses_after = 0;
+    std::size_t blocks_removed = 0;  ///< distinct truly-conflicting blocks
+
+    [[nodiscard]] double removed_fraction() const noexcept {
+        return accesses_before
+                   ? 1.0 - static_cast<double>(accesses_after) /
+                               static_cast<double>(accesses_before)
+                   : 0.0;
+    }
+};
+
+/// Removes all true conflicts between the trace's streams, in place.
+/// After this call, no block is accessed by two different streams unless all
+/// accesses to it (in all streams) are reads.
+ConflictFilterStats remove_true_conflicts(MultiThreadTrace& trace);
+
+/// Returns true iff the trace contains no true conflicts (used as the
+/// postcondition check in tests).
+[[nodiscard]] bool has_true_conflicts(const MultiThreadTrace& trace);
+
+}  // namespace tmb::trace

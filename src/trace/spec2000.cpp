@@ -1,0 +1,178 @@
+#include "trace/spec2000.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace tmb::trace {
+
+namespace {
+
+/// Profiles are qualitative: streaming compressors discover long sequential
+/// runs (filling cache sets evenly → large footprint at overflow), pointer
+/// chasers scatter discoveries uniformly (birthday-style set collisions →
+/// earlier overflow), code/table-heavy benchmarks mix strides. p_new_block
+/// sets how many instructions pass per new block, reproducing Fig. 3(b)'s
+/// instruction-count spread.
+std::array<Spec2000Profile, 12> make_profiles() {
+    std::array<Spec2000Profile, 12> p{};
+
+    // bzip2: streaming compressor — long sequential runs over big buffers.
+    p[0] = {.name = "bzip2", .p_new_block = 0.030, .run_continue = 0.85,
+            .max_run = 64, .strides = {1, 1, 1, 2}, .scatter_fraction = 0.10,
+            .region_blocks = {1u << 17, 1u << 15}, .write_block_fraction = 0.40,
+            .rewrite_fraction = 0.5, .instr_per_access = 3.0};
+    // crafty: chess — hot hash tables, scattered probes, small hot set.
+    p[1] = {.name = "crafty", .p_new_block = 0.012, .run_continue = 0.35,
+            .max_run = 8, .strides = {1, 2, 4}, .scatter_fraction = 0.55,
+            .region_blocks = {1u << 15, 1u << 12}, .write_block_fraction = 0.25,
+            .rewrite_fraction = 0.4, .instr_per_access = 3.5};
+    // eon: C++ ray tracer — small objects, moderate locality.
+    p[2] = {.name = "eon", .p_new_block = 0.010, .run_continue = 0.55,
+            .max_run = 8, .strides = {1, 1, 2}, .scatter_fraction = 0.30,
+            .region_blocks = {1u << 13, 1u << 12}, .write_block_fraction = 0.35,
+            .rewrite_fraction = 0.5, .instr_per_access = 4.0};
+    // gap: group theory — large workspace, mixed strides.
+    p[3] = {.name = "gap", .p_new_block = 0.028, .run_continue = 0.60,
+            .max_run = 24, .strides = {1, 2, 8}, .scatter_fraction = 0.30,
+            .region_blocks = {1u << 16, 1u << 14}, .write_block_fraction = 0.35,
+            .rewrite_fraction = 0.5, .instr_per_access = 3.0};
+    // gcc: compiler — many regions, pointer-heavy, big footprint fast.
+    p[4] = {.name = "gcc", .p_new_block = 0.045, .run_continue = 0.45,
+            .max_run = 16, .strides = {1, 1, 2, 4}, .scatter_fraction = 0.45,
+            .region_blocks = {1u << 16, 1u << 14, 1u << 13},
+            .write_block_fraction = 0.40, .rewrite_fraction = 0.5,
+            .instr_per_access = 2.8};
+    // gzip: streaming compressor — sequential with a hot dictionary.
+    p[5] = {.name = "gzip", .p_new_block = 0.026, .run_continue = 0.80,
+            .max_run = 48, .strides = {1, 1, 1, 2}, .scatter_fraction = 0.15,
+            .region_blocks = {1u << 16, 1u << 12}, .write_block_fraction = 0.40,
+            .rewrite_fraction = 0.5, .instr_per_access = 3.0};
+    // mcf: network simplex — dominant pointer chasing over a huge graph.
+    p[6] = {.name = "mcf", .p_new_block = 0.060, .run_continue = 0.20,
+            .max_run = 4, .strides = {1, 3, 5}, .scatter_fraction = 0.80,
+            .region_blocks = {1u << 18}, .write_block_fraction = 0.30,
+            .rewrite_fraction = 0.4, .instr_per_access = 2.2};
+    // parser: NL parser — small-object pointer chasing.
+    p[7] = {.name = "parser", .p_new_block = 0.020, .run_continue = 0.35,
+            .max_run = 6, .strides = {1, 2}, .scatter_fraction = 0.60,
+            .region_blocks = {1u << 15, 1u << 12}, .write_block_fraction = 0.35,
+            .rewrite_fraction = 0.5, .instr_per_access = 3.2};
+    // perlbmk: interpreter — bytecode tables + heap churn.
+    p[8] = {.name = "perlbmk", .p_new_block = 0.022, .run_continue = 0.50,
+            .max_run = 12, .strides = {1, 2, 4}, .scatter_fraction = 0.40,
+            .region_blocks = {1u << 15, 1u << 13}, .write_block_fraction = 0.40,
+            .rewrite_fraction = 0.5, .instr_per_access = 3.0};
+    // twolf: place & route — scattered small structures.
+    p[9] = {.name = "twolf", .p_new_block = 0.015, .run_continue = 0.30,
+            .max_run = 6, .strides = {1, 2, 3}, .scatter_fraction = 0.65,
+            .region_blocks = {1u << 14, 1u << 12}, .write_block_fraction = 0.30,
+            .rewrite_fraction = 0.4, .instr_per_access = 3.4};
+    // vortex: OO database — object runs plus index probes.
+    p[10] = {.name = "vortex", .p_new_block = 0.030, .run_continue = 0.60,
+             .max_run = 16, .strides = {1, 1, 4}, .scatter_fraction = 0.35,
+             .region_blocks = {1u << 16, 1u << 13}, .write_block_fraction = 0.45,
+             .rewrite_fraction = 0.55, .instr_per_access = 2.8};
+    // vpr: FPGA place & route — grid walks plus random moves.
+    p[11] = {.name = "vpr", .p_new_block = 0.014, .run_continue = 0.45,
+             .max_run = 10, .strides = {1, 2, 8}, .scatter_fraction = 0.50,
+             .region_blocks = {1u << 14, 1u << 12}, .write_block_fraction = 0.30,
+             .rewrite_fraction = 0.45, .instr_per_access = 3.3};
+    return p;
+}
+
+}  // namespace
+
+const std::array<Spec2000Profile, 12>& spec2000_profiles() {
+    static const std::array<Spec2000Profile, 12> profiles = make_profiles();
+    return profiles;
+}
+
+const Spec2000Profile& spec2000_profile(std::string_view name) {
+    for (const auto& p : spec2000_profiles()) {
+        if (p.name == name) return p;
+    }
+    throw std::out_of_range("unknown SPEC2000 profile: " + std::string(name));
+}
+
+Stream generate_spec2000_stream(const Spec2000Profile& profile,
+                                std::size_t accesses, std::uint64_t seed) {
+    util::Xoshiro256 rng{util::mix64(seed)};
+
+    // Region base addresses are spread far apart so different regions start
+    // at unrelated cache sets (as real stack/heap/global segments do).
+    std::vector<std::uint64_t> region_base;
+    std::uint64_t next_base = 1u << 20;
+    for (std::uint64_t sz : profile.region_blocks) {
+        region_base.push_back(next_base);
+        next_base += sz + (1u << 18);
+    }
+
+    Stream out;
+    out.reserve(accesses);
+
+    // Footprint tracking: block -> whether the block has been written.
+    std::unordered_map<std::uint64_t, bool> footprint;
+    std::vector<std::uint64_t> touched;  // insertion order, for reuse draws
+
+    std::size_t region = 0;
+    std::uint64_t run_block = region_base[0];
+    std::uint64_t run_stride = 1;
+    std::uint64_t run_remaining = 0;
+
+    auto new_block = [&]() -> std::uint64_t {
+        if (run_remaining > 0) {
+            --run_remaining;
+            run_block += run_stride;
+        } else {
+            if (rng.bernoulli(profile.scatter_fraction) || touched.empty()) {
+                // Pointer-chase: jump to a random spot in a random region.
+                region = rng.below(region_base.size());
+                run_block = region_base[region] +
+                            rng.below(profile.region_blocks[region]);
+            } else {
+                // Start a nearby run (spatial locality around recent work).
+                run_block += 1 + rng.below(8);
+            }
+            run_stride = profile.strides[rng.below(profile.strides.size())];
+            run_remaining =
+                rng.run_length(1.0 - profile.run_continue, profile.max_run) - 1;
+        }
+        return run_block;
+    };
+
+    for (std::size_t i = 0; i < accesses; ++i) {
+        std::uint64_t block;
+        const bool discover = touched.empty() || rng.bernoulli(profile.p_new_block);
+        if (discover) {
+            block = new_block();
+            if (!footprint.contains(block)) {
+                const bool written = rng.bernoulli(profile.write_block_fraction);
+                footprint.emplace(block, written);
+                touched.push_back(block);
+            }
+        } else {
+            // Temporal reuse, biased toward recent blocks: draw from the last
+            // K touched blocks where K grows with footprint.
+            const std::size_t window =
+                std::min<std::size_t>(touched.size(), 128);
+            block = touched[touched.size() - 1 - rng.below(window)];
+        }
+
+        const bool block_written = footprint[block];
+        const bool is_write = block_written && rng.bernoulli(profile.rewrite_fraction);
+        // First access to a "written" block is the write that marks it.
+        const bool first_touch_write = discover && block_written;
+
+        const auto mean_i = profile.instr_per_access;
+        const auto instr_delta = static_cast<std::uint32_t>(
+            1 + rng.below(static_cast<std::uint64_t>(2.0 * mean_i)));
+        out.push_back(Access{block, is_write || first_touch_write, instr_delta});
+    }
+    return out;
+}
+
+}  // namespace tmb::trace

@@ -1,0 +1,67 @@
+// spec2000.hpp — SPEC2000int-like synthetic transaction traces.
+//
+// SUBSTITUTION (documented in DESIGN.md §2): the paper replays SPEC2000
+// integer benchmark traces (64-bit Alpha, reference inputs, ≥20 traces from
+// ≥2 checkpoints each) through a cache simulator to find the average
+// transactional footprint at first overflow (Fig. 3). We do not have SPEC
+// binaries or checkpoints, so each benchmark becomes a *locality profile*: a
+// parametric model of how the benchmark discovers new cache blocks
+// (sequential runs, strides, pointer chasing across memory regions), how
+// often it rewrites old ones, and how many instructions it executes per
+// memory access. The cache-overflow statistic of Fig. 3 is a function of
+// exactly these properties plus cache geometry, so the profile preserves the
+// behaviour being measured.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace tmb::trace {
+
+/// Locality profile for one SPEC2000int-like benchmark.
+struct Spec2000Profile {
+    std::string_view name;
+    /// Probability that an access touches a block not yet in the footprint
+    /// (controls how many instructions pass before the cache overflows).
+    double p_new_block = 0.025;
+    /// When discovering a new block: probability the discovery continues the
+    /// current sequential/strided run.
+    double run_continue = 0.5;
+    std::uint64_t max_run = 32;
+    /// Stride menu for new runs, in blocks (1 = consecutive lines).
+    std::vector<std::uint64_t> strides = {1};
+    /// Probability a new run starts at a uniformly random spot in a region
+    /// (pointer chasing) rather than near the previous run.
+    double scatter_fraction = 0.3;
+    /// Memory regions (sizes in blocks): models stack/global/heap areas whose
+    /// base addresses land in different cache sets.
+    std::vector<std::uint64_t> region_blocks = {1u << 16};
+    /// Fraction of *blocks* that are written at least once (the paper finds
+    /// roughly 1/3 of the overflow footprint is written).
+    double write_block_fraction = 1.0 / 3.0;
+    /// Probability an access to an already-written block is itself a write.
+    double rewrite_fraction = 0.5;
+    /// Mean dynamic instructions between memory accesses.
+    double instr_per_access = 3.0;
+};
+
+/// The 12 SPEC2000int benchmarks of Fig. 3 with qualitatively distinct
+/// locality profiles (streaming compressors, pointer-chasers, code-heavy...).
+[[nodiscard]] const std::array<Spec2000Profile, 12>& spec2000_profiles();
+
+/// Look up a profile by name; throws std::out_of_range for unknown names.
+[[nodiscard]] const Spec2000Profile& spec2000_profile(std::string_view name);
+
+/// Generates a transaction-like access stream from a profile. The stream has
+/// `accesses` entries; block-level write decisions follow
+/// `write_block_fraction`/`rewrite_fraction` so the read:write footprint mix
+/// matches the profile.
+[[nodiscard]] Stream generate_spec2000_stream(const Spec2000Profile& profile,
+                                              std::size_t accesses,
+                                              std::uint64_t seed);
+
+}  // namespace tmb::trace

@@ -1,0 +1,112 @@
+#include "trace/synthetic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace tmb::trace {
+
+SpecJbbLikeGenerator::SpecJbbLikeGenerator(SpecJbbLikeParams params,
+                                           std::uint64_t seed)
+    : params_(std::move(params)), seed_(seed) {
+    if (params_.threads == 0) throw std::invalid_argument("threads must be > 0");
+    if (params_.arena_blocks == 0) throw std::invalid_argument("arena_blocks must be > 0");
+    if (params_.strides.empty()) throw std::invalid_argument("strides must be non-empty");
+}
+
+Stream SpecJbbLikeGenerator::generate_stream(std::uint32_t thread_id,
+                                             std::size_t accesses) {
+    // Per-thread independent RNG stream: mix the seed with the thread id so
+    // streams are reproducible independently of generation order.
+    util::Xoshiro256 rng{util::mix64(seed_ ^ (0x9e3779b97f4a7c15ULL * (thread_id + 1)))};
+
+    // Arena layout: [shared pool][thread 0 arena][thread 1 arena]...
+    const std::uint64_t arena_base =
+        params_.shared_blocks + static_cast<std::uint64_t>(thread_id) * params_.arena_blocks;
+
+    Stream out;
+    out.reserve(accesses);
+
+    // Recent-block ring buffer for temporal reuse.
+    std::vector<std::uint64_t> recent;
+    recent.reserve(params_.reuse_window);
+    std::size_t recent_next = 0;
+    auto remember = [&](std::uint64_t block) {
+        if (params_.reuse_window == 0) return;
+        if (recent.size() < params_.reuse_window) {
+            recent.push_back(block);
+        } else {
+            recent[recent_next] = block;
+            recent_next = (recent_next + 1) % recent.size();
+        }
+    };
+
+    std::uint64_t run_block = arena_base + rng.below(params_.arena_blocks);
+    std::uint64_t run_remaining = 0;
+    std::uint64_t run_stride = 1;
+
+    for (std::size_t i = 0; i < accesses; ++i) {
+        std::uint64_t block;
+        if (run_remaining > 0) {
+            // Continue the current spatial run.
+            run_block += run_stride;
+            --run_remaining;
+            block = arena_base + (run_block - arena_base) % params_.arena_blocks;
+            run_block = block;
+        } else if (!recent.empty() && rng.bernoulli(params_.reuse_fraction)) {
+            // Temporal reuse of a recently touched block.
+            block = recent[rng.below(recent.size())];
+        } else if (rng.bernoulli(params_.shared_fraction)) {
+            // Shared-pool access (potential true conflict, filtered later).
+            block = rng.below(std::max<std::uint64_t>(params_.shared_blocks, 1));
+        } else {
+            // Start a fresh spatial run at a random arena location.
+            run_block = arena_base + rng.below(params_.arena_blocks);
+            run_stride = params_.strides[rng.below(params_.strides.size())];
+            run_remaining =
+                rng.run_length(1.0 - params_.run_continue, params_.max_run) - 1;
+            block = run_block;
+        }
+        remember(block);
+
+        const bool is_write = rng.bernoulli(params_.write_fraction);
+        const auto instr_delta = static_cast<std::uint32_t>(
+            1 + rng.below(2 * std::max<std::uint32_t>(params_.mean_instr_per_access, 1) - 1));
+        out.push_back(Access{block, is_write, instr_delta});
+    }
+    return out;
+}
+
+MultiThreadTrace SpecJbbLikeGenerator::generate(std::size_t accesses_per_thread) {
+    MultiThreadTrace trace;
+    trace.streams.reserve(params_.threads);
+    for (std::uint32_t t = 0; t < params_.threads; ++t) {
+        trace.streams.push_back(generate_stream(t, accesses_per_thread));
+    }
+    return trace;
+}
+
+std::size_t unique_blocks(std::span<const Access> stream) {
+    std::vector<std::uint64_t> blocks;
+    blocks.reserve(stream.size());
+    for (const auto& a : stream) blocks.push_back(a.block);
+    std::sort(blocks.begin(), blocks.end());
+    return static_cast<std::size_t>(
+        std::unique(blocks.begin(), blocks.end()) - blocks.begin());
+}
+
+std::size_t write_count(std::span<const Access> stream) {
+    std::size_t n = 0;
+    for (const auto& a : stream) n += a.is_write ? 1 : 0;
+    return n;
+}
+
+std::uint64_t instruction_count(std::span<const Access> stream, std::size_t n) {
+    std::uint64_t total = 0;
+    const std::size_t limit = std::min(n, stream.size());
+    for (std::size_t i = 0; i < limit; ++i) total += stream[i].instr_delta;
+    return total;
+}
+
+}  // namespace tmb::trace

@@ -1,0 +1,73 @@
+// synthetic.hpp — synthetic multithreaded address-trace generation.
+//
+// SUBSTITUTION (documented in DESIGN.md §2): the paper collected address
+// traces from a 4-warehouse SPECJBB2005 run. We do not have those traces, so
+// we generate synthetic per-thread streams that reproduce the properties the
+// aliasing experiment is sensitive to:
+//
+//   * mostly-disjoint per-thread working sets (the paper removes true
+//     conflicts before the experiment anyway),
+//   * spatial locality: runs of consecutive block addresses (the paper's §4
+//     notes real traces contain consecutive addresses that map to
+//     consecutive ownership-table entries),
+//   * temporal locality: a hot set that is revisited,
+//   * a mix of object-sized strided accesses and scattered pointer-chasing,
+//   * a write fraction around 1/3 (matching the paper's α ≈ 2).
+//
+// The alias experiment operates on the *first W written blocks* per stream
+// after true-conflict removal, so the marginal distribution of table indices
+// and their run structure is what matters — both are first-class parameters
+// here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace tmb::trace {
+
+/// Tunable parameters of the SPECJBB-like workload generator.
+struct SpecJbbLikeParams {
+    std::uint32_t threads = 4;           ///< paper: 4 warehouses
+    /// Private heap arena size per thread, in blocks. Each thread's arena is
+    /// disjoint, modelling warehouse-local allocation.
+    std::uint64_t arena_blocks = 1u << 20;
+    /// Shared-pool size in blocks (global structures touched by all threads;
+    /// accesses here create true conflicts which the filter later removes).
+    std::uint64_t shared_blocks = 1u << 14;
+    double shared_fraction = 0.05;       ///< probability an access hits the shared pool
+    double write_fraction = 1.0 / 3.0;   ///< α = 2 → one write per two reads
+    /// Spatial run: probability of continuing a consecutive-block run.
+    double run_continue = 0.55;          ///< mean run ≈ 2.2 blocks
+    std::uint64_t max_run = 16;
+    /// Temporal locality: probability of re-touching a recent block instead
+    /// of visiting a new one.
+    double reuse_fraction = 0.30;
+    std::uint32_t reuse_window = 64;     ///< how far back reuse reaches
+    /// Object-ish strides (in blocks) used when starting a new run.
+    std::vector<std::uint64_t> strides = {1, 1, 2, 3, 8};
+    std::uint32_t mean_instr_per_access = 3;
+};
+
+/// Deterministic generator for multithreaded SPECJBB-like traces.
+class SpecJbbLikeGenerator {
+public:
+    explicit SpecJbbLikeGenerator(SpecJbbLikeParams params, std::uint64_t seed);
+
+    /// Generates `accesses_per_thread` accesses for every thread.
+    [[nodiscard]] MultiThreadTrace generate(std::size_t accesses_per_thread);
+
+    /// Generates a single thread's stream (thread ids select disjoint arenas).
+    [[nodiscard]] Stream generate_stream(std::uint32_t thread_id,
+                                         std::size_t accesses);
+
+    [[nodiscard]] const SpecJbbLikeParams& params() const noexcept { return params_; }
+
+private:
+    SpecJbbLikeParams params_;
+    std::uint64_t seed_;
+};
+
+}  // namespace tmb::trace

@@ -1,0 +1,54 @@
+// trace.hpp — the memory-access-trace data model.
+//
+// The paper's experiments consume per-thread streams of cache-block-granular
+// memory accesses (§2.2 uses SPECJBB2005 traces; §2.3 uses SPEC2000int
+// traces). We model an access as a block address plus a read/write flag and
+// a dynamic-instruction-count delta (the number of instructions executed
+// since the previous access — needed to reproduce Fig. 3(b)'s instruction
+// counts at overflow).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tmb::trace {
+
+/// Block-granular memory access. `block` is the byte address already shifted
+/// right by log2(block size); the experiments never need sub-block offsets.
+struct Access {
+    std::uint64_t block = 0;
+    bool is_write = false;
+    /// Dynamic instructions executed since the previous access (>= 1).
+    std::uint32_t instr_delta = 1;
+
+    friend bool operator==(const Access&, const Access&) = default;
+};
+
+/// One thread's access stream.
+using Stream = std::vector<Access>;
+
+/// A multithreaded trace: one stream per thread.
+struct MultiThreadTrace {
+    std::vector<Stream> streams;
+
+    [[nodiscard]] std::size_t thread_count() const noexcept { return streams.size(); }
+    [[nodiscard]] std::size_t total_accesses() const noexcept {
+        std::size_t n = 0;
+        for (const auto& s : streams) n += s.size();
+        return n;
+    }
+};
+
+/// Count of distinct blocks in a stream (footprint).
+[[nodiscard]] std::size_t unique_blocks(std::span<const Access> stream);
+
+/// Counts of write accesses in a stream.
+[[nodiscard]] std::size_t write_count(std::span<const Access> stream);
+
+/// Total dynamic instructions covered by a stream prefix of `n` accesses.
+[[nodiscard]] std::uint64_t instruction_count(std::span<const Access> stream,
+                                              std::size_t n);
+
+}  // namespace tmb::trace

@@ -1,0 +1,78 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tmb::trace {
+
+void write_text(std::ostream& os, const MultiThreadTrace& trace) {
+    os << "# tm_birthday trace v1\n";
+    os << "T " << trace.streams.size() << '\n';
+    for (std::size_t t = 0; t < trace.streams.size(); ++t) {
+        for (const auto& a : trace.streams[t]) {
+            os << t << ' ' << (a.is_write ? 'W' : 'R') << ' ' << std::hex
+               << a.block << std::dec << ' ' << a.instr_delta << '\n';
+        }
+    }
+}
+
+MultiThreadTrace read_text(std::istream& is) {
+    MultiThreadTrace trace;
+    std::string line;
+    std::size_t line_no = 0;
+    bool saw_header = false;
+
+    auto fail = [&](const std::string& what) {
+        throw std::runtime_error("trace parse error at line " +
+                                 std::to_string(line_no) + ": " + what);
+    };
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream ls(line);
+        if (!saw_header) {
+            char tag = 0;
+            std::size_t threads = 0;
+            if (!(ls >> tag >> threads) || tag != 'T') {
+                fail("expected 'T <thread_count>' header");
+            }
+            if (threads == 0 || threads > 1024) fail("bad thread count");
+            trace.streams.resize(threads);
+            saw_header = true;
+            continue;
+        }
+        std::size_t tid = 0;
+        char mode = 0;
+        std::uint64_t block = 0;
+        std::uint32_t instr_delta = 1;
+        if (!(ls >> tid >> mode >> std::hex >> block >> std::dec)) {
+            fail("expected '<tid> <R|W> <hex block>'");
+        }
+        ls >> instr_delta;  // optional
+        if (tid >= trace.streams.size()) fail("thread id out of range");
+        if (mode != 'R' && mode != 'W') fail("mode must be R or W");
+        if (instr_delta == 0) instr_delta = 1;
+        trace.streams[tid].push_back(Access{block, mode == 'W', instr_delta});
+    }
+    if (!saw_header) {
+        throw std::runtime_error("trace parse error: missing 'T' header");
+    }
+    return trace;
+}
+
+void save_text_file(const std::string& path, const MultiThreadTrace& trace) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot open for writing: " + path);
+    write_text(os, trace);
+    if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+MultiThreadTrace load_text_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open for reading: " + path);
+    return read_text(is);
+}
+
+}  // namespace tmb::trace

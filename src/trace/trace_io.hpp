@@ -1,0 +1,33 @@
+// trace_io.hpp — (de)serialization of multithreaded traces.
+//
+// Users with real address traces (the paper used SPECJBB2005 and SPEC2000)
+// can run every experiment in this repository on them by converting to this
+// simple text format:
+//
+//   # comment lines start with '#'
+//   T <thread_count>
+//   <thread_id> <R|W> <hex block address> [instr_delta]
+//
+// Lines appear in per-thread program order (interleaving between threads is
+// irrelevant: the experiments consume streams per thread).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace tmb::trace {
+
+/// Writes `trace` in the text format above.
+void write_text(std::ostream& os, const MultiThreadTrace& trace);
+
+/// Parses the text format. Throws std::runtime_error with a line number on
+/// malformed input.
+[[nodiscard]] MultiThreadTrace read_text(std::istream& is);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void save_text_file(const std::string& path, const MultiThreadTrace& trace);
+[[nodiscard]] MultiThreadTrace load_text_file(const std::string& path);
+
+}  // namespace tmb::trace

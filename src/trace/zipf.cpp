@@ -1,0 +1,66 @@
+#include "trace/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace tmb::trace {
+
+ZipfianSampler::ZipfianSampler(std::uint64_t n, double s) {
+    if (n == 0) throw std::invalid_argument("zipf universe must be non-empty");
+    if (s < 0.0) throw std::invalid_argument("zipf skew must be >= 0");
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+        total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        cdf_[k] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+    cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint64_t ZipfianSampler::sample(util::Xoshiro256& rng) const {
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfianSampler::pmf(std::uint64_t k) const {
+    if (k >= cdf_.size()) return 0.0;
+    return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+MultiThreadTrace generate_zipf_trace(const ZipfTraceParams& params,
+                                     std::size_t accesses_per_thread,
+                                     std::uint64_t seed) {
+    if (params.threads == 0) throw std::invalid_argument("threads must be > 0");
+    const ZipfianSampler sampler(params.blocks_per_thread, params.skew);
+
+    MultiThreadTrace trace;
+    trace.streams.resize(params.threads);
+    for (std::uint32_t t = 0; t < params.threads; ++t) {
+        util::Xoshiro256 rng{
+            util::mix64(seed ^ (0xabcd1234ULL * (t + 1)))};
+        // Per-thread rank->block permutation base so the hot blocks of
+        // different threads land at unrelated addresses.
+        const std::uint64_t base =
+            static_cast<std::uint64_t>(t + 1) << 32;
+
+        Stream& stream = trace.streams[t];
+        stream.reserve(accesses_per_thread);
+        for (std::size_t i = 0; i < accesses_per_thread; ++i) {
+            const std::uint64_t rank = sampler.sample(rng);
+            const bool is_write = rng.bernoulli(params.write_fraction);
+            const auto instr = static_cast<std::uint32_t>(
+                1 + rng.below(2 * std::max<std::uint32_t>(
+                                      params.mean_instr_per_access, 1) -
+                              1));
+            stream.push_back(Access{base + rank, is_write, instr});
+        }
+    }
+    return trace;
+}
+
+}  // namespace tmb::trace

@@ -1,0 +1,54 @@
+// zipf.hpp — Zipfian block popularity and a skewed-trace generator.
+//
+// Real applications touch a few blocks very often and many blocks rarely.
+// The SPECJBB-like generator models spatial structure; this generator models
+// *popularity skew*: block i is accessed with probability ∝ 1/i^s. Useful as
+// a stress pattern for the ownership-table experiments (hot blocks pin hot
+// table entries) and as a second, structurally different validation workload
+// for the alias experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace tmb::trace {
+
+/// Samples ranks in [0, n) with probability P(k) ∝ 1/(k+1)^s using a
+/// precomputed inverse CDF (O(log n) per sample, exact).
+class ZipfianSampler {
+public:
+    /// s = 0 → uniform; s ≈ 0.99 is the classic YCSB skew.
+    ZipfianSampler(std::uint64_t n, double s);
+
+    [[nodiscard]] std::uint64_t sample(util::Xoshiro256& rng) const;
+
+    [[nodiscard]] std::uint64_t universe() const noexcept {
+        return static_cast<std::uint64_t>(cdf_.size());
+    }
+
+    /// Probability mass of rank k (for tests).
+    [[nodiscard]] double pmf(std::uint64_t k) const;
+
+private:
+    std::vector<double> cdf_;  ///< cdf_[k] = P(rank <= k)
+};
+
+/// Parameters for the skewed multithreaded trace generator.
+struct ZipfTraceParams {
+    std::uint32_t threads = 4;
+    std::uint64_t blocks_per_thread = 1u << 16;  ///< disjoint per-thread universes
+    double skew = 0.99;
+    double write_fraction = 1.0 / 3.0;
+    std::uint32_t mean_instr_per_access = 3;
+};
+
+/// Generates per-thread streams with Zipf-distributed block popularity over
+/// disjoint per-thread block universes (no true conflicts by construction).
+[[nodiscard]] MultiThreadTrace generate_zipf_trace(const ZipfTraceParams& params,
+                                                   std::size_t accesses_per_thread,
+                                                   std::uint64_t seed);
+
+}  // namespace tmb::trace

@@ -1,0 +1,52 @@
+#include "util/hash.hpp"
+
+#include "util/bits.hpp"
+
+namespace tmb::util {
+
+std::string_view to_string(HashKind kind) noexcept {
+    switch (kind) {
+        case HashKind::kShiftMask: return "shift-mask";
+        case HashKind::kMultiplicative: return "multiplicative";
+        case HashKind::kMix64: return "mix64";
+    }
+    return "unknown";
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t hash_shift_mask(std::uint64_t block, std::uint64_t n) noexcept {
+    // For power-of-two N this is block mod N; consecutive blocks map to
+    // consecutive entries, exactly the behaviour discussed in the paper's §4.
+    return is_pow2(n) ? (block & (n - 1)) : (block % n);
+}
+
+std::uint64_t hash_multiplicative(std::uint64_t block, std::uint64_t n) noexcept {
+    // Knuth multiplicative hashing with the 64-bit golden-ratio constant.
+    const std::uint64_t mixed = block * 0x9e3779b97f4a7c15ULL;
+    if (is_pow2(n)) {
+        const unsigned bits = log2_pow2(n);
+        return bits == 0 ? 0 : (mixed >> (64 - bits));
+    }
+    return mixed % n;
+}
+
+std::uint64_t hash_mix64(std::uint64_t block, std::uint64_t n) noexcept {
+    const std::uint64_t mixed = mix64(block);
+    return is_pow2(n) ? (mixed & (n - 1)) : (mixed % n);
+}
+
+std::uint64_t hash_block(HashKind kind, std::uint64_t block, std::uint64_t n) noexcept {
+    switch (kind) {
+        case HashKind::kShiftMask: return hash_shift_mask(block, n);
+        case HashKind::kMultiplicative: return hash_multiplicative(block, n);
+        case HashKind::kMix64: return hash_mix64(block, n);
+    }
+    return 0;
+}
+
+}  // namespace tmb::util

@@ -1,0 +1,41 @@
+// hash.hpp — address-to-ownership-table-entry hash functions.
+//
+// The paper maps (virtual) block addresses into an N-entry ownership table
+// by hashing. The choice of hash affects how correlated address runs (which
+// are common in real traces) spread across the table: a simple shift-mask
+// maps consecutive blocks to consecutive entries, while a mixing hash
+// scatters them. Both are provided so experiments can quantify the
+// difference; the paper's §4 discussion of consecutive addresses mapping to
+// consecutive entries corresponds to `ShiftMaskHash`.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tmb::util {
+
+/// Hash family selector, usable as a runtime knob in benches and tests.
+enum class HashKind {
+    kShiftMask,       ///< drop block-offset bits, mask by table size (identity-like)
+    kMultiplicative,  ///< Knuth multiplicative hashing (golden-ratio constant)
+    kMix64,           ///< full 64-bit finalizer (splitmix64-style avalanche)
+};
+
+[[nodiscard]] std::string_view to_string(HashKind kind) noexcept;
+
+/// Stateless mixers. All take the *block address* (byte address already
+/// shifted right by the block-offset bits) and the table size N.
+/// N must be a power of two for kShiftMask; the others accept any N > 0.
+[[nodiscard]] std::uint64_t hash_shift_mask(std::uint64_t block, std::uint64_t n) noexcept;
+[[nodiscard]] std::uint64_t hash_multiplicative(std::uint64_t block, std::uint64_t n) noexcept;
+[[nodiscard]] std::uint64_t hash_mix64(std::uint64_t block, std::uint64_t n) noexcept;
+
+/// Dispatch on the runtime kind.
+[[nodiscard]] std::uint64_t hash_block(HashKind kind, std::uint64_t block,
+                                       std::uint64_t n) noexcept;
+
+/// The raw 64-bit avalanche mixer underlying kMix64 (also useful as a
+/// general-purpose integer hash in tests).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+}  // namespace tmb::util

@@ -1,0 +1,84 @@
+#include "util/histogram.hpp"
+
+#include <sstream>
+
+namespace tmb::util {
+
+Histogram::Histogram(std::uint64_t max_tracked)
+    : buckets_(static_cast<std::size_t>(max_tracked) + 1, 0) {}
+
+void Histogram::add(std::uint64_t value, std::uint64_t weight) {
+    if (weight == 0) return;
+    total_ += weight;
+    if (value < buckets_.size()) {
+        buckets_[static_cast<std::size_t>(value)] += weight;
+        weighted_sum_ += value * weight;
+    } else {
+        overflow_ += weight;
+        overflow_weighted_sum_ += value * weight;
+    }
+}
+
+void Histogram::merge(const Histogram& other) {
+    for (std::size_t v = 0; v < other.buckets_.size(); ++v) {
+        add(static_cast<std::uint64_t>(v), other.buckets_[v]);
+    }
+    // Overflowed mass from `other` keeps its weighted sum but is binned as
+    // overflow here too (our max_tracked may differ; overflow stays overflow
+    // because other's overflow values exceeded other's range, which we can't
+    // recover — approximate by attributing to our overflow bucket).
+    overflow_ += other.overflow_;
+    overflow_weighted_sum_ += other.overflow_weighted_sum_;
+    total_ += other.overflow_;
+}
+
+std::uint64_t Histogram::count_at(std::uint64_t value) const noexcept {
+    return value < buckets_.size() ? buckets_[static_cast<std::size_t>(value)] : 0;
+}
+
+double Histogram::mean() const noexcept {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(weighted_sum_ + overflow_weighted_sum_) /
+           static_cast<double>(total_);
+}
+
+std::uint64_t Histogram::percentile(double p) const noexcept {
+    if (total_ == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    const double target = p * static_cast<double>(total_);
+    std::uint64_t cum = 0;
+    for (std::size_t v = 0; v < buckets_.size(); ++v) {
+        cum += buckets_[v];
+        if (static_cast<double>(cum) >= target) return static_cast<std::uint64_t>(v);
+    }
+    return max_tracked() + 1;
+}
+
+std::uint64_t Histogram::max_value() const noexcept {
+    if (overflow_ > 0) return max_tracked() + 1;
+    for (std::size_t v = buckets_.size(); v-- > 0;) {
+        if (buckets_[v] > 0) return static_cast<std::uint64_t>(v);
+    }
+    return 0;
+}
+
+double Histogram::fraction_at(std::uint64_t value) const noexcept {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(count_at(value)) / static_cast<double>(total_);
+}
+
+std::string Histogram::to_string() const {
+    std::ostringstream os;
+    for (std::size_t v = 0; v < buckets_.size(); ++v) {
+        if (buckets_[v] == 0) continue;
+        os << v << ": " << buckets_[v] << " ("
+           << 100.0 * fraction_at(static_cast<std::uint64_t>(v)) << "%)\n";
+    }
+    if (overflow_ > 0) {
+        os << ">" << max_tracked() << ": " << overflow_ << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace tmb::util

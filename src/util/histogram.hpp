@@ -1,0 +1,50 @@
+// histogram.hpp — integer-bucket histogram used for chain-length
+// distributions (tagged ownership table, §5) and footprint distributions
+// (cache overflow study, §2.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tmb::util {
+
+/// Dense histogram over small non-negative integer values (chain lengths,
+/// set occupancies...). Values beyond `max_tracked` are accumulated in an
+/// overflow bucket so the total count is always exact.
+class Histogram {
+public:
+    explicit Histogram(std::uint64_t max_tracked = 64);
+
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+    void merge(const Histogram& other);
+
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+    [[nodiscard]] std::uint64_t count_at(std::uint64_t value) const noexcept;
+    [[nodiscard]] std::uint64_t overflow_count() const noexcept { return overflow_; }
+    [[nodiscard]] std::uint64_t max_tracked() const noexcept {
+        return static_cast<std::uint64_t>(buckets_.size()) - 1;
+    }
+
+    [[nodiscard]] double mean() const noexcept;
+    /// p in [0,1]; returns the smallest tracked value v with CDF(v) >= p.
+    /// Overflowed mass counts as max_tracked()+1.
+    [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+    /// Largest value with a nonzero count (overflow counts as max_tracked()+1).
+    [[nodiscard]] std::uint64_t max_value() const noexcept;
+
+    /// Fraction of total mass at exactly `value`.
+    [[nodiscard]] double fraction_at(std::uint64_t value) const noexcept;
+
+    /// Human-readable dump ("v: count (pct)") for nonzero buckets.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::vector<std::uint64_t> buckets_;  // index = value, [0, max_tracked]
+    std::uint64_t overflow_ = 0;
+    std::uint64_t overflow_weighted_sum_ = 0;
+    std::uint64_t total_ = 0;
+    std::uint64_t weighted_sum_ = 0;
+};
+
+}  // namespace tmb::util

@@ -1,0 +1,110 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tmb::util {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const noexcept {
+    return n_ ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double RunningStats::ci95_halfwidth() const noexcept {
+    return 1.96 * stderr_mean();
+}
+
+Proportion::Interval Proportion::wilson95() const noexcept {
+    if (n_ == 0) return {0.0, 1.0};
+    constexpr double z = 1.96;
+    const double n = static_cast<double>(n_);
+    const double p = rate();
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = (p + z2 / (2.0 * n)) / denom;
+    const double half =
+        z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+    return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+double loglog_slope(const std::vector<double>& x,
+                    const std::vector<double>& y) noexcept {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    std::uint64_t n = 0;
+    const std::size_t count = std::min(x.size(), y.size());
+    for (std::size_t i = 0; i < count; ++i) {
+        if (x[i] <= 0.0 || y[i] <= 0.0) continue;
+        const double lx = std::log(x[i]);
+        const double ly = std::log(y[i]);
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+        ++n;
+    }
+    if (n < 2) return 0.0;
+    const double dn = static_cast<double>(n);
+    const double denom = dn * sxx - sx * sx;
+    if (denom == 0.0) return 0.0;
+    return (dn * sxy - sx * sy) / denom;
+}
+
+double pearson(const std::vector<double>& x,
+               const std::vector<double>& y) noexcept {
+    const std::size_t n = std::min(x.size(), y.size());
+    if (n < 2) return 0.0;
+    double mx = 0, my = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    double sxy = 0, sxx = 0, syy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0) return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace tmb::util

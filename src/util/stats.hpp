@@ -1,0 +1,78 @@
+// stats.hpp — streaming statistics used by the Monte Carlo harnesses.
+//
+// Every experiment in the paper reports an average over many samples
+// (10 000 trace samples per point in §2.2, 1000 experiments per point in
+// §4). `RunningStats` accumulates mean/variance in one pass (Welford) and
+// provides normal-approximation confidence intervals; `Proportion` wraps
+// Bernoulli outcomes (conflict / no conflict) with a Wilson interval, which
+// is better behaved than the Wald interval at the extreme rates the paper's
+// small-table configurations produce.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tmb::util {
+
+/// One-pass mean / variance / min / max accumulator (Welford's algorithm).
+class RunningStats {
+public:
+    void add(double x) noexcept;
+    void merge(const RunningStats& other) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+    [[nodiscard]] double variance() const noexcept;          ///< sample variance (n-1)
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double stderr_mean() const noexcept;       ///< stddev / sqrt(n)
+    [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+    /// Half-width of the ~95 % normal CI on the mean.
+    [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Bernoulli-proportion accumulator with a Wilson score interval.
+class Proportion {
+public:
+    void add(bool success) noexcept {
+        ++n_;
+        if (success) ++k_;
+    }
+
+    [[nodiscard]] std::uint64_t trials() const noexcept { return n_; }
+    [[nodiscard]] std::uint64_t successes() const noexcept { return k_; }
+    [[nodiscard]] double rate() const noexcept {
+        return n_ ? static_cast<double>(k_) / static_cast<double>(n_) : 0.0;
+    }
+
+    struct Interval {
+        double lo;
+        double hi;
+    };
+    /// Wilson 95 % score interval (z = 1.96).
+    [[nodiscard]] Interval wilson95() const noexcept;
+
+private:
+    std::uint64_t n_ = 0;
+    std::uint64_t k_ = 0;
+};
+
+/// Least-squares slope of log(y) against log(x); used by tests to verify the
+/// paper's power-law claims (e.g. conflict rate ∝ W^2). Points with
+/// non-positive x or y are skipped.
+[[nodiscard]] double loglog_slope(const std::vector<double>& x,
+                                  const std::vector<double>& y) noexcept;
+
+/// Pearson correlation coefficient; NaN-free (returns 0 for degenerate data).
+[[nodiscard]] double pearson(const std::vector<double>& x,
+                             const std::vector<double>& y) noexcept;
+
+}  // namespace tmb::util

@@ -1,0 +1,74 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tmb::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    if (headers_.empty()) {
+        throw std::invalid_argument("TablePrinter requires at least one column");
+    }
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("TablePrinter row has wrong number of cells");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::fmt(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string TablePrinter::fmt(std::uint64_t value) {
+    return std::to_string(value);
+}
+
+void TablePrinter::render(std::ostream& os, int indent) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        os << pad;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::setw(static_cast<int>(widths[c])) << row[c];
+            if (c + 1 < row.size()) os << "  ";
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    os << pad;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        os << std::string(widths[c], '-');
+        if (c + 1 < widths.size()) os << "  ";
+    }
+    os << '\n';
+    for (const auto& row : rows_) emit_row(row);
+}
+
+void TablePrinter::render_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) os << ',';
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace tmb::util

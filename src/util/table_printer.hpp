@@ -1,0 +1,41 @@
+// table_printer.hpp — aligned-column text tables for the figure benches.
+//
+// Every bench prints the same rows/series the paper's figures plot; this
+// helper keeps the output format consistent (fixed-width columns, optional
+// CSV mirror for plotting).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tmb::util {
+
+/// Builds a text table row by row and renders it with aligned columns.
+class TablePrinter {
+public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /// Appends a row; must have exactly as many cells as there are headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: formats doubles with the given precision.
+    [[nodiscard]] static std::string fmt(double value, int precision = 3);
+    [[nodiscard]] static std::string fmt(std::uint64_t value);
+
+    /// Renders with padded columns, a header underline, and `indent` leading
+    /// spaces per line.
+    void render(std::ostream& os, int indent = 2) const;
+
+    /// Renders as CSV (no padding).
+    void render_csv(std::ostream& os) const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tmb::util

@@ -1,0 +1,230 @@
+// Unit tests for src/cache: set-associative simulator, victim buffer,
+// transactional-overflow detection.
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cache/overflow.hpp"
+#include "trace/spec2000.hpp"
+#include "util/rng.hpp"
+
+namespace tmb::cache {
+namespace {
+
+CacheGeometry tiny() {
+    // 4 sets x 2 ways x 64B blocks = 512 B.
+    return {.size_bytes = 512, .ways = 2, .block_bytes = 64, .victim_entries = 0};
+}
+
+TEST(Geometry, PaperConfiguration) {
+    const CacheGeometry g{};  // defaults = paper's 32KB 4-way 64B
+    EXPECT_EQ(g.block_count(), 512u);
+    EXPECT_EQ(g.set_count(), 128u);
+    EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Geometry, RejectsBadShapes) {
+    EXPECT_THROW((CacheGeometry{.size_bytes = 1000, .ways = 4, .block_bytes = 64}
+                      .validate()),
+                 std::invalid_argument);
+    EXPECT_THROW((CacheGeometry{.size_bytes = 512, .ways = 0, .block_bytes = 64}
+                      .validate()),
+                 std::invalid_argument);
+    EXPECT_THROW((CacheGeometry{.size_bytes = 512, .ways = 2, .block_bytes = 60}
+                      .validate()),
+                 std::invalid_argument);
+}
+
+TEST(Cache, HitAfterFill) {
+    SetAssociativeCache c(tiny());
+    EXPECT_FALSE(c.access(100).hit);
+    EXPECT_TRUE(c.access(100).hit);
+    EXPECT_TRUE(c.contains(100));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+    SetAssociativeCache c(tiny());
+    // Blocks 0, 4, 8 all map to set 0 (4 sets); 2 ways.
+    c.access(0);
+    c.access(4);
+    c.access(0);                      // 0 becomes MRU
+    const auto r = c.access(8);       // evicts LRU = 4
+    ASSERT_TRUE(r.evicted.has_value());
+    EXPECT_EQ(*r.evicted, 4u);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(4));
+    EXPECT_TRUE(c.contains(8));
+}
+
+TEST(Cache, DistinctSetsDoNotInterfere) {
+    SetAssociativeCache c(tiny());
+    for (std::uint64_t b = 0; b < 4; ++b) c.access(b);  // one block per set
+    for (std::uint64_t b = 0; b < 4; ++b) EXPECT_TRUE(c.contains(b));
+    EXPECT_EQ(c.evictions(), 0u);
+}
+
+TEST(Cache, ResidentCountTracksFills) {
+    SetAssociativeCache c(tiny());
+    EXPECT_EQ(c.resident_count(), 0u);
+    c.access(1);
+    c.access(2);
+    c.access(1);
+    EXPECT_EQ(c.resident_count(), 2u);
+}
+
+TEST(Cache, ResetClears) {
+    SetAssociativeCache c(tiny());
+    c.access(1);
+    c.reset();
+    EXPECT_EQ(c.resident_count(), 0u);
+    EXPECT_FALSE(c.contains(1));
+    EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(VictimBuffer, CatchesEvictions) {
+    auto g = tiny();
+    g.victim_entries = 1;
+    SetAssociativeCache c(g);
+    c.access(0);
+    c.access(4);
+    const auto r = c.access(8);  // 4 evicted into the victim buffer
+    EXPECT_FALSE(r.evicted.has_value()) << "victim buffer should absorb it";
+    EXPECT_TRUE(c.contains(4));  // still resident via VB
+}
+
+TEST(VictimBuffer, HitSwapsBack) {
+    auto g = tiny();
+    g.victim_entries = 1;
+    SetAssociativeCache c(g);
+    c.access(0);
+    c.access(4);
+    c.access(8);                  // LRU = 0 → VB
+    const auto r = c.access(0);   // VB hit: 0 swaps back, displaced block → VB
+    EXPECT_TRUE(r.victim_hit);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_TRUE(c.contains(4) && c.contains(8));  // displaced one sits in VB
+    EXPECT_EQ(c.victim_hits(), 1u);
+    EXPECT_EQ(c.resident_count(), 3u);
+}
+
+TEST(VictimBuffer, OverflowsEventually) {
+    auto g = tiny();
+    g.victim_entries = 1;
+    SetAssociativeCache c(g);
+    c.access(0);
+    c.access(4);
+    c.access(8);                  // LRU = 0 → VB
+    const auto r = c.access(12);  // 4 evicted → VB full → 0 pushed out
+    ASSERT_TRUE(r.evicted.has_value());
+    EXPECT_EQ(*r.evicted, 0u);
+}
+
+TEST(VictimBuffer, IncreasesResidencyUnderSetPressure) {
+    // Thrash one set: with a VB the hierarchy holds ways+vb blocks of it.
+    auto with_vb = tiny();
+    with_vb.victim_entries = 2;
+    SetAssociativeCache a(tiny()), b(with_vb);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        a.access(i * 4);
+        b.access(i * 4);
+    }
+    EXPECT_EQ(a.resident_count(), 2u);
+    EXPECT_EQ(b.resident_count(), 4u);
+}
+
+TEST(Overflow, DetectsFirstTransactionalEviction) {
+    // Tiny cache: overflow as soon as 3 blocks land in one set (2 ways).
+    const CacheGeometry g = tiny();
+    trace::Stream s;
+    for (const std::uint64_t b : {0u, 4u, 8u}) {  // all set 0
+        s.push_back({b, false, 1});
+    }
+    const auto p = find_overflow(g, s);
+    EXPECT_TRUE(p.overflowed);
+    EXPECT_EQ(p.accesses, 3u);
+    EXPECT_EQ(p.footprint_blocks(), 3u);
+}
+
+TEST(Overflow, NoOverflowWhenFitting) {
+    const CacheGeometry g = tiny();
+    trace::Stream s;
+    for (std::uint64_t b = 0; b < 8; ++b) s.push_back({b, b % 3 == 0, 2});
+    const auto p = find_overflow(g, s);
+    EXPECT_FALSE(p.overflowed);
+    EXPECT_EQ(p.footprint_blocks(), 8u);
+    EXPECT_EQ(p.instructions, 16u);
+}
+
+TEST(Overflow, ReadWriteSplit) {
+    const CacheGeometry g = tiny();
+    const trace::Stream s{{0, false, 1}, {1, true, 1}, {2, false, 1}, {0, true, 1}};
+    const auto p = find_overflow(g, s);
+    EXPECT_EQ(p.read_blocks, 1u);   // block 2
+    EXPECT_EQ(p.write_blocks, 2u);  // blocks 0 (upgraded) and 1
+}
+
+TEST(Overflow, NonTransactionalEvictionIgnored) {
+    // Re-accessing keeps blocks hot; evicting a block never touched by the
+    // "transaction" cannot happen here since all touched blocks are
+    // transactional — instead verify repeat accesses don't inflate footprint.
+    const CacheGeometry g = tiny();
+    trace::Stream s;
+    for (int rep = 0; rep < 10; ++rep) {
+        s.push_back({1, false, 1});
+        s.push_back({2, false, 1});
+    }
+    const auto p = find_overflow(g, s);
+    EXPECT_FALSE(p.overflowed);
+    EXPECT_EQ(p.footprint_blocks(), 2u);
+}
+
+TEST(Overflow, VictimBufferExtendsTransaction) {
+    auto with_vb = tiny();
+    with_vb.victim_entries = 1;
+    trace::Stream s;
+    for (const std::uint64_t b : {0u, 4u, 8u, 12u}) s.push_back({b, false, 1});
+    const auto base = find_overflow(tiny(), s);
+    const auto vb = find_overflow(with_vb, s);
+    EXPECT_TRUE(base.overflowed);
+    EXPECT_TRUE(vb.overflowed);
+    EXPECT_GT(vb.accesses, base.accesses);
+    EXPECT_GT(vb.footprint_blocks(), base.footprint_blocks());
+}
+
+TEST(Overflow, SummaryAveragesStreams) {
+    const CacheGeometry g = tiny();
+    std::vector<trace::Stream> streams;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        util::Xoshiro256 rng{seed};
+        trace::Stream s;
+        for (int i = 0; i < 200; ++i) {
+            s.push_back({rng.below(64), rng.bernoulli(0.3), 1});
+        }
+        streams.push_back(std::move(s));
+    }
+    const auto summary = summarize_overflows(g, streams);
+    EXPECT_EQ(summary.traces, 5u);
+    EXPECT_GT(summary.overflowed, 0u);
+    EXPECT_GT(summary.mean_footprint, 0.0);
+    EXPECT_GT(summary.mean_utilization, 0.0);
+    EXPECT_NEAR(summary.mean_footprint,
+                summary.mean_read_blocks + summary.mean_write_blocks, 1e-9);
+}
+
+TEST(Overflow, PaperScaleSanity) {
+    // A SPEC2000-like stream through the paper's 32KB cache should overflow
+    // with a footprint in the broad range the paper reports (tens to a few
+    // hundred blocks) and well below the 512-block capacity.
+    const CacheGeometry g{};  // paper defaults
+    const auto stream =
+        trace::generate_spec2000_stream(trace::spec2000_profile("gcc"), 400000, 99);
+    const auto p = find_overflow(g, stream);
+    ASSERT_TRUE(p.overflowed);
+    EXPECT_GT(p.footprint_blocks(), 30u);
+    EXPECT_LT(p.footprint_blocks(), 512u);
+    EXPECT_GT(p.instructions, 1000u);
+}
+
+}  // namespace
+}  // namespace tmb::cache

@@ -1,0 +1,369 @@
+// Unit tests for src/core: birthday machinery and the paper's analytical
+// model (Equations 2–8), including the paper's own numeric checkpoints.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/birthday.hpp"
+#include "core/conflict_model.hpp"
+#include "core/space_model.hpp"
+
+namespace tmb::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Birthday paradox
+// ---------------------------------------------------------------------------
+
+TEST(Birthday, TwentyThreePeopleCrossFiftyPercent) {
+    // The paper's touchstone: 23 people, 365 days → > 50 %.
+    EXPECT_GT(birthday_collision_probability(23, 365), 0.5);
+    EXPECT_LT(birthday_collision_probability(22, 365), 0.5);
+    EXPECT_EQ(birthday_min_people(0.5, 365), 23u);
+}
+
+TEST(Birthday, KnownValue) {
+    // P(23, 365) ≈ 0.507297.
+    EXPECT_NEAR(birthday_collision_probability(23, 365), 0.507297, 1e-5);
+}
+
+TEST(Birthday, EdgeCases) {
+    EXPECT_EQ(birthday_collision_probability(0, 365), 0.0);
+    EXPECT_EQ(birthday_collision_probability(1, 365), 0.0);
+    EXPECT_EQ(birthday_collision_probability(366, 365), 1.0);  // pigeonhole
+    EXPECT_EQ(birthday_collision_probability(2, 0), 1.0);
+    EXPECT_EQ(birthday_collision_probability(2, 1), 1.0);
+}
+
+TEST(Birthday, ApproximationCloseForSmallN) {
+    for (const std::uint64_t n : {5u, 10u, 23u, 40u}) {
+        const double exact = birthday_collision_probability(n, 365);
+        const double approx = birthday_collision_approx(n, 365);
+        EXPECT_NEAR(approx, exact, 0.02) << "n=" << n;
+    }
+}
+
+TEST(Birthday, Monotonicity) {
+    double prev = 0.0;
+    for (std::uint64_t n = 2; n <= 100; ++n) {
+        const double p = birthday_collision_probability(n, 365);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(Birthday, MinPeopleExtremeThresholds) {
+    EXPECT_EQ(birthday_min_people(0.0, 365), 2u);
+    EXPECT_EQ(birthday_min_people(1.0, 365), 366u);
+    EXPECT_EQ(birthday_min_people(0.99, 365), 57u);  // known value
+}
+
+TEST(Birthday, ExpectedOccupiedBins) {
+    // k balls into k bins → ~ (1 - 1/e) * k occupied for large k.
+    const double occ = expected_occupied_bins(10000, 10000);
+    EXPECT_NEAR(occ / 10000.0, 1.0 - std::exp(-1.0), 1e-3);
+    EXPECT_EQ(expected_occupied_bins(0, 100), 0.0);
+    EXPECT_NEAR(expected_occupied_bins(1, 100), 1.0, 1e-12);
+}
+
+TEST(Birthday, ExpectedCollisionPairs) {
+    EXPECT_DOUBLE_EQ(expected_collision_pairs(2, 100), 1.0 / 100.0);
+    EXPECT_DOUBLE_EQ(expected_collision_pairs(10, 100), 45.0 / 100.0);
+    EXPECT_EQ(expected_collision_pairs(1, 100), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Conflict model — structural identities
+// ---------------------------------------------------------------------------
+
+TEST(Model, Eq3SumEqualsEq4ClosedForm) {
+    // The paper's algebra: the literal sum telescopes to (1+2α)W²/N.
+    for (const double alpha : {0.0, 1.0, 2.0, 3.5}) {
+        for (const std::uint64_t W : {1u, 5u, 20u, 80u}) {
+            const ModelParams p{.alpha = alpha, .table_entries = 4096};
+            EXPECT_NEAR(conflict_sum_c2(p, W), conflict_likelihood_c2(p, W), 1e-9)
+                << "alpha=" << alpha << " W=" << W;
+        }
+    }
+}
+
+TEST(Model, Eq7SumEqualsEq8ClosedForm) {
+    for (const double alpha : {0.5, 2.0}) {
+        for (const std::uint64_t C : {2u, 3u, 4u, 8u}) {
+            for (const std::uint64_t W : {1u, 10u, 50u}) {
+                const ModelParams p{.alpha = alpha, .table_entries = 65536};
+                EXPECT_NEAR(conflict_sum(p, C, W), conflict_likelihood(p, C, W), 1e-9)
+                    << "alpha=" << alpha << " C=" << C << " W=" << W;
+            }
+        }
+    }
+}
+
+TEST(Model, Eq8ReducesToEq4AtConcurrencyTwo) {
+    const ModelParams p{.alpha = 2.0, .table_entries = 8192};
+    for (const std::uint64_t W : {1u, 7u, 33u}) {
+        EXPECT_NEAR(conflict_likelihood(p, 2, W), conflict_likelihood_c2(p, W), 1e-12);
+    }
+}
+
+TEST(Model, QuadraticInFootprint) {
+    const ModelParams p{.alpha = 2.0, .table_entries = 1 << 20};
+    const double r = conflict_likelihood_c2(p, 40) / conflict_likelihood_c2(p, 20);
+    EXPECT_NEAR(r, 4.0, 1e-12);
+}
+
+TEST(Model, InverseInTableSize) {
+    const ModelParams small{.alpha = 2.0, .table_entries = 1024};
+    const ModelParams big{.alpha = 2.0, .table_entries = 4096};
+    EXPECT_NEAR(conflict_likelihood_c2(small, 10) / conflict_likelihood_c2(big, 10),
+                4.0, 1e-12);
+}
+
+TEST(Model, ConcurrencyRatioSixFoldFrom2To4) {
+    // The paper: "the factor of six increase in conflict rate when
+    // increasing concurrency from 2 to 4 is exactly predicted by C(C−1)".
+    EXPECT_DOUBLE_EQ(concurrency_ratio(4, 2), 6.0);
+    const ModelParams p{.alpha = 2.0, .table_entries = 1 << 16};
+    EXPECT_NEAR(conflict_likelihood(p, 4, 10) / conflict_likelihood(p, 2, 10), 6.0,
+                1e-12);
+}
+
+TEST(Model, DeltaFormsArePositiveAndGrow) {
+    const ModelParams p{.alpha = 2.0, .table_entries = 4096};
+    double prev = 0.0;
+    for (std::uint64_t w = 1; w <= 30; ++w) {
+        const double d = delta_conflict_c2(p, w);
+        EXPECT_GT(d, 0.0);
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+    EXPECT_GT(delta_conflict(p, 8, 5), delta_conflict(p, 2, 5));
+}
+
+// ---------------------------------------------------------------------------
+// Conflict model — the paper's numeric checkpoints (§3.1–3.2)
+// ---------------------------------------------------------------------------
+
+TEST(Model, BackOfEnvelope50PercentNeeds50kEntries) {
+    // W=71, α=2, C=2, commit > 50 % → N > 50 000 (paper: "more than 50,000").
+    const auto n = required_table_entries(2.0, 2, 71, 0.5);
+    EXPECT_GT(n, 50'000u);
+    EXPECT_LT(n, 51'000u);  // (1+4)·71²/0.5 = 50410
+}
+
+TEST(Model, BackOfEnvelope95PercentNeedsHalfMillion) {
+    const auto n = required_table_entries(2.0, 2, 71, 0.95);
+    EXPECT_GT(n, 500'000u);  // paper: "over a half million entries"
+    EXPECT_LT(n, 510'000u);  // 5·71²/0.05 = 504100
+}
+
+TEST(Model, BackOfEnvelopeConcurrency8Needs14Million) {
+    const auto n = required_table_entries(2.0, 8, 71, 0.95);
+    EXPECT_GT(n, 14'000'000u);  // paper: "over 14 million entries"
+    EXPECT_LT(n, 14'200'000u);  // 56·5·71²/(2·0.05) = 14114800
+}
+
+TEST(Model, RequiredEntriesConsistentWithForwardModel) {
+    // Plugging the solved N back in must give conflict ≈ 1 - target.
+    const auto n = required_table_entries(2.0, 4, 30, 0.9);
+    const ModelParams p{.alpha = 2.0, .table_entries = n};
+    EXPECT_LE(conflict_likelihood(p, 4, 30), 0.1 + 1e-9);
+    const ModelParams p_smaller{.alpha = 2.0, .table_entries = n - 10};
+    EXPECT_GT(conflict_likelihood(p_smaller, 4, 30), 0.1);
+}
+
+TEST(Model, MaxFootprintInvertsForward) {
+    const ModelParams p{.alpha = 2.0, .table_entries = 1 << 16};
+    const auto w = max_write_footprint(p, 4, 0.9);
+    EXPECT_GT(w, 0u);
+    EXPECT_LE(conflict_likelihood(p, 4, w), 0.1 + 1e-9);
+    EXPECT_GT(conflict_likelihood(p, 4, w + 1), 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Commit-probability forms
+// ---------------------------------------------------------------------------
+
+TEST(Model, LinearCommitProbabilityClamps) {
+    const ModelParams p{.alpha = 2.0, .table_entries = 64};
+    EXPECT_EQ(commit_probability_linear(p, 8, 100), 0.0);  // way past saturation
+    const ModelParams big{.alpha = 2.0, .table_entries = 1 << 24};
+    EXPECT_NEAR(commit_probability_linear(big, 2, 10), 1.0, 1e-3);
+}
+
+TEST(Model, ProductFormMatchesLinearWhenSparse) {
+    // Assumption 6: sum ≈ product for small likelihoods.
+    const ModelParams p{.alpha = 2.0, .table_entries = 1 << 20};
+    for (const std::uint64_t W : {5u, 10u, 20u}) {
+        const double lin = commit_probability_linear(p, 2, W);
+        const double prod = commit_probability_product(p, 2, W);
+        EXPECT_NEAR(lin, prod, 1e-3) << "W=" << W;
+    }
+}
+
+TEST(Model, ProductFormStaysInUnitInterval) {
+    const ModelParams p{.alpha = 2.0, .table_entries = 128};
+    for (const std::uint64_t W : {1u, 10u, 100u, 1000u}) {
+        const double prod = commit_probability_product(p, 8, W);
+        EXPECT_GE(prod, 0.0);
+        EXPECT_LE(prod, 1.0);
+    }
+}
+
+TEST(Model, ProductAboveLinearAtHighConflict) {
+    // The linear form over-counts (union bound), so product >= linear.
+    const ModelParams p{.alpha = 2.0, .table_entries = 2048};
+    for (const std::uint64_t W : {10u, 20u, 30u}) {
+        EXPECT_GE(commit_probability_product(p, 4, W) + 1e-12,
+                  commit_probability_linear(p, 4, W));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Intra-transaction aliasing (assumption 5 support)
+// ---------------------------------------------------------------------------
+
+TEST(Model, IntraAliasSmallInRegionOfInterest) {
+    // The paper measures < 3 % intra-transaction aliasing while conflict
+    // rates are < 50 %. The birthday bound should agree in that regime.
+    const ModelParams p{.alpha = 2.0, .table_entries = 16384};
+    // At this table size, W=30 gives a C=2 conflict rate of ~27 %.
+    EXPECT_LT(conflict_likelihood_c2(p, 30), 0.5);
+    EXPECT_LT(intra_transaction_alias_probability(p, 30), 0.3);
+    // And the footprint-vs-table sparsity keeps self-aliasing modest.
+    const ModelParams big{.alpha = 2.0, .table_entries = 1 << 18};
+    EXPECT_LT(intra_transaction_alias_probability(big, 30), 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Closed-system estimate (Figs. 5–6 overlay)
+// ---------------------------------------------------------------------------
+
+TEST(Model, ClosedSystemAbortProbabilityScaling) {
+    const ModelParams p{.alpha = 2.0, .table_entries = 1 << 16};
+    // Quadratic in W, linear in C−1, inverse in N.
+    EXPECT_NEAR(closed_system_abort_probability(p, 2, 20) /
+                    closed_system_abort_probability(p, 2, 10),
+                4.0, 1e-9);
+    EXPECT_NEAR(closed_system_abort_probability(p, 8, 10) /
+                    closed_system_abort_probability(p, 2, 10),
+                7.0, 1e-9);
+    const ModelParams p4{.alpha = 2.0, .table_entries = 1 << 18};
+    EXPECT_NEAR(closed_system_abort_probability(p, 2, 10) /
+                    closed_system_abort_probability(p4, 2, 10),
+                4.0, 1e-9);
+    EXPECT_EQ(closed_system_abort_probability(p, 1, 10), 0.0);
+}
+
+TEST(Model, ClosedSystemEstimateClampsAndGrows) {
+    const ModelParams tiny{.alpha = 2.0, .table_entries = 64};
+    const double est = closed_system_conflicts_estimate(tiny, 8, 50, 650);
+    EXPECT_GT(est, 650.0);  // q ~ 1: far more conflicts than commits
+    const ModelParams big{.alpha = 2.0, .table_entries = 1 << 24};
+    EXPECT_LT(closed_system_conflicts_estimate(big, 2, 5, 650), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Strong isolation extension (§6)
+// ---------------------------------------------------------------------------
+
+TEST(Model, StrongIsolationReducesToEq8AtZeroAccesses) {
+    const ModelParams p{.alpha = 2.0, .table_entries = 4096};
+    for (const std::uint64_t w : {5u, 20u, 50u}) {
+        EXPECT_DOUBLE_EQ(strong_isolation_conflict_likelihood(p, 2, w, 0.0, 0.3),
+                         conflict_likelihood(p, 2, w));
+    }
+}
+
+TEST(Model, StrongIsolationMonotoneInAccessRate) {
+    const ModelParams p{.alpha = 2.0, .table_entries = 4096};
+    double prev = 0.0;
+    for (const double s : {0.0, 1.0, 4.0, 16.0}) {
+        const double v = strong_isolation_conflict_likelihood(p, 2, 20, s, 0.3);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Model, StrongIsolationTermIsLinearInConcurrency) {
+    // The SI term alone: subtract Eq. 8 and check C-linearity.
+    const ModelParams p{.alpha = 2.0, .table_entries = 1 << 20};
+    auto si_only = [&](std::uint64_t c) {
+        return strong_isolation_conflict_likelihood(p, c, 20, 8.0, 0.3) -
+               conflict_likelihood(p, c, 20);
+    };
+    EXPECT_NEAR(si_only(4) / si_only(2), 2.0, 1e-9);
+    EXPECT_NEAR(si_only(8) / si_only(2), 4.0, 1e-9);
+}
+
+TEST(Model, StrongIsolationWritesCostMoreThanReads) {
+    const ModelParams p{.alpha = 2.0, .table_entries = 4096};
+    // All-write probes hit (1+alpha)x the entries all-read probes hit.
+    const double reads = strong_isolation_delta(p, 2, 10, 1.0, 0.0);
+    const double writes = strong_isolation_delta(p, 2, 10, 1.0, 1.0);
+    EXPECT_NEAR(writes / reads, 1.0 + p.alpha, 1e-9);
+}
+
+TEST(Model, StrongIsolationClosedFormMatchesSum) {
+    // Σ S·C·(1+βα)·w/N over w=1..W = S·C·(1+βα)·W(W+1)/(2N).
+    const ModelParams p{.alpha = 2.0, .table_entries = 8192};
+    const double s = 4.0, beta = 0.25;
+    const std::uint64_t W = 30;
+    double sum = 0.0;
+    for (std::uint64_t w = 1; w <= W; ++w) {
+        sum += strong_isolation_delta(p, 3, w, s, beta);
+    }
+    const double closed = s * 3.0 * (1.0 + beta * p.alpha) * 30.0 * 31.0 /
+                          (2.0 * 8192.0);
+    EXPECT_NEAR(sum, closed, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// §5 space model
+// ---------------------------------------------------------------------------
+
+TEST(SpaceModel, ResidualTagBitsMatchPaperExample) {
+    EXPECT_EQ(residual_tag_bits(32, 6, 4096), 14u);  // the §5 example
+    EXPECT_EQ(residual_tag_bits(64, 6, 4096), 46u);
+    EXPECT_EQ(residual_tag_bits(16, 6, 4096), 0u);   // index covers everything
+}
+
+TEST(SpaceModel, ChainedRecordsVanishWhenSparse) {
+    // 200 in-flight records in a 64k table: essentially no chaining.
+    EXPECT_LT(expected_chained_records(200, 65536), 1.0);
+    // Equal records and slots: ~R/e records chain (1 - (1-1/e)).
+    EXPECT_NEAR(expected_chained_records(10000, 10000) / 10000.0,
+                1.0 - (1.0 - std::exp(-1.0)), 1e-3);
+    EXPECT_EQ(expected_chained_records(0, 100), 0.0);
+}
+
+TEST(SpaceModel, TaggedOverheadApproachesOneForRealisticTables) {
+    // §5's claim: for tables sized sensibly (sparse in-flight footprint),
+    // the tagged organization costs barely more than the tagless one.
+    // C=8, alpha=2, W=71 → ~852 resident records.
+    const std::uint64_t resident = 852;
+    EXPECT_LT(tagged_overhead_ratio(1u << 16, resident), 1.01);
+    EXPECT_LT(tagged_overhead_ratio(1u << 14, resident), 1.05);
+    // Only absurdly undersized tables chain heavily.
+    EXPECT_GT(tagged_overhead_ratio(256, resident), 1.5);
+}
+
+TEST(SpaceModel, SpaceBreakdownConsistent) {
+    const auto tagless = tagless_space(4096);
+    EXPECT_EQ(tagless.first_level_bytes, 4096u * 8u);
+    EXPECT_EQ(tagless.chain_bytes, 0.0);
+    const auto tagged = tagged_space(4096, 500);
+    EXPECT_EQ(tagged.first_level_bytes, 4096u * 8u);
+    EXPECT_GT(tagged.chain_bytes, 0.0);
+    EXPECT_NEAR(tagged.total(),
+                static_cast<double>(tagged.first_level_bytes) + tagged.chain_bytes,
+                1e-9);
+}
+
+TEST(Model, RwFactorHelper) {
+    EXPECT_DOUBLE_EQ((ModelParams{.alpha = 2.0}.rw_factor()), 5.0);
+    EXPECT_DOUBLE_EQ((ModelParams{.alpha = 0.0}.rw_factor()), 1.0);
+}
+
+}  // namespace
+}  // namespace tmb::core

@@ -1,0 +1,466 @@
+// Tests for src/sim: open-system and closed-system Monte Carlo simulators
+// and the trace-driven aliasing experiment. These encode the paper's §4
+// validation claims as assertions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/conflict_model.hpp"
+#include "sim/closed_system.hpp"
+#include "sim/open_system.hpp"
+#include "sim/trace_alias.hpp"
+#include "trace/conflict_filter.hpp"
+#include "trace/synthetic.hpp"
+#include "util/stats.hpp"
+
+namespace tmb::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Open system (§4 first simulation, Fig. 4)
+// ---------------------------------------------------------------------------
+
+TEST(OpenSystem, DeterministicForSeed) {
+    const OpenSystemConfig c{.concurrency = 2,
+                             .write_footprint = 10,
+                             .table_entries = 1024,
+                             .experiments = 200,
+                             .seed = 5};
+    const auto a = run_open_system(c);
+    const auto b = run_open_system(c);
+    EXPECT_EQ(a.conflicted, b.conflicted);
+    EXPECT_EQ(a.intra_aliased, b.intra_aliased);
+}
+
+TEST(OpenSystem, MatchesModelInSparseRegime) {
+    // With the conflict likelihood ~10 %, the sum-of-probabilities model
+    // should match the simulation within Monte Carlo noise.
+    const OpenSystemConfig c{.concurrency = 2,
+                             .write_footprint = 8,
+                             .alpha = 2.0,
+                             .table_entries = 4096,
+                             .experiments = 4000,
+                             .seed = 11};
+    const auto r = run_open_system(c);
+    const core::ModelParams p{.alpha = 2.0, .table_entries = 4096};
+    const double predicted = core::conflict_likelihood_c2(p, 8);  // ≈ 7.8 %
+    EXPECT_NEAR(r.conflict_rate(), predicted, 0.02);
+}
+
+TEST(OpenSystem, QuadraticGrowthInFootprint) {
+    // Slope of log(conflict) vs log(W) ≈ 2 in the sparse regime (paper
+    // Fig. 4a). The W=8 rate is only ~0.5 %, so this needs a large sample
+    // count to keep Poisson noise out of the slope estimate.
+    OpenSystemConfig base{.concurrency = 2,
+                          .alpha = 2.0,
+                          .table_entries = 65536,
+                          .experiments = 30000,
+                          .seed = 21};
+    const std::vector<std::uint64_t> footprints{8, 16, 32};
+    const auto results = sweep_footprint(base, footprints);
+    std::vector<double> x, y;
+    for (std::size_t i = 0; i < footprints.size(); ++i) {
+        x.push_back(static_cast<double>(footprints[i]));
+        y.push_back(results[i].conflict_rate());
+    }
+    EXPECT_NEAR(util::loglog_slope(x, y), 2.0, 0.25);
+}
+
+TEST(OpenSystem, InverseScalingWithTableSize) {
+    // Fig. 4(a): at W=8, successive table doublings roughly halve the rate;
+    // the paper quotes 48 % → 27 % → 14 % → 7.7 % for 512→4096.
+    OpenSystemConfig c{.concurrency = 2,
+                       .write_footprint = 8,
+                       .alpha = 2.0,
+                       .experiments = 4000,
+                       .seed = 31};
+    std::vector<double> rates;
+    for (const std::uint64_t n : {512u, 1024u, 2048u, 4096u}) {
+        c.table_entries = n;
+        c.seed = 31 + n;
+        rates.push_back(run_open_system(c).conflict_rate());
+    }
+    EXPECT_NEAR(rates[0], 0.48, 0.06);
+    EXPECT_NEAR(rates[1], 0.27, 0.05);
+    EXPECT_NEAR(rates[2], 0.14, 0.04);
+    EXPECT_NEAR(rates[3], 0.077, 0.03);
+}
+
+TEST(OpenSystem, ConcurrencyScalesAsCTimesCMinus1) {
+    // C=2 → C=4 at fixed W,N should grow ≈ 6× (paper's highlighted ratio),
+    // comparing in the sparse regime.
+    OpenSystemConfig c{.write_footprint = 6,
+                       .alpha = 2.0,
+                       .table_entries = 32768,
+                       .experiments = 6000,
+                       .seed = 41};
+    c.concurrency = 2;
+    const double r2 = run_open_system(c).conflict_rate();
+    c.concurrency = 4;
+    c.seed = 42;
+    const double r4 = run_open_system(c).conflict_rate();
+    EXPECT_GT(r2, 0.0);
+    EXPECT_NEAR(r4 / r2, 6.0, 2.0);
+}
+
+TEST(OpenSystem, ClusterStructureMatchesCTimesCMinus1) {
+    // Fig. 4(b): quadrupling the table for each doubling of concurrency
+    // forms a cluster — but with residual separation because conflicts grow
+    // as C(C−1), not C². With N ∝ C², the rate scales as (C−1)/C, so the
+    // cluster's internal ratios are 1.5 (C=2→4) and 7/6 (C=4→8). The paper
+    // calls out exactly this: "some separation between the lines within the
+    // cluster, particularly between the C = 2 lines and the C = 4 and C = 8
+    // lines".
+    OpenSystemConfig c{.write_footprint = 6,
+                       .alpha = 2.0,
+                       .experiments = 20000,
+                       .seed = 51};
+    c.concurrency = 2;
+    c.table_entries = 4096;
+    const double a = run_open_system(c).conflict_rate();
+    c.concurrency = 4;
+    c.table_entries = 16384;
+    const double b = run_open_system(c).conflict_rate();
+    c.concurrency = 8;
+    c.table_entries = 65536;
+    const double d = run_open_system(c).conflict_rate();
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, d);
+    EXPECT_NEAR(b / a, 1.5, 0.3);
+    EXPECT_NEAR(d / b, 7.0 / 6.0, 0.25);
+    // And the whole cluster stays within a narrow band (the figure's visual
+    // claim), unlike a same-N concurrency sweep which spans ~28x.
+    EXPECT_LT(d / a, 2.2);
+}
+
+TEST(OpenSystem, IntraAliasingSmallWhenConflictsModest) {
+    // Paper §4: intra-transaction aliasing < 3 % while conflict rate < 50 %.
+    const OpenSystemConfig c{.concurrency = 2,
+                             .write_footprint = 20,
+                             .alpha = 2.0,
+                             .table_entries = 16384,
+                             .experiments = 3000,
+                             .seed = 61};
+    const auto r = run_open_system(c);
+    ASSERT_LT(r.conflict_rate(), 0.5);
+    EXPECT_LT(r.intra_alias_block_rate, 0.03);
+}
+
+TEST(OpenSystem, FractionalAlphaSupported) {
+    const OpenSystemConfig c{.concurrency = 2,
+                             .write_footprint = 10,
+                             .alpha = 1.5,
+                             .table_entries = 4096,
+                             .experiments = 2000,
+                             .seed = 71};
+    const auto r = run_open_system(c);
+    const core::ModelParams p{.alpha = 1.5, .table_entries = 4096};
+    EXPECT_NEAR(r.conflict_rate(), core::conflict_likelihood_c2(p, 10), 0.05);
+}
+
+TEST(OpenSystem, StrongIsolationRaisesConflicts) {
+    OpenSystemConfig c{.concurrency = 2,
+                       .write_footprint = 10,
+                       .alpha = 2.0,
+                       .table_entries = 16384,
+                       .experiments = 3000,
+                       .seed = 81};
+    const double weak = run_open_system(c).conflict_rate();
+    c.non_tx_accesses_per_step = 8;
+    const auto strong = run_open_system(c);
+    EXPECT_GT(strong.conflict_rate(), weak);
+    EXPECT_GT(strong.non_tx_conflicted, 0u);
+    EXPECT_LE(strong.non_tx_conflicted, strong.conflicted);
+}
+
+TEST(OpenSystem, StrongIsolationMatchesModel) {
+    const OpenSystemConfig c{.concurrency = 2,
+                             .write_footprint = 8,
+                             .alpha = 2.0,
+                             .table_entries = 32768,
+                             .experiments = 5000,
+                             .seed = 83,
+                             .non_tx_accesses_per_step = 8,
+                             .non_tx_write_fraction = 1.0 / 3.0};
+    const auto r = run_open_system(c);
+    const core::ModelParams p{.alpha = 2.0, .table_entries = 32768};
+    const double predicted = core::strong_isolation_conflict_likelihood(
+        p, 2, 8, 8.0, 1.0 / 3.0);
+    ASSERT_LT(predicted, 0.3);  // sparse regime for the sum form
+    EXPECT_NEAR(r.conflict_rate(), predicted, 0.03);
+}
+
+TEST(OpenSystem, WeakIsolationUnaffectedByWriteFractionKnob) {
+    // With S = 0 the β knob must be inert.
+    OpenSystemConfig c{.concurrency = 2,
+                       .write_footprint = 10,
+                       .table_entries = 4096,
+                       .experiments = 500,
+                       .seed = 85};
+    c.non_tx_write_fraction = 0.1;
+    const auto a = run_open_system(c);
+    c.non_tx_write_fraction = 0.9;
+    const auto b = run_open_system(c);
+    EXPECT_EQ(a.conflicted, b.conflicted);
+}
+
+TEST(OpenSystem, RejectsBadConfig) {
+    EXPECT_THROW((void)run_open_system({.concurrency = 1}), std::invalid_argument);
+    EXPECT_THROW((void)run_open_system({.concurrency = 65}), std::invalid_argument);
+    EXPECT_THROW((void)run_open_system({.concurrency = 2, .table_entries = 0}),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Closed system (§4 second simulation, Figs. 5–6)
+// ---------------------------------------------------------------------------
+
+TEST(ClosedSystem, NoConflictsWithHugeTable) {
+    const ClosedSystemConfig c{.concurrency = 4,
+                               .write_footprint = 10,
+                               .alpha = 2.0,
+                               .table_entries = 1u << 22,
+                               .target_transactions = 650,
+                               .seed = 3};
+    const auto r = run_closed_system(c);
+    EXPECT_EQ(r.conflicts, 0u);
+    // Staggered starts cost at most C partial transactions.
+    EXPECT_GE(r.commits, 650u - c.concurrency);
+    EXPECT_LE(r.commits, 650u + c.concurrency);
+}
+
+TEST(ClosedSystem, OccupancyMatchesHalfCTimesFootprint) {
+    // Paper §4: "the ownership table [has], on average, a number of entries
+    // filled corresponding to one-half the concurrency C times the
+    // transaction footprint size" in the low-conflict regime.
+    const ClosedSystemConfig c{.concurrency = 4,
+                               .write_footprint = 10,
+                               .alpha = 2.0,
+                               .table_entries = 1u << 20,
+                               .target_transactions = 650,
+                               .seed = 7};
+    const auto r = run_closed_system(c);
+    EXPECT_NEAR(r.mean_occupancy, r.expected_occupancy_no_conflicts,
+                r.expected_occupancy_no_conflicts * 0.12);
+    EXPECT_NEAR(r.actual_concurrency, 4.0, 0.5);
+}
+
+TEST(ClosedSystem, OccupancyDropsAtHighConflict) {
+    // Paper §4: at high conflict rates measured occupancy can be up to ~40 %
+    // below the no-conflict expectation because aborts empty the table.
+    const ClosedSystemConfig c{.concurrency = 8,
+                               .write_footprint = 20,
+                               .alpha = 2.0,
+                               .table_entries = 1024,
+                               .target_transactions = 650,
+                               .seed = 9};
+    const auto r = run_closed_system(c);
+    EXPECT_GT(r.conflicts, 100u);
+    EXPECT_LT(r.mean_occupancy, r.expected_occupancy_no_conflicts * 0.9);
+    EXPECT_LT(r.actual_concurrency, 8.0);
+}
+
+TEST(ClosedSystem, ConflictsGrowWithFootprint) {
+    ClosedSystemConfig c{.concurrency = 4,
+                         .alpha = 2.0,
+                         .table_entries = 4096,
+                         .target_transactions = 650,
+                         .seed = 13};
+    std::vector<double> x, y;
+    for (const std::uint64_t w : {5u, 10u, 20u}) {
+        c.write_footprint = w;
+        const auto r = run_closed_system_averaged(c, 5);
+        x.push_back(static_cast<double>(w));
+        y.push_back(static_cast<double>(r.conflicts));
+    }
+    EXPECT_GT(y[1], y[0]);
+    EXPECT_GT(y[2], y[1]);
+    // Per-transaction conflict odds ∝ W²; conflicts-per-run also divide by W
+    // (fewer transactions fit in the budget) → expected slope ≈ 1 on the
+    // committed-count-corrected metric; raw counts land between 1 and 2.
+    const double slope = util::loglog_slope(x, y);
+    EXPECT_GT(slope, 0.7);
+    EXPECT_LT(slope, 2.3);
+}
+
+TEST(ClosedSystem, ConflictsShrinkWithTableSize) {
+    ClosedSystemConfig c{.concurrency = 4,
+                         .write_footprint = 10,
+                         .alpha = 2.0,
+                         .target_transactions = 650,
+                         .seed = 17};
+    std::vector<double> y;
+    for (const std::uint64_t n : {1024u, 4096u, 16384u}) {
+        c.table_entries = n;
+        y.push_back(static_cast<double>(run_closed_system_averaged(c, 5).conflicts));
+    }
+    EXPECT_GT(y[0], y[1]);
+    EXPECT_GT(y[1], y[2]);
+    // Roughly inverse-linear: each 4x table → ~4x fewer conflicts.
+    EXPECT_NEAR(y[0] / std::max(1.0, y[1]), 4.0, 2.0);
+}
+
+TEST(ClosedSystem, ConflictsGrowSuperlinearlyWithConcurrency) {
+    ClosedSystemConfig c{.write_footprint = 10,
+                         .alpha = 2.0,
+                         .table_entries = 4096,
+                         .target_transactions = 650,
+                         .seed = 19};
+    c.concurrency = 2;
+    const auto r2 = run_closed_system_averaged(c, 5);
+    c.concurrency = 8;
+    const auto r8 = run_closed_system_averaged(c, 5);
+    // Eq. 8 per-transaction odds ratio is 56/2 = 28; the closed system holds
+    // total work fixed so the observed ratio is compressed, but must remain
+    // clearly superlinear in C (> 4x for a 4x concurrency increase).
+    EXPECT_GT(static_cast<double>(r8.conflicts),
+              4.0 * static_cast<double>(std::max<std::uint64_t>(r2.conflicts, 1)));
+}
+
+TEST(ClosedSystem, ConflictCountWithinFactorTwoOfModelEstimate) {
+    // The first-order closed-system estimate (core::) should land within a
+    // factor of ~2 of the simulation in the modest-conflict regime, and its
+    // scaling laws should match exactly (tested in test_core_model).
+    for (const std::uint64_t n : {4096u, 16384u}) {
+        for (const std::uint64_t w : {5u, 10u}) {
+            const ClosedSystemConfig cfg{.concurrency = 4,
+                                         .write_footprint = w,
+                                         .alpha = 2.0,
+                                         .table_entries = n,
+                                         .seed = 29};
+            const auto r = run_closed_system_averaged(cfg, 8);
+            const core::ModelParams p{.alpha = 2.0, .table_entries = n};
+            const double est = core::closed_system_conflicts_estimate(p, 4, w, 650);
+            ASSERT_GT(est, 1.0) << "regime check";
+            const double measured = static_cast<double>(r.conflicts);
+            EXPECT_GT(measured, est / 2.0) << "N=" << n << " W=" << w;
+            EXPECT_LT(measured, est * 2.0) << "N=" << n << " W=" << w;
+        }
+    }
+}
+
+TEST(ClosedSystem, DeterministicForSeed) {
+    const ClosedSystemConfig c{.concurrency = 4,
+                               .write_footprint = 10,
+                               .table_entries = 2048,
+                               .seed = 23};
+    const auto a = run_closed_system(c);
+    const auto b = run_closed_system(c);
+    EXPECT_EQ(a.conflicts, b.conflicts);
+    EXPECT_EQ(a.commits, b.commits);
+    EXPECT_DOUBLE_EQ(a.mean_occupancy, b.mean_occupancy);
+}
+
+TEST(ClosedSystem, RejectsBadConfig) {
+    EXPECT_THROW((void)run_closed_system({.concurrency = 0}), std::invalid_argument);
+    EXPECT_THROW((void)run_closed_system({.concurrency = 2, .write_footprint = 0}),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Trace-driven alias experiment (§2.2, Fig. 2)
+// ---------------------------------------------------------------------------
+
+trace::MultiThreadTrace make_clean_trace(std::uint64_t seed,
+                                         std::size_t accesses = 30000) {
+    trace::SpecJbbLikeParams params;
+    params.threads = 4;
+    params.arena_blocks = 1u << 18;
+    params.shared_blocks = 1u << 10;
+    trace::SpecJbbLikeGenerator gen(params, seed);
+    auto t = gen.generate(accesses);
+    trace::remove_true_conflicts(t);
+    return t;
+}
+
+TEST(TraceAlias, TaggedTableNeverAliases) {
+    const auto t = make_clean_trace(101);
+    const TraceAliasConfig c{.concurrency = 4,
+                             .write_footprint = 20,
+                             .table_entries = 1024,
+                             .table_kind = ownership::TableKind::kTagged,
+                             .samples = 300,
+                             .seed = 1};
+    const auto r = run_trace_alias(c, t);
+    EXPECT_EQ(r.aliased, 0u)
+        << "true conflicts were removed, so a tagged table cannot conflict";
+}
+
+TEST(TraceAlias, TaglessAliasesOnSmallTables) {
+    const auto t = make_clean_trace(103);
+    const TraceAliasConfig c{.concurrency = 2,
+                             .write_footprint = 20,
+                             .table_entries = 1024,
+                             .samples = 400,
+                             .seed = 2};
+    const auto r = run_trace_alias(c, t);
+    EXPECT_GT(r.alias_likelihood(), 0.2);
+    EXPECT_EQ(r.exhausted, 0u);
+}
+
+TEST(TraceAlias, LikelihoodGrowsWithFootprint) {
+    const auto t = make_clean_trace(107);
+    TraceAliasConfig c{.concurrency = 2,
+                       .table_entries = 16384,
+                       .samples = 600,
+                       .seed = 3};
+    std::vector<double> rates;
+    for (const std::uint64_t w : {5u, 20u, 80u}) {
+        c.write_footprint = w;
+        rates.push_back(run_trace_alias(c, t).alias_likelihood());
+    }
+    EXPECT_LT(rates[0], rates[1]);
+    EXPECT_LT(rates[1], rates[2]);
+}
+
+TEST(TraceAlias, LikelihoodShrinksWithTableSize) {
+    const auto t = make_clean_trace(109);
+    TraceAliasConfig c{.concurrency = 2,
+                       .write_footprint = 20,
+                       .samples = 600,
+                       .seed = 4};
+    std::vector<double> rates;
+    for (const std::uint64_t n : {1024u, 16384u, 262144u}) {
+        c.table_entries = n;
+        rates.push_back(run_trace_alias(c, t).alias_likelihood());
+    }
+    EXPECT_GT(rates[0], rates[1]);
+    EXPECT_GT(rates[1], rates[2]);
+}
+
+TEST(TraceAlias, LikelihoodGrowsWithConcurrency) {
+    const auto t = make_clean_trace(113);
+    TraceAliasConfig c{.write_footprint = 20,
+                       .table_entries = 65536,
+                       .samples = 800,
+                       .seed = 5};
+    std::vector<double> rates;
+    for (const std::uint32_t conc : {2u, 3u, 4u}) {
+        c.concurrency = conc;
+        rates.push_back(run_trace_alias(c, t).alias_likelihood());
+    }
+    EXPECT_LT(rates[0], rates[1]);
+    EXPECT_LT(rates[1], rates[2]);
+}
+
+TEST(TraceAlias, DeterministicForSeed) {
+    const auto t = make_clean_trace(127);
+    const TraceAliasConfig c{.concurrency = 2,
+                             .write_footprint = 10,
+                             .table_entries = 4096,
+                             .samples = 200,
+                             .seed = 6};
+    EXPECT_EQ(run_trace_alias(c, t).aliased, run_trace_alias(c, t).aliased);
+}
+
+TEST(TraceAlias, RejectsBadInput) {
+    const auto t = make_clean_trace(131, 2000);
+    TraceAliasConfig c;
+    c.concurrency = 8;  // trace only has 4 streams
+    EXPECT_THROW((void)run_trace_alias(c, t), std::invalid_argument);
+    c.concurrency = 1;
+    EXPECT_THROW((void)run_trace_alias(c, t), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tmb::sim

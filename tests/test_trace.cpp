@@ -1,0 +1,282 @@
+// Unit tests for src/trace: generators, true-conflict filter, serialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "trace/conflict_filter.hpp"
+#include "trace/spec2000.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tmb::trace {
+namespace {
+
+SpecJbbLikeParams small_params() {
+    SpecJbbLikeParams p;
+    p.threads = 4;
+    p.arena_blocks = 1u << 12;
+    p.shared_blocks = 1u << 8;
+    return p;
+}
+
+TEST(SpecJbbGenerator, DeterministicForSeed) {
+    SpecJbbLikeGenerator g1(small_params(), 42);
+    SpecJbbLikeGenerator g2(small_params(), 42);
+    EXPECT_EQ(g1.generate(500).streams, g2.generate(500).streams);
+}
+
+TEST(SpecJbbGenerator, DifferentSeedsDiffer) {
+    SpecJbbLikeGenerator g1(small_params(), 1);
+    SpecJbbLikeGenerator g2(small_params(), 2);
+    EXPECT_NE(g1.generate(500).streams, g2.generate(500).streams);
+}
+
+TEST(SpecJbbGenerator, StreamsIndependentOfGenerationOrder) {
+    SpecJbbLikeGenerator g(small_params(), 7);
+    const Stream direct = g.generate_stream(2, 300);
+    const MultiThreadTrace full = g.generate(300);
+    EXPECT_EQ(direct, full.streams[2]);
+}
+
+TEST(SpecJbbGenerator, ProducesRequestedCounts) {
+    SpecJbbLikeGenerator g(small_params(), 3);
+    const auto trace = g.generate(1000);
+    ASSERT_EQ(trace.thread_count(), 4u);
+    for (const auto& s : trace.streams) EXPECT_EQ(s.size(), 1000u);
+    EXPECT_EQ(trace.total_accesses(), 4000u);
+}
+
+TEST(SpecJbbGenerator, WriteFractionNearAlpha2) {
+    SpecJbbLikeGenerator g(small_params(), 5);
+    const auto stream = g.generate_stream(0, 30000);
+    const double frac =
+        static_cast<double>(write_count(stream)) / static_cast<double>(stream.size());
+    EXPECT_NEAR(frac, 1.0 / 3.0, 0.02);  // α = 2 → one write in three
+}
+
+TEST(SpecJbbGenerator, PrivateArenasAreDisjoint) {
+    auto params = small_params();
+    params.shared_fraction = 0.0;  // disable the shared pool
+    SpecJbbLikeGenerator g(params, 11);
+    const auto trace = g.generate(2000);
+    std::unordered_set<std::uint64_t> seen;
+    for (std::size_t t = 0; t < trace.streams.size(); ++t) {
+        std::unordered_set<std::uint64_t> mine;
+        for (const auto& a : trace.streams[t]) mine.insert(a.block);
+        for (const auto b : mine) EXPECT_TRUE(seen.insert(b).second) << "thread " << t;
+    }
+}
+
+TEST(SpecJbbGenerator, HasSpatialRuns) {
+    SpecJbbLikeGenerator g(small_params(), 13);
+    const auto stream = g.generate_stream(0, 5000);
+    std::size_t consecutive = 0;
+    for (std::size_t i = 1; i < stream.size(); ++i) {
+        if (stream[i].block == stream[i - 1].block + 1) ++consecutive;
+    }
+    // Run-based generation should yield a solid fraction of +1 successors.
+    EXPECT_GT(consecutive, stream.size() / 10);
+}
+
+TEST(SpecJbbGenerator, HasTemporalReuse) {
+    SpecJbbLikeGenerator g(small_params(), 17);
+    const auto stream = g.generate_stream(0, 5000);
+    EXPECT_LT(unique_blocks(stream), stream.size());
+}
+
+TEST(SpecJbbGenerator, RejectsBadParams) {
+    auto p = small_params();
+    p.threads = 0;
+    EXPECT_THROW(SpecJbbLikeGenerator(p, 1), std::invalid_argument);
+    p = small_params();
+    p.strides.clear();
+    EXPECT_THROW(SpecJbbLikeGenerator(p, 1), std::invalid_argument);
+}
+
+TEST(TraceHelpers, UniqueWriteInstr) {
+    const Stream s{{10, false, 2}, {11, true, 3}, {10, true, 1}};
+    EXPECT_EQ(unique_blocks(s), 2u);
+    EXPECT_EQ(write_count(s), 2u);
+    EXPECT_EQ(instruction_count(s, 2), 5u);
+    EXPECT_EQ(instruction_count(s, 99), 6u);
+}
+
+TEST(ConflictFilter, RemovesWriteSharedBlocks) {
+    MultiThreadTrace t;
+    t.streams = {
+        {{1, true, 1}, {2, false, 1}},   // writes 1, reads 2
+        {{1, false, 1}, {3, true, 1}},   // reads 1 (true conflict), writes 3
+    };
+    EXPECT_TRUE(has_true_conflicts(t));
+    const auto stats = remove_true_conflicts(t);
+    EXPECT_FALSE(has_true_conflicts(t));
+    EXPECT_EQ(stats.blocks_removed, 1u);
+    EXPECT_EQ(stats.accesses_before, 4u);
+    EXPECT_EQ(stats.accesses_after, 2u);
+    // Block 1 gone from both streams; 2 and 3 retained.
+    EXPECT_EQ(t.streams[0].size(), 1u);
+    EXPECT_EQ(t.streams[0][0].block, 2u);
+    EXPECT_EQ(t.streams[1].size(), 1u);
+    EXPECT_EQ(t.streams[1][0].block, 3u);
+}
+
+TEST(ConflictFilter, KeepsReadOnlySharing) {
+    MultiThreadTrace t;
+    t.streams = {
+        {{5, false, 1}},
+        {{5, false, 1}},
+    };
+    EXPECT_FALSE(has_true_conflicts(t));
+    const auto stats = remove_true_conflicts(t);
+    EXPECT_EQ(stats.accesses_after, 2u);
+    EXPECT_EQ(stats.blocks_removed, 0u);
+}
+
+TEST(ConflictFilter, WriteWriteConflictRemoved) {
+    MultiThreadTrace t;
+    t.streams = {
+        {{9, true, 1}},
+        {{9, true, 1}},
+    };
+    EXPECT_TRUE(has_true_conflicts(t));
+    remove_true_conflicts(t);
+    EXPECT_TRUE(t.streams[0].empty());
+    EXPECT_TRUE(t.streams[1].empty());
+}
+
+TEST(ConflictFilter, SingleStreamWriteKept) {
+    MultiThreadTrace t;
+    t.streams = {{{4, true, 1}, {4, false, 1}}};
+    EXPECT_FALSE(has_true_conflicts(t));
+    remove_true_conflicts(t);
+    EXPECT_EQ(t.streams[0].size(), 2u);
+}
+
+TEST(ConflictFilter, GeneratorTracesEndClean) {
+    SpecJbbLikeGenerator g(small_params(), 19);
+    auto trace = g.generate(3000);
+    remove_true_conflicts(trace);
+    EXPECT_FALSE(has_true_conflicts(trace));
+    // The shared pool is small relative to the arenas; most accesses survive.
+    EXPECT_GT(trace.total_accesses(), 3000u * 4u / 2u);
+}
+
+TEST(TraceIo, RoundTrip) {
+    SpecJbbLikeGenerator g(small_params(), 23);
+    const auto original = g.generate(200);
+    std::stringstream buffer;
+    write_text(buffer, original);
+    const auto loaded = read_text(buffer);
+    EXPECT_EQ(loaded.streams, original.streams);
+}
+
+TEST(TraceIo, ParsesMinimalInput) {
+    std::istringstream in("# comment\nT 2\n0 R 1a\n1 W ff 7\n");
+    const auto t = read_text(in);
+    ASSERT_EQ(t.streams.size(), 2u);
+    EXPECT_EQ(t.streams[0][0].block, 0x1au);
+    EXPECT_FALSE(t.streams[0][0].is_write);
+    EXPECT_EQ(t.streams[0][0].instr_delta, 1u);
+    EXPECT_EQ(t.streams[1][0].block, 0xffu);
+    EXPECT_TRUE(t.streams[1][0].is_write);
+    EXPECT_EQ(t.streams[1][0].instr_delta, 7u);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+    {
+        std::istringstream in("0 R 1a\n");  // missing header
+        EXPECT_THROW(read_text(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("T 1\n5 R 1a\n");  // tid out of range
+        EXPECT_THROW(read_text(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("T 1\n0 X 1a\n");  // bad mode
+        EXPECT_THROW(read_text(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("T 0\n");  // zero threads
+        EXPECT_THROW(read_text(in), std::runtime_error);
+    }
+}
+
+TEST(Spec2000, TwelveDistinctProfiles) {
+    const auto& profiles = spec2000_profiles();
+    ASSERT_EQ(profiles.size(), 12u);
+    std::unordered_set<std::string_view> names;
+    for (const auto& p : profiles) {
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+        EXPECT_GT(p.p_new_block, 0.0);
+        EXPECT_LE(p.p_new_block, 1.0);
+        EXPECT_FALSE(p.strides.empty());
+        EXPECT_FALSE(p.region_blocks.empty());
+    }
+    EXPECT_TRUE(names.contains("mcf"));
+    EXPECT_TRUE(names.contains("gcc"));
+}
+
+TEST(Spec2000, LookupByName) {
+    EXPECT_EQ(spec2000_profile("bzip2").name, "bzip2");
+    EXPECT_THROW((void)spec2000_profile("nonexistent"), std::out_of_range);
+}
+
+TEST(Spec2000, StreamDeterministicAndSized) {
+    const auto& p = spec2000_profile("gcc");
+    const auto a = generate_spec2000_stream(p, 2000, 5);
+    const auto b = generate_spec2000_stream(p, 2000, 5);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 2000u);
+    const auto c = generate_spec2000_stream(p, 2000, 6);
+    EXPECT_NE(a, c);
+}
+
+TEST(Spec2000, FootprintGrowsSlowerThanAccesses) {
+    const auto& p = spec2000_profile("crafty");
+    const auto s = generate_spec2000_stream(p, 20000, 9);
+    const auto footprint = unique_blocks(s);
+    // Heavy temporal reuse: footprint well below access count but nonzero.
+    EXPECT_GT(footprint, 50u);
+    EXPECT_LT(footprint, s.size() / 5);
+}
+
+TEST(Spec2000, WriteBlockFractionRoughlyMatchesProfile) {
+    const auto& p = spec2000_profile("bzip2");
+    const auto s = generate_spec2000_stream(p, 30000, 13);
+    std::unordered_set<std::uint64_t> written, all;
+    for (const auto& a : s) {
+        all.insert(a.block);
+        if (a.is_write) written.insert(a.block);
+    }
+    const double frac =
+        static_cast<double>(written.size()) / static_cast<double>(all.size());
+    EXPECT_NEAR(frac, p.write_block_fraction, 0.1);
+}
+
+TEST(Spec2000, StreamingProfileHasLongerRunsThanPointerChaser) {
+    auto count_runs = [](const Stream& s) {
+        std::size_t consecutive = 0;
+        for (std::size_t i = 1; i < s.size(); ++i) {
+            if (s[i].block == s[i - 1].block + 1) ++consecutive;
+        }
+        return consecutive;
+    };
+    const auto bzip = generate_spec2000_stream(spec2000_profile("bzip2"), 20000, 21);
+    const auto mcf = generate_spec2000_stream(spec2000_profile("mcf"), 20000, 21);
+    EXPECT_GT(count_runs(bzip), count_runs(mcf));
+}
+
+TEST(Spec2000, InstructionDeltasPositive) {
+    const auto s = generate_spec2000_stream(spec2000_profile("vpr"), 5000, 3);
+    for (const auto& a : s) EXPECT_GE(a.instr_delta, 1u);
+    const double mean_instr = static_cast<double>(instruction_count(s, s.size())) /
+                              static_cast<double>(s.size());
+    EXPECT_GT(mean_instr, 1.0);
+    EXPECT_LT(mean_instr, 10.0);
+}
+
+}  // namespace
+}  // namespace tmb::trace

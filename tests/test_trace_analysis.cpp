@@ -1,0 +1,192 @@
+// Tests for trace/analysis and trace/zipf: the locality analytics and the
+// Zipfian generator, including validation that the SPECJBB-like and
+// SPEC2000-like generators actually have the locality structure the
+// substitution argument (DESIGN.md §2) relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "trace/analysis.hpp"
+#include "trace/spec2000.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/zipf.hpp"
+
+namespace tmb::trace {
+namespace {
+
+// ---------------------------------------------------------------------------
+// analyze_stream on hand-built streams
+// ---------------------------------------------------------------------------
+
+TEST(Analysis, EmptyStream) {
+    const Stream s;
+    const auto p = analyze_stream(s);
+    EXPECT_EQ(p.accesses, 0u);
+    EXPECT_EQ(p.unique_blocks, 0u);
+}
+
+TEST(Analysis, CountsWritesAndAlpha) {
+    // read read write, repeated: alpha = 2.
+    Stream s;
+    for (std::uint64_t i = 0; i < 30; ++i) {
+        s.push_back({100 + i, i % 3 == 2, 1});
+    }
+    const auto p = analyze_stream(s);
+    EXPECT_NEAR(p.write_fraction, 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(p.alpha, 2.0, 1e-12);
+    EXPECT_EQ(p.unique_blocks, 30u);
+}
+
+TEST(Analysis, DetectsSequentialRuns) {
+    // Two runs of 5 consecutive blocks separated by a jump.
+    Stream s;
+    for (std::uint64_t b = 0; b < 5; ++b) s.push_back({b, false, 1});
+    for (std::uint64_t b = 100; b < 105; ++b) s.push_back({b, false, 1});
+    const auto p = analyze_stream(s);
+    EXPECT_EQ(p.run_lengths.count_at(5), 2u);
+    EXPECT_NEAR(p.sequential_fraction, 8.0 / 10.0, 1e-12);
+    EXPECT_NEAR(p.mean_run_length, 5.0, 1e-12);
+}
+
+TEST(Analysis, DetectsReuse) {
+    const Stream s{{1, false, 1}, {2, false, 1}, {1, false, 1}, {1, false, 1}};
+    const auto p = analyze_stream(s);
+    EXPECT_EQ(p.unique_blocks, 2u);
+    EXPECT_NEAR(p.reuse_fraction, 0.5, 1e-12);
+    // Reuse distances: index2 - index0 = 2, index3 - index2 = 1.
+    EXPECT_EQ(p.reuse_distances.count_at(2), 1u);
+    EXPECT_EQ(p.reuse_distances.count_at(1), 1u);
+}
+
+TEST(Analysis, FootprintGrowthCurveMonotone) {
+    const auto stream = generate_spec2000_stream(spec2000_profile("gap"), 4096, 1);
+    const auto p = analyze_stream(stream);
+    ASSERT_GE(p.footprint_at_pow2.size(), 10u);
+    for (std::size_t i = 1; i < p.footprint_at_pow2.size(); ++i) {
+        EXPECT_LE(p.footprint_at_pow2[i - 1], p.footprint_at_pow2[i]);
+    }
+    EXPECT_EQ(p.footprint_at_pow2.back(), p.unique_blocks);
+}
+
+TEST(Analysis, InstrPerAccessMean) {
+    const Stream s{{1, false, 2}, {2, false, 4}};
+    EXPECT_NEAR(analyze_stream(s).instr_per_access, 3.0, 1e-12);
+}
+
+TEST(Analysis, ToStringContainsMetrics) {
+    const Stream s{{1, true, 1}};
+    const auto text = to_string(analyze_stream(s));
+    EXPECT_NE(text.find("unique blocks"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Generator validation via analytics (the substitution argument)
+// ---------------------------------------------------------------------------
+
+TEST(Analysis, SpecJbbGeneratorHasPaperLikeStructure) {
+    SpecJbbLikeParams params;
+    SpecJbbLikeGenerator gen(params, 42);
+    const auto p = analyze_stream(gen.generate_stream(0, 40000));
+    EXPECT_NEAR(p.alpha, 2.0, 0.3);              // α ≈ 2 (paper §2.3)
+    EXPECT_GT(p.sequential_fraction, 0.15);      // consecutive-address runs (§4)
+    EXPECT_GT(p.reuse_fraction, 0.1);            // temporal locality
+    EXPECT_LT(p.reuse_fraction, 0.9);
+    EXPECT_GT(p.mean_run_length, 1.2);
+}
+
+TEST(Analysis, StreamingProfilesAreMoreSequentialThanPointerChasers) {
+    const auto bzip =
+        analyze_stream(generate_spec2000_stream(spec2000_profile("bzip2"), 30000, 7));
+    const auto mcf =
+        analyze_stream(generate_spec2000_stream(spec2000_profile("mcf"), 30000, 7));
+    EXPECT_GT(bzip.sequential_fraction, mcf.sequential_fraction);
+    EXPECT_GT(bzip.mean_run_length, mcf.mean_run_length);
+}
+
+TEST(Analysis, Spec2000ProfilesHaveHeavyReuse) {
+    // Fig. 3(b) needs many instructions per footprint block → heavy reuse.
+    for (const auto& profile : spec2000_profiles()) {
+        const auto p =
+            analyze_stream(generate_spec2000_stream(profile, 20000, 3));
+        EXPECT_GT(p.reuse_fraction, 0.5) << profile.name;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zipfian sampler and trace
+// ---------------------------------------------------------------------------
+
+TEST(Zipf, PmfSumsToOneAndDecreases) {
+    const ZipfianSampler z(100, 0.99);
+    double total = 0.0;
+    double prev = 1.0;
+    for (std::uint64_t k = 0; k < 100; ++k) {
+        const double mass = z.pmf(k);
+        total += mass;
+        EXPECT_LE(mass, prev + 1e-12);
+        prev = mass;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, SkewZeroIsUniform) {
+    const ZipfianSampler z(50, 0.0);
+    for (std::uint64_t k = 0; k < 50; ++k) {
+        EXPECT_NEAR(z.pmf(k), 1.0 / 50.0, 1e-9);
+    }
+}
+
+TEST(Zipf, SampleFrequenciesMatchPmf) {
+    const ZipfianSampler z(64, 1.0);
+    util::Xoshiro256 rng{9};
+    std::vector<std::uint64_t> counts(64, 0);
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+    for (const std::uint64_t k : {0u, 1u, 7u, 31u}) {
+        const double expected = z.pmf(k) * n;
+        EXPECT_NEAR(static_cast<double>(counts[k]), expected,
+                    5 * std::sqrt(expected) + 5)
+            << "rank " << k;
+    }
+}
+
+TEST(Zipf, RejectsBadParams) {
+    EXPECT_THROW(ZipfianSampler(0, 1.0), std::invalid_argument);
+    EXPECT_THROW(ZipfianSampler(10, -1.0), std::invalid_argument);
+}
+
+TEST(Zipf, TraceHasSkewedReuse) {
+    const ZipfTraceParams params{.threads = 2, .blocks_per_thread = 4096,
+                                 .skew = 0.99};
+    const auto trace = generate_zipf_trace(params, 20000, 11);
+    ASSERT_EQ(trace.streams.size(), 2u);
+    const auto p = analyze_stream(trace.streams[0]);
+    // Heavy skew → most accesses hit already-seen blocks.
+    EXPECT_GT(p.reuse_fraction, 0.6);
+    // But almost no sequential structure (popularity, not spatial, model).
+    EXPECT_LT(p.sequential_fraction, 0.1);
+}
+
+TEST(Zipf, ThreadsUseDisjointUniverses) {
+    const ZipfTraceParams params{.threads = 3, .blocks_per_thread = 1024};
+    const auto trace = generate_zipf_trace(params, 5000, 13);
+    std::set<std::uint64_t> seen;
+    for (const auto& stream : trace.streams) {
+        std::set<std::uint64_t> mine;
+        for (const auto& a : stream) mine.insert(a.block);
+        for (const auto b : mine) EXPECT_TRUE(seen.insert(b).second);
+    }
+}
+
+TEST(Zipf, DeterministicForSeed) {
+    const ZipfTraceParams params{.threads = 2, .blocks_per_thread = 512};
+    EXPECT_EQ(generate_zipf_trace(params, 1000, 21).streams,
+              generate_zipf_trace(params, 1000, 21).streams);
+    EXPECT_NE(generate_zipf_trace(params, 1000, 21).streams,
+              generate_zipf_trace(params, 1000, 22).streams);
+}
+
+}  // namespace
+}  // namespace tmb::trace

@@ -1,0 +1,333 @@
+// Unit tests for src/util: PRNG, hashing, statistics, histogram, printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/hash.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table_printer.hpp"
+
+namespace tmb::util {
+namespace {
+
+TEST(Bits, IsPow2) {
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(2));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_TRUE(is_pow2(1ULL << 40));
+    EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(Bits, NextPow2) {
+    EXPECT_EQ(next_pow2(0), 1u);
+    EXPECT_EQ(next_pow2(1), 1u);
+    EXPECT_EQ(next_pow2(2), 2u);
+    EXPECT_EQ(next_pow2(3), 4u);
+    EXPECT_EQ(next_pow2(4096), 4096u);
+    EXPECT_EQ(next_pow2(4097), 8192u);
+}
+
+TEST(Bits, Log2Pow2AndLowMask) {
+    EXPECT_EQ(log2_pow2(1), 0u);
+    EXPECT_EQ(log2_pow2(64), 6u);
+    EXPECT_EQ(low_mask(0), 0u);
+    EXPECT_EQ(low_mask(6), 63u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+    Xoshiro256 a{42}, b{42};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Xoshiro256 a{1}, b{2};
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+    Xoshiro256 rng{7};
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.below(10);
+        ASSERT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+    Xoshiro256 rng{7};
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, UniformInclusiveBounds) {
+    Xoshiro256 rng{11};
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.uniform(3, 5);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval) {
+    Xoshiro256 rng{3};
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform01();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+    Xoshiro256 rng{5};
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliMeanApproximatesP) {
+    Xoshiro256 rng{17};
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, RunLengthMeanMatchesGeometric) {
+    Xoshiro256 rng{23};
+    double total = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        total += static_cast<double>(rng.run_length(0.5, 1000));
+    }
+    EXPECT_NEAR(total / n, 2.0, 0.1);  // mean of 1 + Geometric(0.5)
+}
+
+TEST(Rng, RunLengthRespectsCap) {
+    Xoshiro256 rng{29};
+    for (int i = 0; i < 1000; ++i) EXPECT_LE(rng.run_length(0.01, 5), 5u);
+}
+
+TEST(Rng, JumpProducesDisjointStream) {
+    Xoshiro256 a{99};
+    Xoshiro256 b{99};
+    b.jump();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitChildIndependent) {
+    Xoshiro256 a{123};
+    Xoshiro256 child = a.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a() == child()) ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Hash, ShiftMaskIsModulo) {
+    EXPECT_EQ(hash_shift_mask(0x1234, 1 << 12), 0x234u);
+    EXPECT_EQ(hash_shift_mask(7, 4), 3u);
+    EXPECT_EQ(hash_shift_mask(100, 10), 0u);  // non-pow2 falls back to %
+}
+
+TEST(Hash, AllKindsStayInRange) {
+    Xoshiro256 rng{31};
+    for (const auto kind :
+         {HashKind::kShiftMask, HashKind::kMultiplicative, HashKind::kMix64}) {
+        for (int i = 0; i < 1000; ++i) {
+            const std::uint64_t block = rng();
+            EXPECT_LT(hash_block(kind, block, 4096), 4096u);
+            EXPECT_LT(hash_block(kind, block, 1000), 1000u);
+        }
+    }
+}
+
+TEST(Hash, Mix64SpreadsConsecutiveBlocks) {
+    // Consecutive blocks should hit many distinct entries of a small table.
+    std::set<std::uint64_t> entries;
+    for (std::uint64_t b = 0; b < 256; ++b) entries.insert(hash_mix64(b, 1024));
+    EXPECT_GT(entries.size(), 200u);
+}
+
+TEST(Hash, ShiftMaskKeepsConsecutiveBlocksConsecutive) {
+    for (std::uint64_t b = 100; b < 110; ++b) {
+        EXPECT_EQ(hash_shift_mask(b + 1, 4096),
+                  (hash_shift_mask(b, 4096) + 1) % 4096);
+    }
+}
+
+TEST(Hash, UniformityChiSquare) {
+    // mix64 over sequential inputs should fill a 64-bin table uniformly.
+    constexpr std::uint64_t kBins = 64;
+    constexpr std::uint64_t kSamples = 64000;
+    std::vector<std::uint64_t> counts(kBins, 0);
+    for (std::uint64_t i = 0; i < kSamples; ++i) ++counts[hash_mix64(i, kBins)];
+    const double expected = static_cast<double>(kSamples) / kBins;
+    double chi2 = 0;
+    for (const auto c : counts) {
+        const double d = static_cast<double>(c) - expected;
+        chi2 += d * d / expected;
+    }
+    // 63 dof: mean 63, stddev ~11.2; 63 + 5 sigma ≈ 119.
+    EXPECT_LT(chi2, 119.0);
+}
+
+TEST(Hash, ToStringNames) {
+    EXPECT_EQ(to_string(HashKind::kShiftMask), "shift-mask");
+    EXPECT_EQ(to_string(HashKind::kMultiplicative), "multiplicative");
+    EXPECT_EQ(to_string(HashKind::kMix64), "mix64");
+}
+
+TEST(Stats, RunningStatsBasics) {
+    RunningStats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, EmptyStatsAreZero) {
+    const RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+    RunningStats all, a, b;
+    Xoshiro256 rng{77};
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform01() * 10;
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, ProportionWilsonContainsTruth) {
+    Proportion p;
+    Xoshiro256 rng{111};
+    for (int i = 0; i < 5000; ++i) p.add(rng.bernoulli(0.2));
+    const auto [lo, hi] = p.wilson95();
+    EXPECT_LT(lo, 0.2);
+    EXPECT_GT(hi, 0.2);
+    EXPECT_NEAR(p.rate(), 0.2, 0.02);
+}
+
+TEST(Stats, ProportionDegenerate) {
+    Proportion p;
+    EXPECT_EQ(p.rate(), 0.0);
+    const auto [lo, hi] = p.wilson95();
+    EXPECT_EQ(lo, 0.0);
+    EXPECT_EQ(hi, 1.0);
+}
+
+TEST(Stats, LogLogSlopeRecoversPowerLaw) {
+    std::vector<double> x, y;
+    for (double v = 1; v <= 64; v *= 2) {
+        x.push_back(v);
+        y.push_back(3.0 * v * v);  // slope 2
+    }
+    EXPECT_NEAR(loglog_slope(x, y), 2.0, 1e-9);
+}
+
+TEST(Stats, LogLogSlopeSkipsNonPositive) {
+    const std::vector<double> x{1, 2, 0, 4};
+    const std::vector<double> y{1, 4, 9, 16};
+    EXPECT_NEAR(loglog_slope(x, y), 2.0, 1e-9);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+    const std::vector<double> x{1, 2, 3, 4};
+    const std::vector<double> y{2, 4, 6, 8};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    const std::vector<double> ny{-2, -4, -6, -8};
+    EXPECT_NEAR(pearson(x, ny), -1.0, 1e-12);
+}
+
+TEST(Histogram, AddAndQuery) {
+    Histogram h(8);
+    h.add(0, 5);
+    h.add(3, 10);
+    h.add(100);  // overflow
+    EXPECT_EQ(h.total(), 16u);
+    EXPECT_EQ(h.count_at(0), 5u);
+    EXPECT_EQ(h.count_at(3), 10u);
+    EXPECT_EQ(h.overflow_count(), 1u);
+    EXPECT_NEAR(h.mean(), (0 * 5 + 3 * 10 + 100) / 16.0, 1e-12);
+}
+
+TEST(Histogram, Percentiles) {
+    Histogram h(16);
+    for (std::uint64_t v = 1; v <= 10; ++v) h.add(v);
+    EXPECT_EQ(h.percentile(0.1), 1u);
+    EXPECT_EQ(h.percentile(0.5), 5u);
+    EXPECT_EQ(h.percentile(1.0), 10u);
+    EXPECT_EQ(h.max_value(), 10u);
+}
+
+TEST(Histogram, FractionAt) {
+    Histogram h(4);
+    h.add(1, 25);
+    h.add(2, 75);
+    EXPECT_DOUBLE_EQ(h.fraction_at(1), 0.25);
+    EXPECT_DOUBLE_EQ(h.fraction_at(2), 0.75);
+    EXPECT_DOUBLE_EQ(h.fraction_at(3), 0.0);
+}
+
+TEST(TablePrinter, RendersAlignedColumns) {
+    TablePrinter t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22222"});
+    std::ostringstream os;
+    t.render(os, 0);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22222"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput) {
+    TablePrinter t({"a", "b"});
+    t.add_row({"1", "2"});
+    std::ostringstream os;
+    t.render_csv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, RejectsWrongArity) {
+    TablePrinter t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, FmtHelpers) {
+    EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::fmt(std::uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace tmb::util
