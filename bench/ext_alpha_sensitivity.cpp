@@ -18,11 +18,13 @@ using tmb::bench::scaled;
 using tmb::util::TablePrinter;
 }  // namespace
 
-int main() {
-    tmb::bench::header("model ablation — conflict likelihood vs alpha (1+2a law)",
+int bench_main(int argc, char** argv) {
+    tmb::bench::Runner runner("ext_alpha_sensitivity", argc, argv);
+    runner.header("model ablation — conflict likelihood vs alpha (1+2a law)",
                        "Zilles & Rajwar, SPAA 2007, Eq. 4/8 read-mix term");
 
-    constexpr std::uint64_t kTable = 65536;
+    const std::uint64_t kTable = runner.cfg().get_u64("entries", 65536);
+    const std::string kOrg = runner.cfg().get("table", "tagless");
     constexpr std::uint64_t kW = 10;
 
     std::cout << "open-system simulation, C=2, W=" << kW << ", N=" << kTable
@@ -37,6 +39,7 @@ int main() {
              .write_footprint = kW,
              .alpha = alpha,
              .table_entries = kTable,
+             .table = kOrg,
              .experiments = scaled(20000),
              .seed = 0xa1f4 ^ static_cast<std::uint64_t>(alpha * 8)});
         const tmb::core::ModelParams p{.alpha = alpha, .table_entries = kTable};
@@ -48,11 +51,15 @@ int main() {
                    TablePrinter::fmt(r.conflict_rate() / base_rate, 2),
                    TablePrinter::fmt(1.0 + 2.0 * alpha, 2)});
     }
-    tmb::bench::emit("ext_alpha_sensitivity", t);
+    runner.emit("ext_alpha_sensitivity", t);
 
     std::cout << "\nreading: the measured ratio column should track (1+2a) — "
                  "doubling the read mix\nnearly doubles the false-conflict "
                  "rate even though reads alone never conflict with\neach "
                  "other. Read sets are not free in a tagless table.\n";
-    return 0;
+    return runner.done();
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(bench_main, argc, argv);
 }

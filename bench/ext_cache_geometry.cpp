@@ -38,8 +38,9 @@ double mean_footprint(const CacheGeometry& geometry) {
 
 }  // namespace
 
-int main() {
-    tmb::bench::header("Fig. 3 extension — cache-geometry sensitivity",
+int bench_main(int argc, char** argv) {
+    tmb::bench::Runner runner("ext_cache_geometry", argc, argv);
+    runner.header("Fig. 3 extension — cache-geometry sensitivity",
                        "Zilles & Rajwar, SPAA 2007, §2.3 victim-buffer discussion");
 
     std::cout << "mean transactional footprint at overflow (blocks; capacity "
@@ -57,7 +58,7 @@ int main() {
             t.add_row({std::to_string(ways), TablePrinter::fmt(fp, 0),
                        TablePrinter::fmt(100.0 * fp / 512.0, 1)});
         }
-        tmb::bench::emit("ext_cache_associativity", t);
+        runner.emit("ext_cache_associativity", t);
         std::cout << "shape: higher associativity defers set-conflict "
                      "overflow; returns diminish past 8 ways.\n\n";
     }
@@ -78,10 +79,14 @@ int main() {
                        TablePrinter::fmt(100.0 * fp / 512.0, 1),
                        TablePrinter::fmt(100.0 * (fp / base - 1.0), 1) + "%"});
         }
-        tmb::bench::emit("ext_cache_victim_buffer", t);
+        runner.emit("ext_cache_victim_buffer", t);
         std::cout << "shape: the first entry buys the most (paper: ~16%); "
                      "each further entry helps less —\nvictim buffers are "
                      "cost-effective but not a substitute for STM fallback.\n";
     }
-    return 0;
+    return runner.done();
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(bench_main, argc, argv);
 }

@@ -11,9 +11,11 @@
 // are disjoint; with 64-byte blocks every block is shared by all four.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "config/config.hpp"
 #include "stm/stm.hpp"
 #include "util/rng.hpp"
 
@@ -21,21 +23,19 @@ namespace {
 
 using namespace tmb::stm;
 
-void run_interleaved(benchmark::State& state, BackendKind kind) {
+void run_interleaved(benchmark::State& state, const std::string& org) {
     const auto block_bytes = static_cast<std::uint32_t>(state.range(0));
     constexpr int kThreads = 4;
     constexpr int kVars = 256;  // contiguous array, 8B apart
     constexpr int kTxPerThread = 300;
 
     for (auto _ : state) {
-        StmConfig config;
-        config.backend = kind;
-        config.block_bytes = block_bytes;
-        config.table.entries = 1u << 16;
         // Exponential backoff: with every transaction colliding at coarse
         // granularity, yield-only retry livelocks on a single core.
-        config.contention.policy = ContentionPolicy::kExponentialBackoff;
-        Stm tm(config);
+        const auto tm_owner = Stm::create(tmb::config::Config::from_string(
+            "table=" + org + " entries=64k contention=backoff block_bytes=" +
+            std::to_string(block_bytes)));
+        Stm& tm = *tm_owner;
 
         std::vector<TVar<long>> vars(kVars);
         std::vector<std::thread> threads;
@@ -68,10 +68,10 @@ void run_interleaved(benchmark::State& state, BackendKind kind) {
 }
 
 void BM_Tagged_Granularity(benchmark::State& state) {
-    run_interleaved(state, BackendKind::kTaggedTable);
+    run_interleaved(state, "tagged");
 }
 void BM_Tagless_Granularity(benchmark::State& state) {
-    run_interleaved(state, BackendKind::kTaglessTable);
+    run_interleaved(state, "tagless");
 }
 
 // Note: with 64-byte blocks the conflicts are TRUE conflicts at the

@@ -28,6 +28,9 @@ using tmb::bench::scaled;
 using tmb::util::HashKind;
 using tmb::util::TablePrinter;
 
+/// Organization under test (`--table=tagged` should zero every column).
+std::string g_table = "tagless";  // NOLINT: bench-local knob
+
 double alias_pct(const tmb::trace::MultiThreadTrace& trace, HashKind hash,
                  std::uint64_t w, std::uint64_t n) {
     const tmb::sim::TraceAliasConfig config{
@@ -35,13 +38,15 @@ double alias_pct(const tmb::trace::MultiThreadTrace& trace, HashKind hash,
         .write_footprint = w,
         .table_entries = n,
         .hash = hash,
+        .table = g_table,
         .samples = scaled(4000),
         .seed = 0xa11a5 ^ (static_cast<std::uint64_t>(hash) << 40) ^ (w << 20) ^ n,
     };
     return 100.0 * run_trace_alias(config, trace).alias_likelihood();
 }
 
-void sweep(const tmb::trace::MultiThreadTrace& trace, const char* label) {
+void sweep(tmb::bench::Runner& runner, const tmb::trace::MultiThreadTrace& trace,
+           const char* label) {
     std::cout << label << " (alias likelihood %, C=2, W=20):\n";
     TablePrinter t({"N", "shift-mask", "multiplicative", "mix64"});
     for (const std::uint64_t n : {1u << 10, 1u << 12, 1u << 14, 1u << 16, 1u << 18}) {
@@ -51,21 +56,23 @@ void sweep(const tmb::trace::MultiThreadTrace& trace, const char* label) {
                        alias_pct(trace, HashKind::kMultiplicative, 20, n), 2),
                    TablePrinter::fmt(alias_pct(trace, HashKind::kMix64, 20, n), 2)});
     }
-    tmb::bench::emit(std::string("ext_hash_") + (label[0] == 'S' ? "spatial" : "zipf"), t);
+    runner.emit(std::string("ext_hash_") + (label[0] == 'S' ? "spatial" : "zipf"), t);
     std::cout << '\n';
 }
 
 }  // namespace
 
-int main() {
-    tmb::bench::header(
+int bench_main(int argc, char** argv) {
+    tmb::bench::Runner runner("ext_hash_sensitivity", argc, argv);
+    g_table = runner.cfg().get("table", g_table);
+    runner.header(
         "§4 extension — hash-function sensitivity of the alias rate",
         "Zilles & Rajwar, SPAA 2007, §4 future-work discussion");
 
     tmb::trace::SpecJbbLikeGenerator jbb({}, 20071701);
     auto spatial = jbb.generate(120000);
     tmb::trace::remove_true_conflicts(spatial);
-    sweep(spatial, "SPECJBB-like trace (spatial runs + reuse)");
+    sweep(runner, spatial, "SPECJBB-like trace (spatial runs + reuse)");
 
     auto zipf = tmb::trace::generate_zipf_trace(
         {.threads = 4, .blocks_per_thread = 1u << 18, .skew = 0.99}, 120000,
@@ -73,7 +80,7 @@ int main() {
     // Disjoint universes by construction — no filtering needed, but run the
     // filter anyway to mirror the main experiment's pipeline.
     tmb::trace::remove_true_conflicts(zipf);
-    sweep(zipf, "Zipf-skewed trace (popularity skew, no spatial runs)");
+    sweep(runner, zipf, "Zipf-skewed trace (popularity skew, no spatial runs)");
 
     std::cout
         << "reading:\n"
@@ -88,5 +95,9 @@ int main() {
            "asymptotes: identical data-\n    structure layouts in different "
            "threads' heaps alias periodically, so only an\n    avalanching "
            "hash (mix64) restores the model's 1/N behaviour.\n";
-    return 0;
+    return runner.done();
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(bench_main, argc, argv);
 }

@@ -18,13 +18,21 @@
 namespace {
 using tmb::hybrid::HybridConfig;
 using tmb::hybrid::HybridResult;
-using tmb::hybrid::run_hybrid_tm;
-using tmb::ownership::TableKind;
+using tmb::hybrid::HybridTm;
 using tmb::util::TablePrinter;
 }  // namespace
 
-int main() {
-    tmb::bench::header(
+int bench_main(int argc, char** argv) {
+    tmb::bench::Runner runner("ext_hybrid_tm", argc, argv);
+    // Ablate the organizations named on the command line (`--table=NAME`) or
+    // the paper's pair by default; any registered organization works.
+    std::vector<std::string> orgs;
+    if (const auto pinned = runner.cfg().get_optional("table")) {
+        orgs.push_back(*pinned);
+    } else {
+        orgs = {"tagless", "tagged"};
+    }
+    runner.header(
         "§6 conclusion — hybrid TM with tagless vs tagged STM fallback",
         "Zilles & Rajwar, SPAA 2007, §2.3/§6 (conclusion, quantified)");
 
@@ -36,23 +44,23 @@ int main() {
     TablePrinter t({"threads", "table", "stm commits/kTick", "abort ratio",
                     "effective concurrency"});
     for (const std::uint32_t threads : {1u, 2u, 4u, 8u, 16u}) {
-        for (const auto kind : {TableKind::kTagless, TableKind::kTagged}) {
+        for (const std::string& org : orgs) {
             HybridConfig c;
             c.threads = threads;
             c.mix.large_fraction = 1.0;
             c.mix.large_blocks = 256;
-            c.stm_table = kind;
+            c.stm_table = org;
             c.stm_table_entries = 1u << 16;
             c.ticks = 50'000;
             c.seed = 77;
-            const HybridResult r = run_hybrid_tm(c);
-            t.add_row({std::to_string(threads), std::string(to_string(kind)),
+            const HybridResult r = HybridTm(c).run();
+            t.add_row({std::to_string(threads), org,
                        TablePrinter::fmt(r.stm_throughput(c), 2),
                        TablePrinter::fmt(r.stm_abort_ratio(), 3),
                        TablePrinter::fmt(r.stm_effective_concurrency, 2)});
         }
     }
-    tmb::bench::emit("ext_hybrid_allover", t);
+    runner.emit("ext_hybrid_allover", t);
 
     std::cout << "\npaper prediction: tagless fallback concurrency collapses "
                  "toward 1 as threads grow\n(Eq. 8 at W=85 written blocks is "
@@ -63,20 +71,24 @@ int main() {
 
     TablePrinter m({"table", "htm commits/kTick", "stm commits/kTick",
                     "stm abort ratio"});
-    for (const auto kind : {TableKind::kTagless, TableKind::kTagged}) {
+    for (const std::string& org : orgs) {
         HybridConfig c;
         c.threads = 4;
         c.mix.large_fraction = 0.1;
-        c.stm_table = kind;
+        c.stm_table = org;
         c.stm_table_entries = 1u << 16;
         c.ticks = 50'000;
         c.seed = 78;
-        const HybridResult r = run_hybrid_tm(c);
-        m.add_row({std::string(to_string(kind)),
+        const HybridResult r = HybridTm(c).run();
+        m.add_row({org,
                    TablePrinter::fmt(r.htm_throughput(c), 2),
                    TablePrinter::fmt(r.stm_throughput(c), 2),
                    TablePrinter::fmt(r.stm_abort_ratio(), 3)});
     }
-    tmb::bench::emit("ext_hybrid_mixed", m);
-    return 0;
+    runner.emit("ext_hybrid_mixed", m);
+    return runner.done();
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(bench_main, argc, argv);
 }

@@ -23,12 +23,14 @@ using tmb::core::ModelParams;
 using tmb::util::TablePrinter;
 }  // namespace
 
-int main() {
-    tmb::bench::header(
+int bench_main(int argc, char** argv) {
+    tmb::bench::Runner runner("ext_strong_isolation", argc, argv);
+    runner.header(
         "§6 extension — strong isolation vs tagless ownership tables",
         "Zilles & Rajwar, SPAA 2007, §6 (claim stated without data)");
 
-    constexpr std::uint64_t kTable = 65536;
+    const std::uint64_t kTable = runner.cfg().get_u64("entries", 65536);
+    const std::string kOrg = runner.cfg().get("table", "tagless");
     constexpr double kBeta = 1.0 / 3.0;
     const ModelParams p{.alpha = 2.0, .table_entries = kTable};
 
@@ -47,6 +49,7 @@ int main() {
                  .write_footprint = w,
                  .alpha = 2.0,
                  .table_entries = kTable,
+                 .table = kOrg,
                  .experiments = scaled(4000),
                  .seed = 0x51ULL ^ (w << 8) ^ s,
                  .non_tx_accesses_per_step = s,
@@ -64,7 +67,7 @@ int main() {
         row.push_back(TablePrinter::fmt(100.0 * nontx_share, 1) + "%");
         t.add_row(std::move(row));
     }
-    tmb::bench::emit("ext_strong_isolation", t);
+    runner.emit("ext_strong_isolation", t);
 
     std::cout << "\nreading: at realistic S (non-transactional code touches "
                  "memory constantly, S >> 16),\nthe non-transactional term — "
@@ -73,5 +76,9 @@ int main() {
                  "transactional concurrency.\nThe tagged table (Fig. 7) is "
                  "immune: non-transactional lookups miss unless the exact\n"
                  "block is owned.\n";
-    return 0;
+    return runner.done();
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(bench_main, argc, argv);
 }

@@ -26,6 +26,10 @@ using tmb::util::TablePrinter;
 
 constexpr std::uint64_t kSeed = 20070609;  // SPAA 2007 conference date
 
+/// Organization under test; `--table=tagged` reruns the whole figure
+/// against the Fig. 7 organization (every alias count should be 0).
+std::string g_table = "tagless";  // NOLINT: bench-local knob
+
 tmb::trace::MultiThreadTrace make_trace() {
     tmb::trace::SpecJbbLikeParams params;  // 4 warehouses, defaults
     tmb::trace::SpecJbbLikeGenerator gen(params, kSeed);
@@ -42,10 +46,11 @@ tmb::trace::MultiThreadTrace make_trace() {
 
 double alias_pct(const tmb::trace::MultiThreadTrace& trace, std::uint32_t c,
                  std::uint64_t w, std::uint64_t n) {
-    const TraceAliasConfig config{
+    TraceAliasConfig config{
         .concurrency = c,
         .write_footprint = w,
         .table_entries = n,
+        .table = g_table,
         .samples = scaled(10000),
         .seed = kSeed ^ (c * 1315423911ULL) ^ (w << 20) ^ n,
     };
@@ -54,9 +59,12 @@ double alias_pct(const tmb::trace::MultiThreadTrace& trace, std::uint32_t c,
 
 }  // namespace
 
-int main() {
-    tmb::bench::header("Fig. 2 — alias likelihood in a tagless ownership table",
-                       "Zilles & Rajwar, SPAA 2007, Figure 2");
+int bench_main(int argc, char** argv) {
+    tmb::bench::Runner runner("fig2_trace_alias", argc, argv);
+    g_table = runner.cfg().get("table", g_table);
+    runner.header("Fig. 2 — alias likelihood in a " + g_table +
+                      " ownership table",
+                  "Zilles & Rajwar, SPAA 2007, Figure 2");
     const auto trace = make_trace();
 
     const std::vector<std::uint64_t> footprints{5, 10, 20, 40, 80};
@@ -73,7 +81,7 @@ int main() {
         }
         grid.add_row(std::move(row));
     }
-    tmb::bench::emit("fig2ab_alias_vs_W_N", grid);
+    runner.emit("fig2ab_alias_vs_W_N", grid);
     std::cout << "paper shape: superlinear (≈quadratic) growth down each "
                  "column;\n  slightly-sublinear 1/N decay along each row with "
                  "an asymptote at very large N.\n\n";
@@ -88,8 +96,12 @@ int main() {
         }
         conc.add_row(std::move(row));
     }
-    tmb::bench::emit("fig2c_alias_vs_concurrency", conc);
+    runner.emit("fig2c_alias_vs_concurrency", conc);
     std::cout << "paper shape: strong superlinearity; C=4 ≈ 6x the C=2 rate "
                  "(the C(C-1) law).\n";
-    return 0;
+    return runner.done();
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(bench_main, argc, argv);
 }

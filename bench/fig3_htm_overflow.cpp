@@ -37,8 +37,9 @@ OverflowSummary run_profile(const tmb::trace::Spec2000Profile& profile,
 
 }  // namespace
 
-int main() {
-    tmb::bench::header(
+int bench_main(int argc, char** argv) {
+    tmb::bench::Runner runner("fig3_htm_overflow", argc, argv);
+    runner.header(
         "Fig. 3 — HTM overflow characterization (32KB 4-way 64B L1)",
         "Zilles & Rajwar, SPAA 2007, Figure 3");
 
@@ -86,7 +87,7 @@ int main() {
                TablePrinter::fmt(reads_vb.mean() + writes_vb.mean(), 0),
                TablePrinter::fmt(100.0 * util_vb.mean(), 1),
                TablePrinter::fmt(instr_vb.mean() / 1000.0, 1)});
-    tmb::bench::emit("fig3_htm_overflow", t);
+    runner.emit("fig3_htm_overflow", t);
 
     const double vb_gain =
         100.0 * (util_vb.mean() / util_base.mean() - 1.0);
@@ -105,5 +106,9 @@ int main() {
               << TablePrinter::fmt(vb_gain, 1) << "%\n"
               << "  +1 victim buffer instruction gain: ~30% → "
               << TablePrinter::fmt(instr_gain, 1) << "%\n";
-    return 0;
+    return runner.done();
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(bench_main, argc, argv);
 }

@@ -25,19 +25,25 @@ using tmb::sim::OpenSystemResult;
 using tmb::sim::run_open_system;
 using tmb::util::TablePrinter;
 
+/// Organization under test (`--table=tagged` isolates true conflicts).
+std::string g_table = "tagless";  // NOLINT: bench-local knob
+
 OpenSystemResult point(std::uint32_t c, std::uint64_t w, std::uint64_t n) {
     return run_open_system({.concurrency = c,
                             .write_footprint = w,
                             .alpha = 2.0,
                             .table_entries = n,
+                            .table = g_table,
                             .experiments = scaled(1000),
                             .seed = 0xf16'4000 ^ (c * 977ULL) ^ (w << 24) ^ n});
 }
 
 }  // namespace
 
-int main() {
-    tmb::bench::header("Fig. 4 — model validation by statistical simulation",
+int bench_main(int argc, char** argv) {
+    tmb::bench::Runner runner("fig4_model_validation", argc, argv);
+    g_table = runner.cfg().get("table", g_table);
+    runner.header("Fig. 4 — model validation by statistical simulation",
                        "Zilles & Rajwar, SPAA 2007, Figure 4");
 
     // --- Fig. 4(a) --------------------------------------------------------
@@ -60,7 +66,7 @@ int main() {
             }
             t.add_row(std::move(row));
         }
-        tmb::bench::emit("fig4a_model_vs_sim", t);
+        runner.emit("fig4a_model_vs_sim", t);
         std::cout << "paper shape: quadratic growth in W; inverse scaling in N;"
                      "\n  e.g. at W=8 the paper quotes 48% / 27% / 14% / 7.7%.\n\n";
     }
@@ -90,7 +96,7 @@ int main() {
             }
             t.add_row(std::move(row));
         }
-        tmb::bench::emit("fig4b_clusters", t);
+        runner.emit("fig4b_clusters", t);
         std::cout << "paper shape: three clusters (4x table per 2x concurrency);"
                      "\n  within a cluster the C=2 line sits lower because "
                      "conflicts grow as C(C-1), not C^2.\n\n";
@@ -108,8 +114,12 @@ int main() {
                            TablePrinter::fmt(100.0 * r.intra_alias_block_rate, 2)});
             }
         }
-        tmb::bench::emit("fig4_intra_alias", t);
+        runner.emit("fig4_intra_alias", t);
         std::cout << "paper claim: aliasing rate < 3% whenever conflict rate < 50%.\n";
     }
-    return 0;
+    return runner.done();
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(bench_main, argc, argv);
 }

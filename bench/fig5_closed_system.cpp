@@ -23,12 +23,16 @@ using tmb::sim::ClosedSystemConfig;
 using tmb::sim::run_closed_system_averaged;
 using tmb::util::TablePrinter;
 
+/// Organization under test (`--table=tagged` isolates true conflicts).
+std::string g_table = "tagless";  // NOLINT: bench-local knob
+
 std::uint64_t conflicts(std::uint32_t c, std::uint64_t w, std::uint64_t n) {
     const ClosedSystemConfig config{
         .concurrency = c,
         .write_footprint = w,
         .alpha = 2.0,
         .table_entries = n,
+        .table = g_table,
         .target_transactions = 650,
         .seed = 0xf15'0000 ^ (c * 31ULL) ^ (w << 16) ^ n,
     };
@@ -38,8 +42,10 @@ std::uint64_t conflicts(std::uint32_t c, std::uint64_t w, std::uint64_t n) {
 
 }  // namespace
 
-int main() {
-    tmb::bench::header("Fig. 5 — closed-system conflict counts",
+int bench_main(int argc, char** argv) {
+    tmb::bench::Runner runner("fig5_closed_system", argc, argv);
+    g_table = runner.cfg().get("table", g_table);
+    runner.header("Fig. 5 — closed-system conflict counts",
                        "Zilles & Rajwar, SPAA 2007, Figure 5");
 
     // --- Fig. 5(a): conflicts vs write footprint --------------------------
@@ -57,7 +63,7 @@ int main() {
             }
             t.add_row(std::move(row));
         }
-        tmb::bench::emit("fig5a_conflicts_vs_W", t);
+        runner.emit("fig5a_conflicts_vs_W", t);
         std::cout << "paper shape: straight lines on log-log axes (power law in "
                      "W),\n  constant separation between N series.\n\n";
     }
@@ -76,7 +82,7 @@ int main() {
             }
             t.add_row(std::move(row));
         }
-        tmb::bench::emit("fig5b_conflicts_vs_N", t);
+        runner.emit("fig5b_conflicts_vs_N", t);
         std::cout << "paper shape: inverse-linear decay in N (slope -1 on "
                      "log-log axes) in the modest-conflict regime.\n";
     }
@@ -96,10 +102,14 @@ int main() {
                                0)});
             }
         }
-        tmb::bench::emit("fig5_model_overlay", t);
+        runner.emit("fig5_model_overlay", t);
         std::cout << "the estimate is first-order (attempts shorter than W "
                      "after mid-transaction aborts are\nnot modelled); "
                      "expected agreement is the scaling, within ~2x absolute.\n";
     }
-    return 0;
+    return runner.done();
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(bench_main, argc, argv);
 }

@@ -20,12 +20,16 @@ using tmb::sim::ClosedSystemResult;
 using tmb::sim::run_closed_system_averaged;
 using tmb::util::TablePrinter;
 
+/// Organization under test (`--table=tagged` isolates true conflicts).
+std::string g_table = "tagless";  // NOLINT: bench-local knob
+
 ClosedSystemResult point(std::uint32_t c, std::uint64_t w, std::uint64_t n) {
     const ClosedSystemConfig config{
         .concurrency = c,
         .write_footprint = w,
         .alpha = 2.0,
         .table_entries = n,
+        .table = g_table,
         .target_transactions = 650,
         .seed = 0xf16'0000 ^ (c * 131ULL) ^ (w << 16) ^ n,
     };
@@ -34,8 +38,10 @@ ClosedSystemResult point(std::uint32_t c, std::uint64_t w, std::uint64_t n) {
 
 }  // namespace
 
-int main() {
-    tmb::bench::header(
+int bench_main(int argc, char** argv) {
+    tmb::bench::Runner runner("fig6_concurrency", argc, argv);
+    g_table = runner.cfg().get("table", g_table);
+    runner.header(
         "Fig. 6 — applied vs actual concurrency in the closed system",
         "Zilles & Rajwar, SPAA 2007, Figure 6");
 
@@ -61,7 +67,7 @@ int main() {
             }
             t.add_row(std::move(row));
         }
-        tmb::bench::emit("fig6a_applied_concurrency", t);
+        runner.emit("fig6a_applied_concurrency", t);
         std::cout << "paper shape: lines converge at high conflict rates "
                      "(effective concurrency collapses).\n\n";
     }
@@ -85,11 +91,15 @@ int main() {
                 }
             }
         }
-        tmb::bench::emit("fig6b_actual_concurrency", t);
+        runner.emit("fig6b_actual_concurrency", t);
         std::cout << "paper shape: against actual concurrency the expected "
                      "power-law relationships reappear;\n  occupancy matches "
                      "C(1+a)W/2 when conflicts are rare and drops as much as "
                      "~40% when frequent.\n";
     }
-    return 0;
+    return runner.done();
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(bench_main, argc, argv);
 }

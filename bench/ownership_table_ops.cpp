@@ -6,10 +6,12 @@
 // factors, and the chain statistics of the tagged design.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
+#include "config/config.hpp"
+#include "ownership/any_table.hpp"
 #include "ownership/tagged_table.hpp"
-#include "ownership/tagless_table.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -17,16 +19,20 @@ namespace {
 using tmb::ownership::Mode;
 using tmb::ownership::TableConfig;
 using tmb::ownership::TaggedTable;
-using tmb::ownership::TaglessTable;
 using tmb::ownership::TxId;
 
 /// Acquire a footprint of `footprint` random blocks then release it,
-/// repeatedly — the STM-commit lifecycle at a given table-size ratio.
-template <typename Table>
-void acquire_release_cycle(benchmark::State& state) {
+/// repeatedly — the STM-commit lifecycle at a given table-size ratio. The
+/// organization is resolved by registry name, so the virtual-dispatch cost
+/// is part of what this measures (it is the production configuration: the
+/// STM's simulators and tools run tables through the same interface).
+void acquire_release_cycle(benchmark::State& state, const std::string& org) {
     const auto entries = static_cast<std::uint64_t>(state.range(0));
     const auto footprint = static_cast<std::uint64_t>(state.range(1));
-    Table table(TableConfig{.entries = entries});
+    tmb::config::Config cfg;
+    cfg.set("table", org);
+    cfg.set("entries", std::to_string(entries));
+    const auto table = tmb::ownership::make_table(cfg);
     tmb::util::Xoshiro256 rng{42};
     std::vector<std::uint64_t> blocks(footprint);
 
@@ -35,35 +41,15 @@ void acquire_release_cycle(benchmark::State& state) {
             // Block space 64x the table → realistic aliasing pressure.
             b = rng.below(entries * 64);
             const bool write = (b & 3) == 0;  // ~alpha = 3 reads per write
-            const auto r = write ? table.acquire_write(0, b)
-                                 : table.acquire_read(0, b);
+            const auto r = write ? table->acquire_write(0, b)
+                                 : table->acquire_read(0, b);
             benchmark::DoNotOptimize(r.ok);
         }
-        for (const auto b : blocks) table.release(0, b, Mode::kWrite);
+        for (const auto b : blocks) table->release(0, b, Mode::kWrite);
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(footprint) * 2);
 }
-
-void BM_TaglessAcquireRelease(benchmark::State& state) {
-    acquire_release_cycle<TaglessTable>(state);
-}
-void BM_TaggedAcquireRelease(benchmark::State& state) {
-    acquire_release_cycle<TaggedTable>(state);
-}
-
-BENCHMARK(BM_TaglessAcquireRelease)
-    ->ArgNames({"entries", "footprint"})
-    ->Args({4096, 64})
-    ->Args({65536, 64})
-    ->Args({65536, 256})
-    ->Args({1u << 20, 256});
-BENCHMARK(BM_TaggedAcquireRelease)
-    ->ArgNames({"entries", "footprint"})
-    ->Args({4096, 64})
-    ->Args({65536, 64})
-    ->Args({65536, 256})
-    ->Args({1u << 20, 256});
 
 /// Chain statistics of the tagged table under multi-transaction load: how
 /// rare is chaining in practice (§5's "overwhelming majority of entries
@@ -103,4 +89,21 @@ BENCHMARK(BM_TaggedChainProfile)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    // One acquire/release benchmark per registered organization.
+    for (const std::string& org : tmb::ownership::table_names()) {
+        auto* b = benchmark::RegisterBenchmark(
+            ("BM_AcquireRelease/table=" + org).c_str(),
+            [org](benchmark::State& state) { acquire_release_cycle(state, org); });
+        b->ArgNames({"entries", "footprint"})
+            ->Args({4096, 64})
+            ->Args({65536, 64})
+            ->Args({65536, 256})
+            ->Args({1u << 20, 256});
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,34 +1,37 @@
-// stm_backend_ablation — google-benchmark comparison of the three STM
-// backends on live multithreaded workloads (ablation A1 in DESIGN.md).
+// stm_backend_ablation — google-benchmark comparison of the STM backends on
+// live multithreaded workloads (ablation A1 in DESIGN.md).
 //
 // The paper's argument made operational: with disjoint per-thread data, the
 // tagless backend's throughput degrades as the table shrinks (false
 // conflicts), while the tagged backend holds steady. TL2 is the classic
 // word-STM baseline.
+//
+// Backends are constructed *by name* through the config registry
+// (stm::Stm::create), and the contended-workload benchmarks are registered
+// dynamically for every organization the registry knows — registering a new
+// organization automatically adds it to this ablation.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "config/config.hpp"
+#include "ownership/any_table.hpp"
 #include "stm/stm.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
-using tmb::stm::BackendKind;
 using tmb::stm::Stm;
-using tmb::stm::StmConfig;
 using tmb::stm::Transaction;
 using tmb::stm::TVar;
 
-StmConfig make_config(BackendKind kind, std::uint64_t entries,
-                      bool lazy = false) {
-    StmConfig c;
-    c.backend = kind;
-    c.table.entries = entries;
-    c.commit_time_locks = lazy;
-    c.contention.policy = tmb::stm::ContentionPolicy::kYield;
-    return c;
+/// Builds a runtime from an inline spec, e.g. "table=tagless entries=4096".
+std::unique_ptr<Stm> make_tm(const std::string& spec) {
+    return Stm::create(tmb::config::Config::from_string(spec));
 }
 
 /// One cache block per variable: threads then touch fully disjoint blocks,
@@ -38,15 +41,21 @@ struct alignas(64) PaddedVar {
 };
 
 /// Each of 4 threads increments counters in its own disjoint region —
-/// aliasing is the only possible source of conflicts.
-void run_disjoint_workload(benchmark::State& state, BackendKind kind) {
-    const auto entries = static_cast<std::uint64_t>(state.range(0));
+/// aliasing is the only possible source of conflicts. `spec` is a backend
+/// spec (works for table organizations and for tl2 alike); benchmark arg 0,
+/// when nonzero, is the ownership-table entry count.
+void run_disjoint_workload(benchmark::State& state, const std::string& spec) {
     constexpr int kThreads = 4;
     constexpr int kVarsPerThread = 64;
     constexpr int kTxPerThread = 400;
+    std::string full_spec = spec + " contention=yield";
+    if (state.range(0) > 0) {
+        full_spec += " entries=" + std::to_string(state.range(0));
+    }
 
     for (auto _ : state) {
-        Stm tm(make_config(kind, entries));
+        const auto tm_owner = make_tm(full_spec);
+        Stm& tm = *tm_owner;
         std::vector<PaddedVar> vars(kThreads * kVarsPerThread);
         std::vector<std::thread> threads;
         threads.reserve(kThreads);
@@ -79,39 +88,25 @@ void run_disjoint_workload(benchmark::State& state, BackendKind kind) {
         state.counters["true_conflicts"] =
             static_cast<double>(stats.true_conflicts);
         state.counters["abort_rate"] = stats.abort_rate();
+        state.counters["mean_attempts"] = stats.mean_attempts();
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             kThreads * kTxPerThread);
 }
 
-void BM_Tagless_DisjointThreads(benchmark::State& state) {
-    run_disjoint_workload(state, BackendKind::kTaglessTable);
-}
-void BM_Tagged_DisjointThreads(benchmark::State& state) {
-    run_disjoint_workload(state, BackendKind::kTaggedTable);
-}
+/// TL2 on the same workload (no ownership table; versioned locks).
 void BM_Tl2_DisjointThreads(benchmark::State& state) {
-    run_disjoint_workload(state, BackendKind::kTl2);
+    run_disjoint_workload(state, "backend=tl2");
 }
 
-BENCHMARK(BM_Tagless_DisjointThreads)
-    ->ArgName("entries")
-    ->Arg(256)
-    ->Arg(4096)
-    ->Arg(65536)
-    ->UseRealTime();
-BENCHMARK(BM_Tagged_DisjointThreads)
-    ->ArgName("entries")
-    ->Arg(256)
-    ->Arg(4096)
-    ->Arg(65536)
-    ->UseRealTime();
-BENCHMARK(BM_Tl2_DisjointThreads)->ArgName("entries")->Arg(65536)->UseRealTime();
+BENCHMARK(BM_Tl2_DisjointThreads)->ArgName("entries")->Arg(0)->UseRealTime();
 
 /// Single-thread transaction overhead: the raw cost of the metadata
-/// organization with no contention at all.
-void run_single_thread(benchmark::State& state, BackendKind kind) {
-    Stm tm(make_config(kind, 65536));
+/// organization with no contention at all. `spec` selects the backend by
+/// registry name; the lazy variants isolate commit-time locking cost.
+void run_single_thread(benchmark::State& state, const std::string& spec) {
+    const auto tm_owner = make_tm(spec);
+    Stm& tm = *tm_owner;
     std::vector<TVar<long>> vars(256);
     tmb::util::Xoshiro256 rng{3};
     for (auto _ : state) {
@@ -126,60 +121,51 @@ void run_single_thread(benchmark::State& state, BackendKind kind) {
 }
 
 void BM_Tagless_SingleThread(benchmark::State& state) {
-    run_single_thread(state, BackendKind::kTaglessTable);
+    run_single_thread(state, "table=tagless entries=64k");
 }
 void BM_Tagged_SingleThread(benchmark::State& state) {
-    run_single_thread(state, BackendKind::kTaggedTable);
+    run_single_thread(state, "table=tagged entries=64k");
 }
 void BM_Tl2_SingleThread(benchmark::State& state) {
-    run_single_thread(state, BackendKind::kTl2);
+    run_single_thread(state, "backend=tl2");
+}
+void BM_TaglessLazy_SingleThread(benchmark::State& state) {
+    run_single_thread(state, "table=tagless entries=64k commit_time_locks=1");
+}
+void BM_TaggedLazy_SingleThread(benchmark::State& state) {
+    run_single_thread(state, "table=tagged entries=64k commit_time_locks=1");
 }
 
 BENCHMARK(BM_Tagless_SingleThread);
 BENCHMARK(BM_Tagged_SingleThread);
 BENCHMARK(BM_Tl2_SingleThread);
-
-/// Eager (encounter-time, undo log) vs lazy (commit-time, redo buffer)
-/// locking on the same single-thread workload: the raw bookkeeping cost of
-/// the two write-handling disciplines.
-void run_single_thread_lazy(benchmark::State& state, BackendKind kind) {
-    Stm tm(make_config(kind, 65536, /*lazy=*/true));
-    std::vector<TVar<long>> vars(256);
-    tmb::util::Xoshiro256 rng{3};
-    for (auto _ : state) {
-        const auto a = rng.below(256);
-        const auto b = rng.below(256);
-        tm.atomically([&](Transaction& tx) {
-            vars[a].write(tx, vars[a].read(tx) + 1);
-            vars[b].write(tx, vars[b].read(tx) + 1);
-        });
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-}
-
-void BM_TaglessLazy_SingleThread(benchmark::State& state) {
-    run_single_thread_lazy(state, BackendKind::kTaglessTable);
-}
-void BM_TaggedLazy_SingleThread(benchmark::State& state) {
-    run_single_thread_lazy(state, BackendKind::kTaggedTable);
-}
-
 BENCHMARK(BM_TaglessLazy_SingleThread);
 BENCHMARK(BM_TaggedLazy_SingleThread);
 
-/// The atomic (lock-free metadata) tagless backend on the contended
-/// disjoint-thread workload, for comparison with the global-lock variant.
-void BM_TaglessAtomic_DisjointThreads(benchmark::State& state) {
-    run_disjoint_workload(state, BackendKind::kTaglessAtomic);
-}
-
-BENCHMARK(BM_TaglessAtomic_DisjointThreads)
-    ->ArgName("entries")
-    ->Arg(256)
-    ->Arg(4096)
-    ->Arg(65536)
-    ->UseRealTime();
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    // The contended ablation covers every registered organization the STM
+    // engine can mount (external AnyTable registrations are simulator-only:
+    // the table backends are compiled against the built-in organizations,
+    // so anything stm_config_from cannot map is skipped here).
+    for (const std::string& org : tmb::ownership::table_names()) {
+        try {
+            (void)tmb::stm::stm_config_from(
+                tmb::config::Config::from_string("table=" + org));
+        } catch (const std::invalid_argument&) {
+            continue;
+        }
+        auto* b = benchmark::RegisterBenchmark(
+            ("BM_DisjointThreads/table=" + org).c_str(),
+            [org](benchmark::State& state) {
+                run_disjoint_workload(state, "table=" + org);
+            });
+        b->ArgName("entries")->Arg(256)->Arg(4096)->Arg(65536)->UseRealTime();
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -16,8 +16,9 @@ using tmb::core::ModelParams;
 using tmb::util::TablePrinter;
 }  // namespace
 
-int main() {
-    tmb::bench::header("§3 back-of-envelope — required ownership-table sizes",
+int bench_main(int argc, char** argv) {
+    tmb::bench::Runner runner("table_commit_probability", argc, argv);
+    runner.header("§3 back-of-envelope — required ownership-table sizes",
                        "Zilles & Rajwar, SPAA 2007, §3.1-3.2 text");
 
     // --- Birthday-paradox touchstones --------------------------------------
@@ -29,7 +30,7 @@ int main() {
                        TablePrinter::fmt(
                            tmb::core::birthday_collision_probability(n, 365), 4)});
         }
-        t.render(std::cout);
+        runner.emit("tbl_birthday_touchstones", t);
         std::cout << "  minimum people for >50%: "
                   << tmb::core::birthday_min_people(0.5, 365)
                   << " (the paper's '23')\n\n";
@@ -57,7 +58,7 @@ int main() {
                            tmb::core::required_table_entries(2.0, row.c, 71, row.target)),
                        row.paper});
         }
-        t.render(std::cout);
+        runner.emit("tbl_required_table_sizes", t);
         std::cout << '\n';
     }
 
@@ -79,7 +80,7 @@ int main() {
             }
             t.add_row(std::move(row));
         }
-        t.render(std::cout);
+        runner.emit("tbl_commit_probability_w71", t);
         std::cout << "\nconclusion (paper): no reasonable tagless table size "
                      "sustains overflowed transactions at\n  useful "
                      "concurrency; a hybrid TM falling back to a tagless-table "
@@ -97,7 +98,7 @@ int main() {
                        std::to_string(tmb::core::max_write_footprint(p, 4, 0.9)),
                        std::to_string(tmb::core::max_write_footprint(p, 8, 0.9))});
         }
-        t.render(std::cout);
+        runner.emit("tbl_max_footprint_90pct", t);
     }
 
     // --- §5 space-overhead argument ----------------------------------------
@@ -118,10 +119,14 @@ int main() {
                            2) +
                            "%"});
         }
-        t.render(std::cout);
+        runner.emit("tbl_space_overhead", t);
         std::cout << "paper §5: the tag fits in a word-sized entry and chains "
                      "are rare at sane sizes —\n  the overhead column is the "
                      "whole price of eliminating false conflicts.\n";
     }
-    return 0;
+    return runner.done();
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(bench_main, argc, argv);
 }

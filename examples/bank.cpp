@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "config/config.hpp"
 #include "stm/stm.hpp"
 #include "util/rng.hpp"
 #include "util/table_printer.hpp"
@@ -27,11 +28,13 @@ struct RunResult {
     double millis = 0.0;
 };
 
-RunResult run_bank(BackendKind kind, int threads, int transfers_per_thread) {
-    StmConfig config;
-    config.backend = kind;
-    config.table.entries = 512;  // small on purpose: aliasing pressure
-    Stm tm(config);
+RunResult run_bank(const std::string& backend, int threads,
+                   int transfers_per_thread) {
+    // Backend by registry name; the table is small on purpose so aliasing
+    // pressure is visible.
+    const auto tm_owner = Stm::create(tmb::config::Config::from_string(
+        "backend=" + backend + " entries=512"));
+    Stm& tm = *tm_owner;
 
     constexpr int kAccounts = 128;
     constexpr long kInitial = 1000;
@@ -82,20 +85,31 @@ RunResult run_bank(BackendKind kind, int threads, int transfers_per_thread) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-    const int threads = argc > 1 ? std::stoi(argv[1]) : 4;
-    const int transfers = argc > 2 ? std::stoi(argv[2]) : 2000;
+int example_main(int argc, char** argv) {
+    const auto cli = tmb::config::Config::from_args(argc, argv);
+    const auto& pos = cli.positional();
+    const int threads = static_cast<int>(
+        cli.get_u64("threads", pos.size() > 0 ? std::stoul(pos[0]) : 4));
+    const int transfers = static_cast<int>(
+        cli.get_u64("transfers", pos.size() > 1 ? std::stoul(pos[1]) : 2000));
+    // One row per backend; `--backend=NAME` pins a single one.
+    std::vector<std::string> backends;
+    if (const auto pinned = cli.get_optional("backend")) {
+        backends.push_back(*pinned);
+    } else {
+        backends = {"tagless", "tagged", "tl2"};
+    }
+    tmb::config::reject_unknown(cli);
 
     std::cout << "bank: " << threads << " threads x " << transfers
               << " random transfers, 128 accounts, 512-entry tables\n\n";
 
     tmb::util::TablePrinter t({"backend", "total OK", "commits", "aborts",
                                "false confl", "true confl", "ms"});
-    for (const auto kind : {BackendKind::kTaglessTable, BackendKind::kTaggedTable,
-                            BackendKind::kTl2}) {
-        const auto r = run_bank(kind, threads, transfers);
+    for (const std::string& backend : backends) {
+        const auto r = run_bank(backend, threads, transfers);
         const bool ok = r.total == 128 * 1000;
-        t.add_row({std::string(to_string(kind)), ok ? "yes" : "NO!",
+        t.add_row({backend, ok ? "yes" : "NO!",
                    std::to_string(r.stats.commits), std::to_string(r.stats.aborts),
                    std::to_string(r.stats.false_conflicts),
                    std::to_string(r.stats.true_conflicts),
@@ -106,4 +120,8 @@ int main(int argc, char** argv) {
                  "distinct accounts whose\nblocks alias in the 512-entry table "
                  "are indistinguishable to it (paper Fig. 1).\n";
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(example_main, argc, argv);
 }

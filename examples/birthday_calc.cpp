@@ -3,6 +3,7 @@
 // Usage:
 //   ./build/examples/birthday_calc                  # paper defaults (W=71, a=2)
 //   ./build/examples/birthday_calc W alpha C N      # custom design point
+//   ./build/examples/birthday_calc --w=71 --alpha=2 --c=2 --n=65536
 //
 // Given a transaction write footprint W, read/write ratio alpha, concurrency
 // C and a tagless-ownership-table size N, prints the predicted conflict
@@ -12,19 +13,27 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "config/config.hpp"
 #include "core/birthday.hpp"
 #include "core/conflict_model.hpp"
 #include "util/table_printer.hpp"
 
-int main(int argc, char** argv) {
+int example_main(int argc, char** argv) {
     using tmb::util::TablePrinter;
 
-    const std::uint64_t w = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 71;
-    const double alpha = argc > 2 ? std::strtod(argv[2], nullptr) : 2.0;
-    const std::uint32_t c =
-        argc > 3 ? static_cast<std::uint32_t>(std::strtoul(argv[3], nullptr, 10)) : 2;
-    const std::uint64_t n =
-        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 65536;
+    const auto cli = tmb::config::Config::from_args(argc, argv);
+    const auto& pos = cli.positional();
+    const std::uint64_t w = cli.get_u64(
+        "w", pos.size() > 0 ? std::strtoull(pos[0].c_str(), nullptr, 10) : 71);
+    const double alpha = cli.get_double(
+        "alpha", pos.size() > 1 ? std::strtod(pos[1].c_str(), nullptr) : 2.0);
+    const std::uint32_t c = cli.get_u32(
+        "c", pos.size() > 2
+                 ? static_cast<std::uint32_t>(std::strtoul(pos[2].c_str(), nullptr, 10))
+                 : 2);
+    const std::uint64_t n = cli.get_u64(
+        "n", pos.size() > 3 ? std::strtoull(pos[3].c_str(), nullptr, 10) : 65536);
+    tmb::config::reject_unknown(cli);
 
     if (w == 0 || c < 2 || n == 0 || alpha < 0.0) {
         std::cerr << "usage: birthday_calc [W>=1] [alpha>=0] [C>=2] [N>=1]\n";
@@ -72,4 +81,8 @@ int main(int argc, char** argv) {
               << "a tagged table (paper Fig. 7 / this library's "
                  "kTaggedTable) avoids this entirely.\n";
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(example_main, argc, argv);
 }

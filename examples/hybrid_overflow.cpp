@@ -2,6 +2,7 @@
 //
 // Usage:
 //   ./build/examples/hybrid_overflow [benchmark-profile]   (default: gcc)
+//   flags: --profile=NAME --accesses=N --seed=S
 //
 // Plays the role of a hybrid-TM designer: generate a transaction-like
 // access stream (SPEC2000-style profile), find where it overflows the
@@ -13,14 +14,17 @@
 #include <string>
 
 #include "cache/overflow.hpp"
+#include "config/config.hpp"
 #include "core/conflict_model.hpp"
 #include "trace/spec2000.hpp"
 #include "util/table_printer.hpp"
 
-int main(int argc, char** argv) {
+int example_main(int argc, char** argv) {
     using tmb::util::TablePrinter;
 
-    const std::string name = argc > 1 ? argv[1] : "gcc";
+    const auto cli = tmb::config::Config::from_args(argc, argv);
+    const std::string name = cli.get(
+        "profile", cli.positional().empty() ? "gcc" : cli.positional().front());
     const auto& profile = [&]() -> const tmb::trace::Spec2000Profile& {
         try {
             return tmb::trace::spec2000_profile(name);
@@ -36,7 +40,9 @@ int main(int argc, char** argv) {
 
     // --- Step 1: where does the HTM overflow? ------------------------------
     const tmb::cache::CacheGeometry l1{};  // 32KB, 4-way, 64B (paper config)
-    const auto stream = tmb::trace::generate_spec2000_stream(profile, 60000, 2024);
+    const auto stream = tmb::trace::generate_spec2000_stream(
+        profile, cli.get_u64("accesses", 60000), cli.get_u64("seed", 2024));
+    tmb::config::reject_unknown(cli);
     const auto overflow = tmb::cache::find_overflow(l1, stream);
 
     std::cout << "hybrid-TM walkthrough for '" << profile.name << "'\n\n";
@@ -84,4 +90,8 @@ int main(int argc, char** argv) {
                  "has no false\n  conflicts at any size — see "
                  "examples/tagged_vs_tagless for the live demonstration.\n";
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(example_main, argc, argv);
 }

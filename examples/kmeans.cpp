@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "config/config.hpp"
 #include "stm/stm.hpp"
 #include "util/rng.hpp"
 #include "util/table_printer.hpp"
@@ -44,7 +45,8 @@ struct RunResult {
     double millis = 0.0;
 };
 
-RunResult run(BackendKind kind, int threads, std::size_t n_points, int k) {
+RunResult run(const std::string& backend, int threads, std::size_t n_points,
+              int k) {
     // Deterministic synthetic data: k true centers plus noise.
     tmb::util::Xoshiro256 rng{4242};
     std::vector<Point> points(n_points);
@@ -54,9 +56,9 @@ RunResult run(BackendKind kind, int threads, std::size_t n_points, int k) {
         p.y = c * -7.0 + rng.uniform01();
     }
 
-    StmConfig config;
-    config.backend = kind;
-    Stm tm(config);
+    const auto tm_owner = Stm::create(
+        tmb::config::Config::from_string("backend=" + backend));
+    Stm& tm = *tm_owner;
     std::vector<ClusterAcc> acc(static_cast<std::size_t>(k));
     std::vector<Point> centroids(static_cast<std::size_t>(k));
     for (int c = 0; c < k; ++c) {
@@ -159,21 +161,31 @@ RunResult run(BackendKind kind, int threads, std::size_t n_points, int k) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-    const int threads = argc > 1 ? std::stoi(argv[1]) : 4;
-    const std::size_t n_points =
-        argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 4000;
-    const int k = argc > 3 ? std::stoi(argv[3]) : 8;
+int example_main(int argc, char** argv) {
+    const auto cli = tmb::config::Config::from_args(argc, argv);
+    const auto& pos = cli.positional();
+    const int threads = static_cast<int>(
+        cli.get_u64("threads", pos.size() > 0 ? std::stoul(pos[0]) : 4));
+    const std::size_t n_points = static_cast<std::size_t>(
+        cli.get_u64("points", pos.size() > 1 ? std::stoul(pos[1]) : 4000));
+    const int k = static_cast<int>(
+        cli.get_u64("k", pos.size() > 2 ? std::stoul(pos[2]) : 8));
+    std::vector<std::string> backends;
+    if (const auto pinned = cli.get_optional("backend")) {
+        backends.push_back(*pinned);
+    } else {
+        backends = {"tagless", "atomic_tagless", "tagged", "tl2"};
+    }
+    tmb::config::reject_unknown(cli);
 
     std::cout << "kmeans: " << threads << " threads, " << n_points
               << " points, k=" << k << ", 5 iterations\n\n";
 
     tmb::util::TablePrinter t({"backend", "sums exact", "inertia", "commits",
                                "aborts", "ms"});
-    for (const auto kind : {BackendKind::kTaglessTable, BackendKind::kTaglessAtomic,
-                            BackendKind::kTaggedTable, BackendKind::kTl2}) {
-        const auto r = run(kind, threads, n_points, k);
-        t.add_row({std::string(to_string(kind)), r.sums_exact ? "yes" : "NO!",
+    for (const std::string& backend : backends) {
+        const auto r = run(backend, threads, n_points, k);
+        t.add_row({backend, r.sums_exact ? "yes" : "NO!",
                    tmb::util::TablePrinter::fmt(r.inertia, 1),
                    std::to_string(r.stats.commits),
                    std::to_string(r.stats.aborts),
@@ -184,4 +196,8 @@ int main(int argc, char** argv) {
                  "aborts show up under real\nparallelism, and the per-backend "
                  "inertia must agree (same fixed-point arithmetic).\n";
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(example_main, argc, argv);
 }

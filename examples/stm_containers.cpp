@@ -6,28 +6,32 @@
 // transactional containers: producers push order ids through a TQueue,
 // workers move them into a THashMap ledger and index them in a TList —
 // with every step a composable transaction. The final consistency checks
-// hold on any backend; switch kBackend below to compare.
+// hold on any backend; pass --backend=NAME to compare.
 #include <atomic>
 #include <iostream>
 #include <thread>
 #include <vector>
 
+#include "config/config.hpp"
 #include "stm/stm.hpp"
 #include "stm/thashmap.hpp"
 #include "stm/tlist.hpp"
 #include "stm/tqueue.hpp"
 
 namespace {
-constexpr auto kBackend = tmb::stm::BackendKind::kTaggedTable;
 constexpr long kOrders = 400;
 constexpr int kProducers = 2;
 constexpr int kWorkers = 2;
 }  // namespace
 
-int main() {
+int example_main(int argc, char** argv) {
     using namespace tmb::stm;
 
-    Stm tm({.backend = kBackend});
+    // Backend by registry name (default tagged, the paper's recommendation).
+    const auto cli = tmb::config::Config::from_args(argc, argv);
+    const auto tm_owner = Stm::create(cli);
+    tmb::config::reject_unknown(cli);
+    Stm& tm = *tm_owner;
     TQueue<long> incoming(tm, 32);
     THashMap<long, long> ledger(tm, 128);  // order id -> amount
     TList<long> index(tm);                 // sorted ids of settled orders
@@ -92,8 +96,12 @@ int main() {
     std::cout << (ok ? "CONSISTENT\n" : "INCONSISTENT!\n");
 
     const auto stats = tm.stats();
-    std::cout << "backend " << to_string(kBackend) << ": " << stats.commits
+    std::cout << "backend " << to_string(tm.config().backend) << ": " << stats.commits
               << " commits, " << stats.aborts << " aborts, "
               << stats.false_conflicts << " false conflicts\n";
     return ok ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(example_main, argc, argv);
 }

@@ -9,9 +9,11 @@
 // sizes sweep downward so you can watch false conflicts appear as aliasing
 // pressure rises.
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "config/config.hpp"
 #include "stm/stm.hpp"
 #include "util/rng.hpp"
 #include "util/table_printer.hpp"
@@ -24,11 +26,10 @@ struct alignas(64) Cell {
     TVar<long> value;
 };
 
-StmStats run(BackendKind kind, std::uint64_t table_entries) {
-    StmConfig config;
-    config.backend = kind;
-    config.table.entries = table_entries;
-    Stm tm(config);
+StmStats run(const std::string& org, std::uint64_t table_entries) {
+    const auto tm_owner = Stm::create(tmb::config::Config::from_string(
+        "table=" + org + " entries=" + std::to_string(table_entries)));
+    Stm& tm = *tm_owner;
 
     constexpr int kThreads = 2;
     constexpr int kCellsPerThread = 64;
@@ -72,10 +73,9 @@ int main() {
     tmb::util::TablePrinter t(
         {"table entries", "backend", "aborts", "false conflicts", "true conflicts"});
     for (const std::uint64_t entries : {16384u, 1024u, 64u, 8u}) {
-        for (const auto kind :
-             {BackendKind::kTaglessTable, BackendKind::kTaggedTable}) {
-            const auto stats = run(kind, entries);
-            t.add_row({std::to_string(entries), std::string(to_string(kind)),
+        for (const std::string org : {"tagless", "tagged"}) {
+            const auto stats = run(org, entries);
+            t.add_row({std::to_string(entries), org,
                        std::to_string(stats.aborts),
                        std::to_string(stats.false_conflicts),
                        std::to_string(stats.true_conflicts)});

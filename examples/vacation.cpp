@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "config/config.hpp"
 #include "stm/stm.hpp"
 #include "stm/thashmap.hpp"
 #include "util/rng.hpp"
@@ -58,11 +59,10 @@ struct Result {
     double millis = 0.0;
 };
 
-Result run(BackendKind kind, int threads, int sessions) {
-    StmConfig config;
-    config.backend = kind;
-    config.table.entries = 1u << 14;
-    Stm tm(config);
+Result run(const std::string& backend, int threads, int sessions) {
+    const auto tm_owner = Stm::create(tmb::config::Config::from_string(
+        "backend=" + backend + " entries=16384"));
+    Stm& tm = *tm_owner;
     World world(tm);
 
     std::atomic<long> reservations{0}, sold_out{0};
@@ -137,9 +137,20 @@ Result run(BackendKind kind, int threads, int sessions) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-    const int threads = argc > 1 ? std::stoi(argv[1]) : 4;
-    const int sessions = argc > 2 ? std::stoi(argv[2]) : 500;
+int example_main(int argc, char** argv) {
+    const auto cli = tmb::config::Config::from_args(argc, argv);
+    const auto& pos = cli.positional();
+    const int threads = static_cast<int>(
+        cli.get_u64("threads", pos.size() > 0 ? std::stoul(pos[0]) : 4));
+    const int sessions = static_cast<int>(
+        cli.get_u64("sessions", pos.size() > 1 ? std::stoul(pos[1]) : 500));
+    std::vector<std::string> backends;
+    if (const auto pinned = cli.get_optional("backend")) {
+        backends.push_back(*pinned);
+    } else {
+        backends = {"tagless", "atomic_tagless", "tagged", "tl2"};
+    }
+    tmb::config::reject_unknown(cli);
 
     std::cout << "vacation: " << threads << " threads x " << sessions
               << " sessions, " << kResources << " resources/class, capacity "
@@ -147,10 +158,9 @@ int main(int argc, char** argv) {
 
     tmb::util::TablePrinter t({"backend", "consistent", "active bookings",
                                "commits", "aborts", "false confl", "ms"});
-    for (const auto kind : {BackendKind::kTaglessTable, BackendKind::kTaglessAtomic,
-                            BackendKind::kTaggedTable, BackendKind::kTl2}) {
-        const auto r = run(kind, threads, sessions);
-        t.add_row({std::string(to_string(kind)), r.consistent ? "yes" : "NO!",
+    for (const std::string& backend : backends) {
+        const auto r = run(backend, threads, sessions);
+        t.add_row({backend, r.consistent ? "yes" : "NO!",
                    std::to_string(r.reservations),
                    std::to_string(r.stats.commits),
                    std::to_string(r.stats.aborts),
@@ -162,4 +172,8 @@ int main(int argc, char** argv) {
                  "composability locks cannot\nprovide without a global lock "
                  "(paper §1's motivation).\n";
     return 0;
+}
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(example_main, argc, argv);
 }

@@ -54,6 +54,31 @@ bool htm_overflows(const cache::CacheGeometry& geometry,
     return false;
 }
 
+HybridConfig hybrid_config_from(const config::Config& cfg) {
+    HybridConfig out;
+    out.threads = cfg.get_u32("threads", out.threads);
+    out.stm_table = cfg.get("table", out.stm_table);
+    out.stm_table_entries = cfg.get_u64("entries", out.stm_table_entries);
+    out.mix.large_fraction = cfg.get_double("large_fraction", out.mix.large_fraction);
+    out.mix.small_blocks = cfg.get_u64("small_blocks", out.mix.small_blocks);
+    out.mix.large_blocks = cfg.get_u64("large_blocks", out.mix.large_blocks);
+    out.mix.alpha = cfg.get_double("alpha", out.mix.alpha);
+    out.ticks = cfg.get_u64("ticks", out.ticks);
+    out.seed = cfg.get_u64("seed", out.seed);
+    out.htm_cache.size_bytes =
+        cfg.get_u64("cache_kb", out.htm_cache.size_bytes / 1024) * 1024;
+    out.htm_cache.ways = cfg.get_u32("cache_ways", out.htm_cache.ways);
+    out.htm_cache.block_bytes =
+        cfg.get_u32("cache_block", out.htm_cache.block_bytes);
+    out.htm_cache.victim_entries =
+        cfg.get_u32("victim_entries", out.htm_cache.victim_entries);
+    return out;
+}
+
+HybridResult run_hybrid_tm(const config::Config& cfg) {
+    return run_hybrid_tm(hybrid_config_from(cfg));
+}
+
 HybridResult run_hybrid_tm(const HybridConfig& config) {
     if (config.threads == 0 || config.threads > ownership::kMaxTx) {
         throw std::invalid_argument("threads must be in [1, 64]");

@@ -26,9 +26,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "config/config.hpp"
 #include "ownership/any_table.hpp"
 #include "util/rng.hpp"
 
@@ -47,12 +49,20 @@ struct WorkloadMix {
 struct HybridConfig {
     std::uint32_t threads = 4;
     cache::CacheGeometry htm_cache{};  ///< paper: 32KB 4-way 64B
-    ownership::TableKind stm_table = ownership::TableKind::kTagless;
+    /// STM-fallback ownership-table organization, by registry name
+    /// (any_table.hpp) — the paper's ablation axis.
+    std::string stm_table = "tagless";
     std::uint64_t stm_table_entries = 1u << 16;
     WorkloadMix mix{};
     std::uint64_t ticks = 50'000;  ///< simulated duration
     std::uint64_t seed = 1;
 };
+
+/// Parses a HybridConfig from string key/values: `threads`, `table`,
+/// `entries`, `large_fraction`, `small_blocks`, `large_blocks`, `alpha`,
+/// `ticks`, `seed`, and the cache geometry `cache_kb`, `cache_ways`,
+/// `cache_block`, `victim_entries`.
+[[nodiscard]] HybridConfig hybrid_config_from(const config::Config& cfg);
 
 struct HybridResult {
     std::uint64_t htm_commits = 0;
@@ -85,6 +95,27 @@ struct HybridResult {
 
 /// Runs the hybrid-TM simulation.
 [[nodiscard]] HybridResult run_hybrid_tm(const HybridConfig& config);
+
+/// Config-driven overload (fallback organization selected by `table=`).
+[[nodiscard]] HybridResult run_hybrid_tm(const config::Config& cfg);
+
+/// The hybrid TM as a component: parses its configuration once (from a
+/// Config or a ready HybridConfig) and runs the simulation on demand, so
+/// drivers hold one object instead of a (config, function) pair.
+class HybridTm {
+public:
+    explicit HybridTm(HybridConfig config) : config_(std::move(config)) {}
+    explicit HybridTm(const config::Config& cfg)
+        : HybridTm(hybrid_config_from(cfg)) {}
+
+    [[nodiscard]] const HybridConfig& config() const noexcept { return config_; }
+
+    /// One full simulation with this configuration (stateless across runs).
+    [[nodiscard]] HybridResult run() const { return run_hybrid_tm(config_); }
+
+private:
+    HybridConfig config_;
+};
 
 /// Decides whether a transaction of `footprint_blocks` blocks (with the
 /// given read/write mix) overflows the HTM cache, by replaying a synthetic

@@ -1,14 +1,20 @@
 #include "ownership/any_table.hpp"
 
+#include <stdexcept>
+
+#include "ownership/atomic_tagless_table.hpp"
+#include "ownership/tagged_table.hpp"
+#include "ownership/tagless_table.hpp"
+
 namespace tmb::ownership {
 
 namespace {
 
-template <typename Table>
+template <OwnershipTable Table>
 class AnyTableImpl final : public AnyTable {
 public:
-    AnyTableImpl(TableKind kind, TableConfig config)
-        : kind_(kind), table_(config) {}
+    AnyTableImpl(std::string name, TableConfig config)
+        : name_(std::move(name)), table_(config) {}
 
     AcquireResult acquire_read(TxId tx, std::uint64_t block) override {
         return table_.acquire_read(tx, block);
@@ -25,13 +31,50 @@ public:
     [[nodiscard]] TableCounters counters() const noexcept override {
         return table_.counters();
     }
+    [[nodiscard]] std::uint64_t index_of(
+        std::uint64_t block) const noexcept override {
+        return table_.index_of(block);
+    }
+    [[nodiscard]] std::uint64_t occupied_entries() const noexcept override {
+        return table_.occupied_entries();
+    }
+    [[nodiscard]] Mode mode_of_block(
+        std::uint64_t block) const noexcept override {
+        return table_.mode_of_block(block);
+    }
     void clear() override { table_.clear(); }
-    [[nodiscard]] TableKind kind() const noexcept override { return kind_; }
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return name_;
+    }
 
 private:
-    TableKind kind_;
+    std::string name_;
     Table table_;
 };
+
+template <OwnershipTable Table>
+TableRegistry::Factory builtin_factory(std::string name) {
+    return [name = std::move(name)](const config::Config& cfg) {
+        return std::make_unique<AnyTableImpl<Table>>(name,
+                                                     table_config_from(cfg));
+    };
+}
+
+/// Registers the built-in organizations exactly once; every public entry
+/// point funnels through this so the registry is populated regardless of
+/// static-initialization order or which translation units the linker kept.
+TableRegistry& registry() {
+    static const bool bootstrapped = [] {
+        auto& r = TableRegistry::instance();
+        r.add_default("tagless", builtin_factory<TaglessTable>("tagless"));
+        r.add_default("tagged", builtin_factory<TaggedTable>("tagged"));
+        r.add_default("atomic_tagless",
+              builtin_factory<AtomicTaglessTable>("atomic_tagless"));
+        return true;
+    }();
+    (void)bootstrapped;
+    return TableRegistry::instance();
+}
 
 }  // namespace
 
@@ -39,18 +82,47 @@ std::string_view to_string(TableKind kind) noexcept {
     switch (kind) {
         case TableKind::kTagless: return "tagless";
         case TableKind::kTagged: return "tagged";
+        case TableKind::kAtomicTagless: return "atomic_tagless";
     }
     return "unknown";
 }
 
-std::unique_ptr<AnyTable> make_table(TableKind kind, TableConfig config) {
-    switch (kind) {
-        case TableKind::kTagless:
-            return std::make_unique<AnyTableImpl<TaglessTable>>(kind, config);
-        case TableKind::kTagged:
-            return std::make_unique<AnyTableImpl<TaggedTable>>(kind, config);
+TableKind table_kind_from_string(std::string_view name) {
+    if (name == "tagless") return TableKind::kTagless;
+    if (name == "tagged") return TableKind::kTagged;
+    if (name == "atomic_tagless" || name == "atomic") {
+        return TableKind::kAtomicTagless;
     }
-    return nullptr;
+    throw std::invalid_argument(
+        "unknown table organization '" + std::string(name) +
+        "' (known: tagless, tagged, atomic_tagless)");
+}
+
+std::vector<std::string> table_names() { return registry().names(); }
+
+TableConfig table_config_from(const config::Config& cfg) {
+    TableConfig out;
+    out.entries = cfg.get_u64("entries", out.entries);
+    out.hash = util::hash_kind_from_string(
+        cfg.get("hash", util::to_string(out.hash)));
+    return out;
+}
+
+std::unique_ptr<AnyTable> make_table(const config::Config& cfg) {
+    return registry().create(cfg.get("table", "tagless"), cfg);
+}
+
+std::unique_ptr<AnyTable> make_table(std::string_view name,
+                                     TableConfig config) {
+    config::Config cfg;
+    cfg.set("table", name);
+    cfg.set("entries", std::to_string(config.entries));
+    cfg.set("hash", util::to_string(config.hash));
+    return make_table(cfg);
+}
+
+std::unique_ptr<AnyTable> make_table(TableKind kind, TableConfig config) {
+    return make_table(to_string(kind), config);
 }
 
 }  // namespace tmb::ownership

@@ -1,22 +1,42 @@
-// any_table.hpp — type-erased ownership table for tooling.
+// any_table.hpp — type-erased ownership table, selected by name at runtime.
 //
-// Simulators, the STM and the benches are templates over the concrete table
-// type (the acquire path is hot). Example programs and runtime-configurable
-// tools instead use this small virtual wrapper, selected by `TableKind`.
+// Simulators, the hybrid-TM model, benches, examples and tools all construct
+// their ownership table through this interface so that every workload is
+// generic over the metadata organization — the paper's central ablation.
+// Three organizations are built in, registered in the process-wide
+// `config::Registry<AnyTable>` under these names:
+//
+//   "tagless"         — paper Fig. 1 (no tags; aliasing causes FALSE conflicts)
+//   "tagged"          — paper Fig. 7 (tags + chaining; no false conflicts)
+//   "atomic_tagless"  — Fig. 1 organization with lock-free single-CAS entries
+//
+// New organizations can be added at runtime via the registry; nothing
+// downstream needs to change:
+//
+//   config::Registry<ownership::AnyTable>::instance().add("mine", factory);
+//   auto t = ownership::make_table(config::Config::from_string(
+//       "table=mine entries=16384"));
 #pragma once
 
 #include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
+#include "config/config.hpp"
+#include "config/registry.hpp"
 #include "ownership/ownership.hpp"
-#include "ownership/tagged_table.hpp"
-#include "ownership/tagless_table.hpp"
 
 namespace tmb::ownership {
 
-enum class TableKind { kTagless, kTagged };
+/// Built-in organizations (legacy enum; string names are the primary
+/// selector — see to_string / make_table(const config::Config&)).
+enum class TableKind { kTagless, kTagged, kAtomicTagless };
 
 [[nodiscard]] std::string_view to_string(TableKind kind) noexcept;
+
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] TableKind table_kind_from_string(std::string_view name);
 
 /// Virtual interface mirroring the OwnershipTable concept.
 class AnyTable {
@@ -28,12 +48,47 @@ public:
     virtual void release(TxId tx, std::uint64_t block, Mode mode) = 0;
     [[nodiscard]] virtual std::uint64_t entry_count() const noexcept = 0;
     [[nodiscard]] virtual TableCounters counters() const noexcept = 0;
+    /// First-level slot `block` hashes to (experiments reason about aliasing
+    /// without duplicating the hash).
+    [[nodiscard]] virtual std::uint64_t index_of(
+        std::uint64_t block) const noexcept = 0;
+    /// Currently held entries/records; lets simulators sample occupancy
+    /// through the erased interface (paper §4's occupancy measurements).
+    [[nodiscard]] virtual std::uint64_t occupied_entries() const noexcept = 0;
+    /// Permission state a non-transactional access to `block` would observe
+    /// (strong-isolation probes, paper §6). For tagless organizations this
+    /// is the shared entry's mode — aliases make innocent accesses look
+    /// conflicting; for tagged it is the block's own record.
+    [[nodiscard]] virtual Mode mode_of_block(
+        std::uint64_t block) const noexcept = 0;
     virtual void clear() = 0;
-    [[nodiscard]] virtual TableKind kind() const noexcept = 0;
+    [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 };
 
-/// Creates a table of the requested organization.
+/// The process-wide ownership-table registry (see header comment).
+using TableRegistry = config::Registry<AnyTable>;
+
+/// Registered organization names, in registration order. Benches iterate
+/// this to ablate across every available organization.
+[[nodiscard]] std::vector<std::string> table_names();
+
+/// Creates a table from a Config. Keys:
+///   table    organization name (default "tagless")
+///   entries  first-level slot count N (default 4096; accepts "64k")
+///   hash     shift-mask | multiplicative | mix64 (default mix64)
+[[nodiscard]] std::unique_ptr<AnyTable> make_table(const config::Config& cfg);
+
+/// Creates a table by registry name with an already-parsed shape — the path
+/// for drivers that hold a TableConfig (simulators, the hybrid TM).
+[[nodiscard]] std::unique_ptr<AnyTable> make_table(std::string_view name,
+                                                   TableConfig config);
+
+/// Creates a table of the requested built-in organization (legacy path;
+/// routed through the registry).
 [[nodiscard]] std::unique_ptr<AnyTable> make_table(TableKind kind,
                                                    TableConfig config);
+
+/// Parses the table-shape keys (`entries`, `hash`) out of a Config.
+[[nodiscard]] TableConfig table_config_from(const config::Config& cfg);
 
 }  // namespace tmb::ownership

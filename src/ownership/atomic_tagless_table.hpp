@@ -54,6 +54,10 @@ public:
 
     // Inspection for tests (racy by nature; exact only when quiescent).
     [[nodiscard]] Mode mode_at(std::uint64_t index) const noexcept;
+    /// Permission state a non-transactional access to `block` would observe.
+    [[nodiscard]] Mode mode_of_block(std::uint64_t block) const noexcept {
+        return mode_at(index_of(block));
+    }
     [[nodiscard]] std::uint64_t sharers_at(std::uint64_t index) const noexcept;
     [[nodiscard]] TxId writer_at(std::uint64_t index) const noexcept;
 

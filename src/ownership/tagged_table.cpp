@@ -16,6 +16,14 @@ std::uint64_t TaggedTable::index_of(std::uint64_t block) const noexcept {
     return util::hash_block(config_.hash, block, config_.entries);
 }
 
+Mode TaggedTable::mode_of_block(std::uint64_t block) const noexcept {
+    const Slot& slot = slots_[index_of(block)];
+    for (const Record& r : slot) {
+        if (r.block == block) return r.mode;
+    }
+    return Mode::kFree;
+}
+
 unsigned TaggedTable::tag_bits(unsigned address_bits,
                                unsigned block_offset_bits) const noexcept {
     const unsigned index_bits =

@@ -37,6 +37,12 @@ public:
 
     [[nodiscard]] std::uint64_t index_of(std::uint64_t block) const noexcept;
 
+    /// Permission state a non-transactional access to `block` would observe:
+    /// the mode of `block`'s own record, kFree when none exists. Aliasing
+    /// blocks have separate records, so (unlike a tagless table) an alias
+    /// never makes a non-transactional access appear conflicting.
+    [[nodiscard]] Mode mode_of_block(std::uint64_t block) const noexcept;
+
     /// Residual tag width for a given architecture address width and block
     /// size — the paper's §5 space-overhead argument.
     [[nodiscard]] unsigned tag_bits(unsigned address_bits,
@@ -47,6 +53,13 @@ public:
     [[nodiscard]] const TableConfig& config() const noexcept { return config_; }
     [[nodiscard]] TableCounters counters() const noexcept { return counters_; }
     [[nodiscard]] std::uint64_t record_count() const noexcept { return live_records_; }
+    /// Live ownership records — the tagged analog of a tagless table's
+    /// occupied entries (each held block has its own record, chained records
+    /// counted individually). O(1); lets occupancy-sampling simulators run
+    /// any organization through one interface.
+    [[nodiscard]] std::uint64_t occupied_entries() const noexcept {
+        return live_records_;
+    }
     /// Slots currently holding >= 2 records (i.e. actually chained).
     [[nodiscard]] std::uint64_t chained_slots() const noexcept;
     /// Distribution of records per slot over the whole table.

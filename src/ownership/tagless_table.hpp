@@ -44,6 +44,12 @@ public:
 
     /// Inspection (tests / stats).
     [[nodiscard]] Mode mode_at(std::uint64_t index) const noexcept;
+    /// Permission state a non-transactional access to `block` would observe
+    /// — the entry's mode, since a tagless entry speaks for every aliasing
+    /// block (the strong-isolation hazard of paper §6).
+    [[nodiscard]] Mode mode_of_block(std::uint64_t block) const noexcept {
+        return mode_at(index_of(block));
+    }
     [[nodiscard]] std::uint64_t sharers_at(std::uint64_t index) const noexcept;
     [[nodiscard]] TxId writer_at(std::uint64_t index) const noexcept;
     /// Number of non-Free entries; O(1) (maintained incrementally so the

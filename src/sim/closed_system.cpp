@@ -9,7 +9,6 @@ namespace tmb::sim {
 namespace {
 
 using ownership::Mode;
-using ownership::TaglessTable;
 using ownership::TxId;
 
 struct ThreadState {
@@ -20,6 +19,22 @@ struct ThreadState {
 
 }  // namespace
 
+ClosedSystemConfig closed_system_config_from(const config::Config& cfg) {
+    ClosedSystemConfig out;
+    out.concurrency = cfg.get_u32("concurrency", out.concurrency);
+    out.write_footprint = cfg.get_u64("footprint", out.write_footprint);
+    out.alpha = cfg.get_double("alpha", out.alpha);
+    out.table_entries = cfg.get_u64("entries", out.table_entries);
+    out.table = cfg.get("table", out.table);
+    out.target_transactions = cfg.get_u64("target", out.target_transactions);
+    out.seed = cfg.get_u64("seed", out.seed);
+    return out;
+}
+
+ClosedSystemResult run_closed_system(const config::Config& cfg) {
+    return run_closed_system(closed_system_config_from(cfg));
+}
+
 ClosedSystemResult run_closed_system(const ClosedSystemConfig& config) {
     if (config.concurrency < 1 || config.concurrency > ownership::kMaxTx) {
         throw std::invalid_argument("concurrency must be in [1, 64]");
@@ -28,8 +43,12 @@ ClosedSystemResult run_closed_system(const ClosedSystemConfig& config) {
         throw std::invalid_argument("write_footprint must be > 0");
     }
 
-    TaglessTable table({.entries = config.table_entries,
-                        .hash = util::HashKind::kShiftMask});
+    // Blocks are drawn uniformly in [0, N), so the identity-like hash keeps
+    // the simulation equal to the paper's "assign blocks to random entries".
+    const auto table_ptr = ownership::make_table(
+        config.table, {.entries = config.table_entries,
+                       .hash = util::HashKind::kShiftMask});
+    ownership::AnyTable& table = *table_ptr;
     util::Xoshiro256 rng{config.seed};
 
     const auto alpha_reads = static_cast<std::uint64_t>(config.alpha);

@@ -10,7 +10,6 @@ namespace {
 
 using ownership::AcquireResult;
 using ownership::Mode;
-using ownership::TaglessTable;
 using ownership::TxId;
 
 /// Per-transaction bookkeeping for one experiment.
@@ -24,6 +23,26 @@ struct TxState {
 
 }  // namespace
 
+OpenSystemConfig open_system_config_from(const config::Config& cfg) {
+    OpenSystemConfig out;
+    out.concurrency = cfg.get_u32("concurrency", out.concurrency);
+    out.write_footprint = cfg.get_u64("footprint", out.write_footprint);
+    out.alpha = cfg.get_double("alpha", out.alpha);
+    out.table_entries = cfg.get_u64("entries", out.table_entries);
+    out.table = cfg.get("table", out.table);
+    out.experiments = cfg.get_u32("experiments", out.experiments);
+    out.seed = cfg.get_u64("seed", out.seed);
+    out.non_tx_accesses_per_step =
+        cfg.get_u32("non_tx_per_step", out.non_tx_accesses_per_step);
+    out.non_tx_write_fraction =
+        cfg.get_double("non_tx_write_fraction", out.non_tx_write_fraction);
+    return out;
+}
+
+OpenSystemResult run_open_system(const config::Config& cfg) {
+    return run_open_system(open_system_config_from(cfg));
+}
+
 OpenSystemResult run_open_system(const OpenSystemConfig& config) {
     if (config.concurrency < 2 || config.concurrency > ownership::kMaxTx) {
         throw std::invalid_argument("concurrency must be in [2, 64]");
@@ -34,8 +53,10 @@ OpenSystemResult run_open_system(const OpenSystemConfig& config) {
 
     // Blocks ARE entry indices (the paper assigns blocks to random entries
     // directly), so use the identity-like hash.
-    TaglessTable table({.entries = config.table_entries,
-                        .hash = util::HashKind::kShiftMask});
+    const auto table_ptr = ownership::make_table(
+        config.table, {.entries = config.table_entries,
+                       .hash = util::HashKind::kShiftMask});
+    ownership::AnyTable& table = *table_ptr;
 
     util::Xoshiro256 rng{config.seed};
     OpenSystemResult result;
@@ -100,9 +121,12 @@ OpenSystemResult run_open_system(const OpenSystemConfig& config) {
             // Strong isolation: non-transactional probes against the table.
             for (std::uint32_t s = 0;
                  s < config.non_tx_accesses_per_step && !conflicted; ++s) {
-                const std::uint64_t entry = rng.below(config.table_entries);
+                const std::uint64_t block = rng.below(config.table_entries);
                 const bool is_write = rng.bernoulli(config.non_tx_write_fraction);
-                const auto mode = table.mode_at(entry);
+                // What a non-transactional access to this block observes is
+                // organization-dependent: a tagless entry answers for every
+                // aliasing block, a tagged record only for its own.
+                const auto mode = table.mode_of_block(block);
                 const bool hit =
                     is_write ? mode != ownership::Mode::kFree
                              : mode == ownership::Mode::kWrite;

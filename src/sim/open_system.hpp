@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
-#include "ownership/tagless_table.hpp"
+#include "config/config.hpp"
+#include "ownership/any_table.hpp"
 #include "util/rng.hpp"
 
 namespace tmb::sim {
@@ -27,6 +29,12 @@ struct OpenSystemConfig {
     std::uint64_t write_footprint = 10;  ///< W (writes per transaction)
     double alpha = 2.0;                  ///< reads per write
     std::uint64_t table_entries = 4096;  ///< N
+    /// Ownership-table organization, by registry name. As in the closed
+    /// system, blocks ARE entry indices here (the paper's abstraction), so
+    /// organizations cannot differ on conflict counts; the knob is for
+    /// interface uniformity. The trace-alias and hybrid drivers ablate real
+    /// aliasing.
+    std::string table = "tagless";
     std::uint32_t experiments = 1000;    ///< paper: 1000 per data point
     std::uint64_t seed = 1;
 
@@ -59,8 +67,17 @@ struct OpenSystemResult {
     }
 };
 
+/// Parses an OpenSystemConfig from string key/values: `concurrency`,
+/// `footprint`, `alpha`, `entries`, `table`, `experiments`, `seed`,
+/// `non_tx_per_step`, `non_tx_write_fraction`.
+[[nodiscard]] OpenSystemConfig open_system_config_from(
+    const config::Config& cfg);
+
 /// Runs the open-system Monte Carlo at one configuration.
 [[nodiscard]] OpenSystemResult run_open_system(const OpenSystemConfig& config);
+
+/// Config-driven overload (organization selected by `table=`).
+[[nodiscard]] OpenSystemResult run_open_system(const config::Config& cfg);
 
 /// Convenience sweep: one result per write footprint in `footprints`, all
 /// other parameters fixed.

@@ -27,6 +27,24 @@ struct StreamCursor {
 
 }  // namespace
 
+TraceAliasConfig trace_alias_config_from(const config::Config& cfg) {
+    TraceAliasConfig out;
+    out.concurrency = cfg.get_u32("concurrency", out.concurrency);
+    out.write_footprint = cfg.get_u64("footprint", out.write_footprint);
+    out.table_entries = cfg.get_u64("entries", out.table_entries);
+    out.hash = util::hash_kind_from_string(
+        cfg.get("hash", util::to_string(out.hash)));
+    out.table = cfg.get("table", out.table);
+    out.samples = cfg.get_u32("samples", out.samples);
+    out.seed = cfg.get_u64("seed", out.seed);
+    return out;
+}
+
+TraceAliasResult run_trace_alias(const config::Config& cfg,
+                                 const trace::MultiThreadTrace& trace) {
+    return run_trace_alias(trace_alias_config_from(cfg), trace);
+}
+
 TraceAliasResult run_trace_alias(const TraceAliasConfig& config,
                                  const trace::MultiThreadTrace& trace) {
     if (config.concurrency < 2 || config.concurrency > ownership::kMaxTx) {
@@ -37,7 +55,7 @@ TraceAliasResult run_trace_alias(const TraceAliasConfig& config,
     }
 
     auto table = ownership::make_table(
-        config.table_kind,
+        config.table,
         {.entries = config.table_entries, .hash = config.hash});
 
     util::Xoshiro256 rng{config.seed};

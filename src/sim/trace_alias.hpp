@@ -10,12 +10,15 @@
 // Because true conflicts are removed up front, every conflict the tagless
 // table reports in this experiment is false by construction; running the
 // same streams through a tagged table (which never falsely conflicts)
-// doubles as a correctness check and is exposed via `table_kind`.
+// doubles as a correctness check and is selected via the `table` registry
+// name.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "config/config.hpp"
 #include "ownership/any_table.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
@@ -28,10 +31,16 @@ struct TraceAliasConfig {
     std::uint64_t write_footprint = 10;  ///< W distinct written blocks/stream
     std::uint64_t table_entries = 4096;  ///< N
     util::HashKind hash = util::HashKind::kMix64;
-    ownership::TableKind table_kind = ownership::TableKind::kTagless;
+    /// Ownership-table organization, by registry name (any_table.hpp).
+    std::string table = "tagless";
     std::uint32_t samples = 10000;       ///< paper: "roughly 10,000"
     std::uint64_t seed = 1;
 };
+
+/// Parses a TraceAliasConfig from string key/values: `concurrency`,
+/// `footprint`, `entries`, `hash`, `table`, `samples`, `seed`.
+[[nodiscard]] TraceAliasConfig trace_alias_config_from(
+    const config::Config& cfg);
 
 /// Result of the Monte Carlo at one configuration.
 struct TraceAliasResult {
@@ -53,6 +62,11 @@ struct TraceAliasResult {
 /// trace::remove_true_conflicts); each sample starts every stream at an
 /// independent random offset.
 [[nodiscard]] TraceAliasResult run_trace_alias(const TraceAliasConfig& config,
+                                               const trace::MultiThreadTrace& trace);
+
+/// Config-driven overload: any organization the registry knows, selected by
+/// `table=` — the paper's ablation with no recompilation.
+[[nodiscard]] TraceAliasResult run_trace_alias(const config::Config& cfg,
                                                const trace::MultiThreadTrace& trace);
 
 }  // namespace tmb::sim

@@ -15,32 +15,17 @@
 // threads.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 
+#include "stm/instrumentation.hpp"
 #include "stm/stm.hpp"
 
 namespace tmb::stm::detail {
 
-/// Shared atomic counters (one set per Stm instance).
-struct SharedStats {
-    std::atomic<std::uint64_t> commits{0};
-    std::atomic<std::uint64_t> aborts{0};
-    std::atomic<std::uint64_t> explicit_retries{0};
-    std::atomic<std::uint64_t> true_conflicts{0};
-    std::atomic<std::uint64_t> false_conflicts{0};
-
-    [[nodiscard]] StmStats snapshot() const noexcept {
-        return StmStats{
-            .commits = commits.load(std::memory_order_relaxed),
-            .aborts = aborts.load(std::memory_order_relaxed),
-            .explicit_retries = explicit_retries.load(std::memory_order_relaxed),
-            .true_conflicts = true_conflicts.load(std::memory_order_relaxed),
-            .false_conflicts = false_conflicts.load(std::memory_order_relaxed),
-        };
-    }
-};
+/// Legacy name for the unified instrumentation block (instrumentation.hpp);
+/// one set of counters per Stm instance, shared by backend and runtime.
+using SharedStats = Instrumentation;
 
 /// Per-transaction state; concrete type owned by the backend.
 class TxContext {

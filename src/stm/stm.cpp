@@ -1,11 +1,67 @@
 #include "stm/stm.hpp"
 
+#include <atomic>
+#include <stdexcept>
+
+#include "config/registry.hpp"
+#include "ownership/any_table.hpp"
 #include "stm/backend.hpp"
 #include "stm/contention.hpp"
 
-#include <atomic>
-
 namespace tmb::stm {
+
+namespace {
+
+/// Backend engines are registered by *engine* name — the organization of
+/// the conflict-detection metadata lives in StmConfig (`table` backends
+/// cover both tagless and tagged ownership tables).
+using BackendRegistry =
+    config::Registry<detail::Backend, const StmConfig&, detail::SharedStats&>;
+
+BackendRegistry& backend_registry() {
+    static const bool bootstrapped = [] {
+        auto& r = BackendRegistry::instance();
+        r.add_default("tl2", [](const config::Config&, const StmConfig& c,
+                        detail::SharedStats& s) {
+            return detail::make_tl2_backend(c, s);
+        });
+        r.add_default("table", [](const config::Config&, const StmConfig& c,
+                          detail::SharedStats& s) {
+            return detail::make_table_backend(c, s);
+        });
+        r.add_default("atomic", [](const config::Config&, const StmConfig& c,
+                           detail::SharedStats& s) {
+            return detail::make_atomic_backend(c, s);
+        });
+        return true;
+    }();
+    (void)bootstrapped;
+    return BackendRegistry::instance();
+}
+
+/// Registry key the built-in kinds resolve to.
+[[nodiscard]] std::string_view registry_key(BackendKind kind) noexcept {
+    switch (kind) {
+        case BackendKind::kTl2: return "tl2";
+        case BackendKind::kTaglessAtomic: return "atomic";
+        case BackendKind::kTaglessTable:
+        case BackendKind::kTaggedTable: return "table";
+    }
+    return "table";
+}
+
+[[nodiscard]] ContentionPolicy contention_policy_from(std::string_view name) {
+    if (name == "backoff" || name == "exponential") {
+        return ContentionPolicy::kExponentialBackoff;
+    }
+    if (name == "yield") return ContentionPolicy::kYield;
+    if (name == "none") return ContentionPolicy::kNone;
+    throw std::invalid_argument("unknown contention policy '" +
+                                std::string(name) +
+                                "' (known: backoff, yield, none)");
+}
+
+}  // namespace
 
 std::string_view to_string(BackendKind kind) noexcept {
     switch (kind) {
@@ -15,6 +71,62 @@ std::string_view to_string(BackendKind kind) noexcept {
         case BackendKind::kTl2: return "tl2";
     }
     return "unknown";
+}
+
+BackendKind backend_kind_from_string(std::string_view name) {
+    if (name == "tl2") return BackendKind::kTl2;
+    if (name == "atomic" || name == "tagless-atomic" ||
+        name == "atomic_tagless") {
+        return BackendKind::kTaglessAtomic;
+    }
+    if (name == "tagless" || name == "tagless-table" || name == "table") {
+        return BackendKind::kTaglessTable;
+    }
+    if (name == "tagged" || name == "tagged-table") {
+        return BackendKind::kTaggedTable;
+    }
+    throw std::invalid_argument(
+        "unknown STM backend '" + std::string(name) +
+        "' (known: tl2, table, atomic, tagless, tagged)");
+}
+
+std::vector<std::string> backend_names() { return backend_registry().names(); }
+
+StmConfig stm_config_from(const config::Config& cfg) {
+    StmConfig out;
+    // `backend=` names the engine; `backend=table` (implied whenever only
+    // `table=` is given) defers the metadata organization to `table=`, so
+    // `--table=tagless` vs `--table=tagged` is a pure runtime switch.
+    const std::string backend =
+        cfg.get("backend", cfg.has("table") ? "table" : "tagged");
+    if (backend == "table") {
+        switch (ownership::table_kind_from_string(cfg.get("table", "tagless"))) {
+            case ownership::TableKind::kTagless:
+                out.backend = BackendKind::kTaglessTable;
+                break;
+            case ownership::TableKind::kTagged:
+                out.backend = BackendKind::kTaggedTable;
+                break;
+            case ownership::TableKind::kAtomicTagless:
+                out.backend = BackendKind::kTaglessAtomic;
+                break;
+        }
+    } else {
+        out.backend = backend_kind_from_string(backend);
+        (void)cfg.get("table", "");  // engine pinned; consume a stray table=
+    }
+    out.table.entries = cfg.get_u64("entries", out.table.entries);
+    out.table.hash = util::hash_kind_from_string(
+        cfg.get("hash", util::to_string(out.table.hash)));
+    out.block_bytes = cfg.get_u32("block_bytes", out.block_bytes);
+    out.tl2_locks = cfg.get_u64("tl2_locks", out.tl2_locks);
+    out.commit_time_locks =
+        cfg.get_bool("commit_time_locks", out.commit_time_locks);
+    out.max_attempts = cfg.get_u32("max_attempts", out.max_attempts);
+    if (const auto policy = cfg.get_optional("contention")) {
+        out.contention.policy = contention_policy_from(*policy);
+    }
+    return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -40,18 +152,10 @@ void Transaction::retry() {
 class Stm::Impl {
 public:
     explicit Impl(StmConfig config) : config_(std::move(config)) {
-        switch (config_.backend) {
-            case BackendKind::kTl2:
-                backend_ = detail::make_tl2_backend(config_, stats_);
-                break;
-            case BackendKind::kTaglessAtomic:
-                backend_ = detail::make_atomic_backend(config_, stats_);
-                break;
-            case BackendKind::kTaglessTable:
-            case BackendKind::kTaggedTable:
-                backend_ = detail::make_table_backend(config_, stats_);
-                break;
-        }
+        // All construction funnels through the registry, so an engine
+        // registered at runtime is selectable exactly like the built-ins.
+        backend_ = backend_registry().create(registry_key(config_.backend),
+                                             config::Config{}, config_, stats_);
     }
 
     StmConfig config_;
@@ -63,7 +167,21 @@ public:
 Stm::Stm(StmConfig config) : impl_(std::make_unique<Impl>(std::move(config))) {}
 Stm::~Stm() = default;
 
-StmStats Stm::stats() const noexcept { return impl_->stats_.snapshot(); }
+std::unique_ptr<Stm> Stm::create(const config::Config& cfg) {
+    return std::make_unique<Stm>(stm_config_from(cfg));
+}
+
+StmStats Stm::stats() const noexcept {
+    const detail::Instrumentation& in = impl_->stats_;
+    StmStats out;
+    out.commits = in.commits.load(std::memory_order_relaxed);
+    out.aborts = in.aborts.load(std::memory_order_relaxed);
+    out.explicit_retries = in.explicit_retries.load(std::memory_order_relaxed);
+    out.true_conflicts = in.true_conflicts.load(std::memory_order_relaxed);
+    out.false_conflicts = in.false_conflicts.load(std::memory_order_relaxed);
+    out.attempts_per_commit = in.attempts_histogram();
+    return out;
+}
 
 const StmConfig& Stm::config() const noexcept { return impl_->config_; }
 
@@ -100,7 +218,7 @@ void Stm::run(BodyRef body) {
         }
 
         if (backend.commit(*cx)) {
-            impl_->stats_.commits.fetch_add(1, std::memory_order_relaxed);
+            impl_->stats_.record_commit(attempts);
             return;
         }
         impl_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);

@@ -39,9 +39,12 @@
 #include <string_view>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
+#include "config/config.hpp"
 #include "ownership/ownership.hpp"
 #include "stm/contention.hpp"
+#include "util/histogram.hpp"
 
 namespace tmb::stm {
 
@@ -58,6 +61,17 @@ namespace tmb::stm {
 enum class BackendKind { kTaglessTable, kTaglessAtomic, kTaggedTable, kTl2 };
 
 [[nodiscard]] std::string_view to_string(BackendKind kind) noexcept;
+
+/// Inverse of to_string for runtime `--backend=` flags. Accepts the
+/// canonical names plus the registry keys "table" (tagless organization),
+/// "tagless", "tagged", "atomic" and "tl2"; throws std::invalid_argument
+/// on anything else.
+[[nodiscard]] BackendKind backend_kind_from_string(std::string_view name);
+
+/// Backend registry keys, in registration order ("tl2", "table",
+/// "atomic"). `Stm::create` resolves `backend=` against these; new engines
+/// registered in config::Registry<detail::Backend, ...> appear here too.
+[[nodiscard]] std::vector<std::string> backend_names();
 
 /// Runtime configuration.
 struct StmConfig {
@@ -83,6 +97,20 @@ struct StmConfig {
     std::uint32_t max_attempts = 0;
 };
 
+/// Parses an StmConfig from string key/values. Keys:
+///   backend           tl2 | table | atomic | tagless | tagged (default
+///                     "tagged"; "table" selects the organization named by
+///                     `table`)
+///   table             ownership organization for table backends
+///   entries           ownership-table slots (default 65536; accepts "64k")
+///   hash              shift-mask | multiplicative | mix64
+///   block_bytes       conflict-tracking granularity (default 64)
+///   tl2_locks         versioned-lock count for tl2 (default 1<<20)
+///   commit_time_locks eager (false, default) vs lazy write locking
+///   max_attempts      TooMuchContention threshold (default 0 = forever)
+///   contention        backoff | yield | none
+[[nodiscard]] StmConfig stm_config_from(const config::Config& cfg);
+
 /// Counters exposed by Stm::stats(). Snapshot semantics; monotonic.
 struct StmStats {
     std::uint64_t commits = 0;
@@ -94,6 +122,15 @@ struct StmStats {
     /// conflict (tagless only; tagged tables never report one).
     std::uint64_t true_conflicts = 0;
     std::uint64_t false_conflicts = 0;
+    /// Attempts-per-committed-transaction distribution (bucket = attempt
+    /// count, 1 = first-try commit); the user-visible retry cost of the
+    /// conflicts — false ones included — that the paper models.
+    util::Histogram attempts_per_commit{32};
+
+    /// Mean attempts a committed transaction needed (1.0 = no retries).
+    [[nodiscard]] double mean_attempts() const noexcept {
+        return attempts_per_commit.total() ? attempts_per_commit.mean() : 1.0;
+    }
 
     [[nodiscard]] double abort_rate() const noexcept {
         const auto attempts = commits + aborts;
@@ -204,6 +241,20 @@ class Stm {
 public:
     explicit Stm(StmConfig config);
     ~Stm();
+
+    /// Constructs a runtime whose backend is selected *by name* through the
+    /// process-wide backend registry — the string-keyed path every bench,
+    /// example and tool uses:
+    ///
+    ///   auto tm = Stm::create(config::Config::from_string(
+    ///       "backend=table table=tagless entries=16384"));
+    ///
+    /// Note: the table backends are compiled against the built-in
+    /// organizations, so `table=` must name one of tagless / tagged /
+    /// atomic_tagless here; organizations registered at runtime in the
+    /// AnyTable registry are available to the simulators and the hybrid TM,
+    /// not (yet) to the STM engine.
+    [[nodiscard]] static std::unique_ptr<Stm> create(const config::Config& cfg);
 
     Stm(const Stm&) = delete;
     Stm& operator=(const Stm&) = delete;

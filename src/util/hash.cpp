@@ -1,5 +1,8 @@
 #include "util/hash.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "util/bits.hpp"
 
 namespace tmb::util {
@@ -11,6 +14,18 @@ std::string_view to_string(HashKind kind) noexcept {
         case HashKind::kMix64: return "mix64";
     }
     return "unknown";
+}
+
+HashKind hash_kind_from_string(std::string_view name) {
+    if (name == "shift" || name == "shift-mask" || name == "shift_mask") {
+        return HashKind::kShiftMask;
+    }
+    if (name == "mult" || name == "multiplicative") {
+        return HashKind::kMultiplicative;
+    }
+    if (name == "mix" || name == "mix64") return HashKind::kMix64;
+    throw std::invalid_argument("unknown hash kind '" + std::string(name) +
+                                "' (known: shift-mask, multiplicative, mix64)");
 }
 
 std::uint64_t mix64(std::uint64_t x) noexcept {

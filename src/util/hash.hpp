@@ -23,6 +23,11 @@ enum class HashKind {
 
 [[nodiscard]] std::string_view to_string(HashKind kind) noexcept;
 
+/// Inverse of to_string, for runtime `--hash=` flags. Accepts the canonical
+/// names plus the short aliases "shift", "mult" and "mix"; throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] HashKind hash_kind_from_string(std::string_view name);
+
 /// Stateless mixers. All take the *block address* (byte address already
 /// shifted right by the block-offset bits) and the table size N.
 /// N must be a power of two for kShiftMask; the others accept any N > 0.

@@ -1,6 +1,7 @@
 #include "util/table_printer.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -57,6 +58,51 @@ void TablePrinter::render(std::ostream& os, int indent) const {
     }
     os << '\n';
     for (const auto& row : rows_) emit_row(row);
+}
+
+std::string TablePrinter::json_quote(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char ch : s) {
+        switch (ch) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(ch));
+                    out += buf;
+                } else {
+                    out += ch;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void TablePrinter::render_json(std::ostream& os) const {
+    os << "{\"columns\": [";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c) os << ", ";
+        os << json_quote(headers_[c]);
+    }
+    os << "], \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (r) os << ", ";
+        os << '[';
+        for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+            if (c) os << ", ";
+            os << json_quote(rows_[r][c]);
+        }
+        os << ']';
+    }
+    os << "]}";
 }
 
 void TablePrinter::render_csv(std::ostream& os) const {

@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace tmb::util {
@@ -31,7 +33,22 @@ public:
     /// Renders as CSV (no padding).
     void render_csv(std::ostream& os) const;
 
+    /// Renders as a JSON object: {"columns": [...], "rows": [[...], ...]}.
+    /// Cells stay strings (they are already formatted for printing); the
+    /// machine-readable BENCH_*.json files carry them verbatim.
+    void render_json(std::ostream& os) const;
+
+    /// Escapes a string for inclusion in a JSON document (quotes included).
+    [[nodiscard]] static std::string json_quote(std::string_view s);
+
     [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+    [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+        return headers_;
+    }
+    [[nodiscard]] const std::vector<std::vector<std::string>>& row_data()
+        const noexcept {
+        return rows_;
+    }
 
 private:
     std::vector<std::string> headers_;

@@ -58,7 +58,7 @@ TEST(Hybrid, SmallOnlyWorkloadStaysInHtm) {
 
 TEST(Hybrid, LargeTransactionsFallBackToStm) {
     auto c = base_config();
-    c.stm_table = ownership::TableKind::kTagged;
+    c.stm_table = "tagged";
     const auto r = run_hybrid_tm(c);
     EXPECT_GT(r.overflows, 0u);
     EXPECT_GT(r.stm_commits, 0u);
@@ -67,7 +67,7 @@ TEST(Hybrid, LargeTransactionsFallBackToStm) {
 
 TEST(Hybrid, TaggedFallbackNeverAborts) {
     auto c = base_config();
-    c.stm_table = ownership::TableKind::kTagged;
+    c.stm_table = "tagged";
     c.stm_table_entries = 1024;  // tiny: chains, but no false conflicts
     const auto r = run_hybrid_tm(c);
     EXPECT_GT(r.stm_commits, 0u);
@@ -82,7 +82,7 @@ TEST(Hybrid, TaglessFallbackAbortsAndSerializes) {
     auto c = base_config();
     c.threads = 8;
     c.mix.large_fraction = 1.0;  // everything overflows: the paper's §6 nightmare
-    c.stm_table = ownership::TableKind::kTagless;
+    c.stm_table = "tagless";
     c.stm_table_entries = 1u << 14;  // W=256/(1+α): Eq.8 says certain conflict
     const auto r = run_hybrid_tm(c);
     EXPECT_GT(r.stm_aborts, r.stm_commits)
@@ -92,7 +92,7 @@ TEST(Hybrid, TaglessFallbackAbortsAndSerializes) {
     EXPECT_LT(r.stm_effective_concurrency, 2.5);
 
     // Same setup, tagged: full concurrency, zero aborts.
-    c.stm_table = ownership::TableKind::kTagged;
+    c.stm_table = "tagged";
     const auto tagged = run_hybrid_tm(c);
     EXPECT_EQ(tagged.stm_aborts, 0u);
     EXPECT_GT(tagged.stm_effective_concurrency,
@@ -104,7 +104,7 @@ TEST(Hybrid, BiggerTaglessTableHelpsButSublinearly) {
     auto c = base_config();
     c.threads = 4;
     c.mix.large_fraction = 1.0;
-    c.stm_table = ownership::TableKind::kTagless;
+    c.stm_table = "tagless";
     std::vector<double> abort_ratio;
     for (const std::uint64_t n : {1u << 14, 1u << 16, 1u << 18}) {
         c.stm_table_entries = n;

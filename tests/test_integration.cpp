@@ -11,6 +11,7 @@
 #include "core/birthday.hpp"
 #include "core/conflict_model.hpp"
 #include "ownership/any_table.hpp"
+#include "ownership/tagless_table.hpp"
 #include "sim/closed_system.hpp"
 #include "sim/open_system.hpp"
 #include "sim/trace_alias.hpp"
@@ -237,9 +238,9 @@ TEST(Integration, AnyTableDrivesTraceAliasIdentically) {
                               .table_entries = 1024,
                               .samples = 400,
                               .seed = 10};
-    cfg.table_kind = ownership::TableKind::kTagless;
+    cfg.table = "tagless";
     const auto tagless = run_trace_alias(cfg, tr);
-    cfg.table_kind = ownership::TableKind::kTagged;
+    cfg.table = "tagged";
     const auto tagged = run_trace_alias(cfg, tr);
     EXPECT_GT(tagless.aliased, 0u);
     EXPECT_EQ(tagged.aliased, 0u);

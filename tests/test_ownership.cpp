@@ -335,7 +335,7 @@ TEST(AnyTable, DispatchesToBothKinds) {
     for (const auto kind : {TableKind::kTagless, TableKind::kTagged}) {
         const auto t = make_table(kind, direct(16));
         ASSERT_NE(t, nullptr);
-        EXPECT_EQ(t->kind(), kind);
+        EXPECT_EQ(t->name(), to_string(kind));
         EXPECT_EQ(t->entry_count(), 16u);
         EXPECT_TRUE(t->acquire_write(0, 3).ok);
         const bool alias_conflicts = !t->acquire_write(1, 3 + 16).ok;

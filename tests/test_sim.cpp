@@ -378,7 +378,7 @@ TEST(TraceAlias, TaggedTableNeverAliases) {
     const TraceAliasConfig c{.concurrency = 4,
                              .write_footprint = 20,
                              .table_entries = 1024,
-                             .table_kind = ownership::TableKind::kTagged,
+                             .table = "tagged",
                              .samples = 300,
                              .seed = 1};
     const auto r = run_trace_alias(c, t);

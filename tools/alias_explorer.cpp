@@ -1,24 +1,26 @@
 // alias_explorer — run the paper's §2.2 aliasing experiment on any trace
-// file, with every knob exposed.
+// file, with every knob exposed through the config layer.
 //
 // usage:
 //   alias_explorer <trace-file> [options]
-//     --concurrency C      streams used (default 2)
-//     --footprint W        distinct written blocks per stream (default 20)
-//     --table N            ownership-table entries (default 65536)
-//     --samples K          Monte Carlo samples (default 10000)
-//     --hash {shift|mult|mix}   address hash (default mix)
-//     --tagged             use the tagged table (expects 0 aliases)
-//     --seed S
+//     --concurrency=C      streams used (default 2)
+//     --footprint=W        distinct written blocks per stream (default 20)
+//     --entries=N          ownership-table entries (default 65536; "64k" ok)
+//     --samples=K          Monte Carlo samples (default 10000)
+//     --hash=KIND          shift-mask | multiplicative | mix64 (default mix64)
+//     --table=NAME         any registered organization (default tagless;
+//                          tagged expects 0 aliases)
+//     --seed=S
 //     --model              also print the analytical prediction
 //
-// The trace must be true-conflict-free (trace_tool filter); the tool warns
-// otherwise, since true conflicts would be misattributed to aliasing.
-#include <cstdlib>
-#include <cstring>
+// All options map straight onto sim::trace_alias_config_from, so this tool
+// accepts exactly the keys the simulators and benches accept. The trace
+// must be true-conflict-free (trace_tool filter); the tool warns otherwise,
+// since true conflicts would be misattributed to aliasing.
 #include <iostream>
 #include <string>
 
+#include "config/config.hpp"
 #include "core/conflict_model.hpp"
 #include "sim/trace_alias.hpp"
 #include "trace/analysis.hpp"
@@ -26,60 +28,29 @@
 #include "trace/trace_io.hpp"
 
 int main(int argc, char** argv) {
-    if (argc < 2) {
-        std::cerr << "usage: alias_explorer <trace-file> [--concurrency C] "
-                     "[--footprint W] [--table N]\n                      "
-                     "[--samples K] [--hash shift|mult|mix] [--tagged] "
-                     "[--seed S] [--model]\n";
+    const auto cli = tmb::config::Config::from_args(argc, argv);
+    if (cli.positional().empty()) {
+        std::cerr << "usage: alias_explorer <trace-file> [--concurrency=C] "
+                     "[--footprint=W] [--entries=N]\n                      "
+                     "[--samples=K] [--hash=KIND] [--table=NAME] [--seed=S] "
+                     "[--model]\n";
         return 2;
     }
 
-    tmb::sim::TraceAliasConfig config;
-    config.concurrency = 2;
-    config.write_footprint = 20;
-    config.table_entries = 65536;
-    config.samples = 10000;
-    bool with_model = false;
+    try {
+        tmb::sim::TraceAliasConfig config = tmb::sim::trace_alias_config_from(cli);
+        if (!cli.has("concurrency")) config.concurrency = 2;
+        if (!cli.has("footprint")) config.write_footprint = 20;
+        if (!cli.has("entries")) config.table_entries = 65536;
+        const bool with_model = cli.get_bool("model", false);
+        if (cli.get_bool("tagged", false)) config.table = "tagged";  // legacy flag
 
-    for (int i = 2; i < argc; ++i) {
-        const std::string flag = argv[i];
-        auto next_u64 = [&](std::uint64_t fallback) -> std::uint64_t {
-            return i + 1 < argc ? std::strtoull(argv[++i], nullptr, 10) : fallback;
-        };
-        if (flag == "--concurrency") {
-            config.concurrency = static_cast<std::uint32_t>(next_u64(2));
-        } else if (flag == "--footprint") {
-            config.write_footprint = next_u64(20);
-        } else if (flag == "--table") {
-            config.table_entries = next_u64(65536);
-        } else if (flag == "--samples") {
-            config.samples = static_cast<std::uint32_t>(next_u64(10000));
-        } else if (flag == "--seed") {
-            config.seed = next_u64(1);
-        } else if (flag == "--tagged") {
-            config.table_kind = tmb::ownership::TableKind::kTagged;
-        } else if (flag == "--model") {
-            with_model = true;
-        } else if (flag == "--hash" && i + 1 < argc) {
-            const std::string kind = argv[++i];
-            if (kind == "shift") {
-                config.hash = tmb::util::HashKind::kShiftMask;
-            } else if (kind == "mult") {
-                config.hash = tmb::util::HashKind::kMultiplicative;
-            } else if (kind == "mix") {
-                config.hash = tmb::util::HashKind::kMix64;
-            } else {
-                std::cerr << "unknown hash '" << kind << "'\n";
-                return 2;
-            }
-        } else {
-            std::cerr << "unknown option '" << flag << "'\n";
+        for (const std::string& key : cli.unused_keys()) {
+            std::cerr << "unknown option '--" << key << "'\n";
             return 2;
         }
-    }
 
-    try {
-        const auto trace = tmb::trace::load_text_file(argv[1]);
+        const auto trace = tmb::trace::load_text_file(cli.positional().front());
         if (tmb::trace::has_true_conflicts(trace)) {
             std::cerr << "WARNING: trace has true conflicts; results will "
                          "overstate aliasing (run trace_tool filter).\n";
@@ -90,7 +61,7 @@ int main(int argc, char** argv) {
                   << " W=" << config.write_footprint
                   << " N=" << config.table_entries
                   << " hash=" << tmb::util::to_string(config.hash)
-                  << " table=" << tmb::ownership::to_string(config.table_kind)
+                  << " table=" << config.table
                   << " samples=" << result.samples << '\n';
         std::cout << "alias likelihood: " << 100.0 * result.alias_likelihood()
                   << "%  (" << result.aliased << '/'

@@ -1,6 +1,6 @@
 // trace_tool — generate, analyze and filter memory-access traces.
 //
-// Subcommands:
+// Subcommands (options may be positional, in the order shown, or flags):
 //   generate jbb  <out.trace> [threads] [accesses] [seed]
 //   generate zipf <out.trace> [threads] [accesses] [skew] [seed]
 //   generate spec <profile> <out.trace> [accesses] [seed]
@@ -8,12 +8,15 @@
 //   filter   <in.trace> <out.trace>     # remove true conflicts (paper §2.2)
 //   profiles                            # list SPEC2000-like profiles
 //
-// The trace format is the plain-text format of trace/trace_io.hpp, so real
-// traces can be converted in and run through every experiment.
+// Flag forms: --threads=N --accesses=N --seed=S --skew=X. The trace format
+// is the plain-text format of trace/trace_io.hpp, so real traces can be
+// converted in and run through every experiment.
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "config/config.hpp"
 #include "trace/analysis.hpp"
 #include "trace/conflict_filter.hpp"
 #include "trace/spec2000.hpp"
@@ -23,6 +26,8 @@
 
 namespace {
 
+using tmb::config::Config;
+
 int usage() {
     std::cerr <<
         "usage:\n"
@@ -31,28 +36,40 @@ int usage() {
         "  trace_tool generate spec <profile> <out.trace> [accesses=50000] [seed=1]\n"
         "  trace_tool analyze  <in.trace>\n"
         "  trace_tool filter   <in.trace> <out.trace>\n"
-        "  trace_tool profiles\n";
+        "  trace_tool profiles\n"
+        "  (numeric options may also be given as --threads= --accesses= "
+        "--skew= --seed=)\n";
     return 2;
 }
 
-std::uint64_t arg_u64(int argc, char** argv, int index, std::uint64_t fallback) {
-    return index < argc ? std::strtoull(argv[index], nullptr, 10) : fallback;
+/// Positional-or-flag lookup: flags win, then the positional at `index`.
+std::uint64_t opt_u64(const Config& cli, std::string_view key,
+                      std::size_t index, std::uint64_t fallback) {
+    const auto& pos = cli.positional();
+    if (cli.has(key)) return cli.get_u64(key, fallback);
+    return index < pos.size() ? std::strtoull(pos[index].c_str(), nullptr, 10)
+                              : fallback;
 }
 
-double arg_f64(int argc, char** argv, int index, double fallback) {
-    return index < argc ? std::strtod(argv[index], nullptr) : fallback;
+double opt_f64(const Config& cli, std::string_view key, std::size_t index,
+               double fallback) {
+    const auto& pos = cli.positional();
+    if (cli.has(key)) return cli.get_double(key, fallback);
+    return index < pos.size() ? std::strtod(pos[index].c_str(), nullptr)
+                              : fallback;
 }
 
-int cmd_generate(int argc, char** argv) {
-    if (argc < 4) return usage();
-    const std::string kind = argv[2];
+int cmd_generate(const Config& cli) {
+    const auto& pos = cli.positional();  // generate <kind> <...>
+    if (pos.size() < 3) return usage();
+    const std::string& kind = pos[1];
 
     if (kind == "jbb") {
-        const std::string out = argv[3];
+        const std::string& out = pos[2];
         tmb::trace::SpecJbbLikeParams params;
-        params.threads = static_cast<std::uint32_t>(arg_u64(argc, argv, 4, 4));
-        const auto accesses = arg_u64(argc, argv, 5, 50000);
-        const auto seed = arg_u64(argc, argv, 6, 1);
+        params.threads = static_cast<std::uint32_t>(opt_u64(cli, "threads", 3, 4));
+        const auto accesses = opt_u64(cli, "accesses", 4, 50000);
+        const auto seed = opt_u64(cli, "seed", 5, 1);
         tmb::trace::SpecJbbLikeGenerator gen(params, seed);
         tmb::trace::save_text_file(out, gen.generate(accesses));
         std::cout << "wrote " << out << " (" << params.threads << " threads x "
@@ -60,12 +77,12 @@ int cmd_generate(int argc, char** argv) {
         return 0;
     }
     if (kind == "zipf") {
-        const std::string out = argv[3];
+        const std::string& out = pos[2];
         tmb::trace::ZipfTraceParams params;
-        params.threads = static_cast<std::uint32_t>(arg_u64(argc, argv, 4, 4));
-        const auto accesses = arg_u64(argc, argv, 5, 50000);
-        params.skew = arg_f64(argc, argv, 6, 0.99);
-        const auto seed = arg_u64(argc, argv, 7, 1);
+        params.threads = static_cast<std::uint32_t>(opt_u64(cli, "threads", 3, 4));
+        const auto accesses = opt_u64(cli, "accesses", 4, 50000);
+        params.skew = opt_f64(cli, "skew", 5, 0.99);
+        const auto seed = opt_u64(cli, "seed", 6, 1);
         tmb::trace::save_text_file(
             out, tmb::trace::generate_zipf_trace(params, accesses, seed));
         std::cout << "wrote " << out << " (" << params.threads << " threads x "
@@ -73,11 +90,11 @@ int cmd_generate(int argc, char** argv) {
         return 0;
     }
     if (kind == "spec") {
-        if (argc < 5) return usage();
-        const auto& profile = tmb::trace::spec2000_profile(argv[3]);
-        const std::string out = argv[4];
-        const auto accesses = arg_u64(argc, argv, 5, 50000);
-        const auto seed = arg_u64(argc, argv, 6, 1);
+        if (pos.size() < 4) return usage();
+        const auto& profile = tmb::trace::spec2000_profile(pos[2]);
+        const std::string& out = pos[3];
+        const auto accesses = opt_u64(cli, "accesses", 4, 50000);
+        const auto seed = opt_u64(cli, "seed", 5, 1);
         tmb::trace::MultiThreadTrace trace;
         trace.streams.push_back(
             tmb::trace::generate_spec2000_stream(profile, accesses, seed));
@@ -89,9 +106,9 @@ int cmd_generate(int argc, char** argv) {
     return usage();
 }
 
-int cmd_analyze(int argc, char** argv) {
-    if (argc < 3) return usage();
-    const auto trace = tmb::trace::load_text_file(argv[2]);
+int cmd_analyze(const Config& cli) {
+    if (cli.positional().size() < 2) return usage();
+    const auto trace = tmb::trace::load_text_file(cli.positional()[1]);
     std::cout << "trace: " << trace.thread_count() << " streams, "
               << trace.total_accesses() << " accesses\n";
     if (tmb::trace::has_true_conflicts(trace)) {
@@ -106,14 +123,15 @@ int cmd_analyze(int argc, char** argv) {
     return 0;
 }
 
-int cmd_filter(int argc, char** argv) {
-    if (argc < 4) return usage();
-    auto trace = tmb::trace::load_text_file(argv[2]);
+int cmd_filter(const Config& cli) {
+    const auto& pos = cli.positional();
+    if (pos.size() < 3) return usage();
+    auto trace = tmb::trace::load_text_file(pos[1]);
     const auto stats = tmb::trace::remove_true_conflicts(trace);
-    tmb::trace::save_text_file(argv[3], trace);
+    tmb::trace::save_text_file(pos[2], trace);
     std::cout << "removed " << stats.blocks_removed << " truly-shared blocks ("
               << stats.accesses_before - stats.accesses_after << " of "
-              << stats.accesses_before << " accesses); wrote " << argv[3]
+              << stats.accesses_before << " accesses); wrote " << pos[2]
               << '\n';
     return 0;
 }
@@ -131,12 +149,13 @@ int cmd_profiles() {
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 2) return usage();
-    const std::string cmd = argv[1];
+    const Config cli = Config::from_args(argc, argv);
+    if (cli.positional().empty()) return usage();
+    const std::string& cmd = cli.positional().front();
     try {
-        if (cmd == "generate") return cmd_generate(argc, argv);
-        if (cmd == "analyze") return cmd_analyze(argc, argv);
-        if (cmd == "filter") return cmd_filter(argc, argv);
+        if (cmd == "generate") return cmd_generate(cli);
+        if (cmd == "analyze") return cmd_analyze(cli);
+        if (cmd == "filter") return cmd_filter(cli);
         if (cmd == "profiles") return cmd_profiles();
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << '\n';
