@@ -26,7 +26,7 @@ using tmb::util::TablePrinter;
 /// Organization under test (`--table=tagged` isolates true conflicts).
 std::string g_table = "tagless";  // NOLINT: bench-local knob
 
-std::uint64_t conflicts(std::uint32_t c, std::uint64_t w, std::uint64_t n) {
+double conflicts(std::uint32_t c, std::uint64_t w, std::uint64_t n) {
     const ClosedSystemConfig config{
         .concurrency = c,
         .write_footprint = w,
@@ -58,7 +58,7 @@ int bench_main(int argc, char** argv) {
             std::vector<std::string> row{std::to_string(w)};
             for (const std::uint32_t c : {8u, 4u, 2u}) {
                 for (const std::uint64_t n : {1024u, 4096u, 16384u}) {
-                    row.push_back(std::to_string(conflicts(c, w, n)));
+                    row.push_back(TablePrinter::fmt(conflicts(c, w, n), 1));
                 }
             }
             t.add_row(std::move(row));
@@ -77,7 +77,7 @@ int bench_main(int argc, char** argv) {
             std::vector<std::string> row{std::to_string(n)};
             for (const std::uint32_t c : {8u, 4u, 2u}) {
                 for (const std::uint64_t w : {20u, 10u, 5u}) {
-                    row.push_back(std::to_string(conflicts(c, w, n)));
+                    row.push_back(TablePrinter::fmt(conflicts(c, w, n), 1));
                 }
             }
             t.add_row(std::move(row));
@@ -96,7 +96,7 @@ int bench_main(int argc, char** argv) {
             for (const std::uint64_t w : {5u, 10u, 20u}) {
                 const tmb::core::ModelParams p{.alpha = 2.0, .table_entries = n};
                 t.add_row({std::to_string(n), std::to_string(w),
-                           std::to_string(conflicts(4, w, n)),
+                           TablePrinter::fmt(conflicts(4, w, n), 1),
                            TablePrinter::fmt(
                                tmb::core::closed_system_conflicts_estimate(p, 4, w, 650),
                                0)});

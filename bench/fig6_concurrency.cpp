@@ -15,15 +15,15 @@
 
 namespace {
 
+using tmb::sim::ClosedSystemAverages;
 using tmb::sim::ClosedSystemConfig;
-using tmb::sim::ClosedSystemResult;
 using tmb::sim::run_closed_system_averaged;
 using tmb::util::TablePrinter;
 
 /// Organization under test (`--table=tagged` isolates true conflicts).
 std::string g_table = "tagless";  // NOLINT: bench-local knob
 
-ClosedSystemResult point(std::uint32_t c, std::uint64_t w, std::uint64_t n) {
+ClosedSystemAverages point(std::uint32_t c, std::uint64_t w, std::uint64_t n) {
     const ClosedSystemConfig config{
         .concurrency = c,
         .write_footprint = w,
@@ -62,7 +62,7 @@ int bench_main(int argc, char** argv) {
             std::vector<std::string> row{std::to_string(c)};
             for (const auto n : tables) {
                 for (const auto w : footprints) {
-                    row.push_back(std::to_string(point(c, w, n).conflicts));
+                    row.push_back(TablePrinter::fmt(point(c, w, n).conflicts, 1));
                 }
             }
             t.add_row(std::move(row));
@@ -85,7 +85,7 @@ int bench_main(int argc, char** argv) {
                     t.add_row({std::to_string(n / 1024) + "k-" + std::to_string(w),
                                std::to_string(c),
                                TablePrinter::fmt(r.actual_concurrency, 2),
-                               std::to_string(r.conflicts),
+                               TablePrinter::fmt(r.conflicts, 1),
                                TablePrinter::fmt(r.mean_occupancy, 1),
                                TablePrinter::fmt(r.expected_occupancy_no_conflicts, 1)});
                 }

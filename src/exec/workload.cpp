@@ -1,0 +1,223 @@
+#include "exec/workload.hpp"
+
+#include <stdexcept>
+
+#include "trace/zipf.hpp"
+#include "util/hash.hpp"
+
+namespace tmb::exec {
+
+namespace {
+
+/// Upper bound on per-operation accesses (sizes the stack-local operand
+/// buffers). Out-of-range values are rejected, never clamped — a silent
+/// clamp would mislabel every reported measurement.
+constexpr std::uint32_t kMaxTxSize = 64;
+
+void check_tx_size(std::uint32_t tx_size) {
+    if (tx_size == 0 || tx_size > kMaxTxSize) {
+        throw std::invalid_argument("tx_size must be in [1, " +
+                                    std::to_string(kMaxTxSize) + "]");
+    }
+}
+
+/// Commutative per-slot digest so the hash is independent of which thread
+/// wrote last (values are compared only at quiescence).
+[[nodiscard]] std::uint64_t slot_digest(std::uint64_t index,
+                                        std::uint64_t value) {
+    return util::mix64((index + 1) * 0x9e3779b97f4a7c15ULL ^ value);
+}
+
+// ---------------------------------------------------------------------------
+// counters — uniform increments over a large array (low-contention baseline)
+// ---------------------------------------------------------------------------
+
+class CounterArrayWorkload final : public Workload {
+public:
+    CounterArrayWorkload(std::uint64_t slots, std::uint32_t tx_size)
+        : slots_(slots), tx_size_(tx_size) {
+        if (slots == 0) throw std::invalid_argument("workload slots must be > 0");
+        check_tx_size(tx_size);
+    }
+
+    std::string_view name() const noexcept override { return "counters"; }
+
+    void op(stm::Executor& exec, util::Xoshiro256& rng) override {
+        // Operands are drawn before the transaction so a retry re-runs the
+        // same logical operation (and rng advances once per op, not once
+        // per attempt).
+        std::uint64_t picks[kMaxTxSize];
+        for (std::uint32_t i = 0; i < tx_size_; ++i) {
+            picks[i] = rng.below(slots_.size());
+        }
+        exec.atomically([&](stm::Transaction& tx) {
+            for (std::uint32_t i = 0; i < tx_size_; ++i) {
+                auto& slot = slots_[picks[i]];
+                slot.write(tx, slot.read(tx) + 1);
+            }
+        });
+    }
+
+    void verify(std::uint64_t committed_ops) const override {
+        std::uint64_t sum = 0;
+        for (const auto& s : slots_) sum += s.unsafe_read();
+        const std::uint64_t expected = committed_ops * tx_size_;
+        if (sum != expected) {
+            throw std::runtime_error(
+                "counters invariant violated: slot sum " + std::to_string(sum) +
+                " != ops * tx_size " + std::to_string(expected));
+        }
+    }
+
+    std::uint64_t state_hash() const override {
+        std::uint64_t h = 0;
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            h += slot_digest(i, slots_[i].unsafe_read());
+        }
+        return h;
+    }
+
+private:
+    std::vector<stm::TVar<std::uint64_t>> slots_;
+    std::uint32_t tx_size_;
+};
+
+// ---------------------------------------------------------------------------
+// zipf — skewed accesses; hot blocks pin hot ownership-table entries
+// ---------------------------------------------------------------------------
+
+class ZipfWorkload final : public Workload {
+public:
+    ZipfWorkload(std::uint64_t slots, std::uint32_t tx_size, double skew)
+        : slots_(slots), sampler_(slots, skew), tx_size_(tx_size) {
+        check_tx_size(tx_size);
+    }
+
+    std::string_view name() const noexcept override { return "zipf"; }
+
+    void op(stm::Executor& exec, util::Xoshiro256& rng) override {
+        // tx_size-1 reads plus one increment, all Zipf-distributed: the
+        // sampler is shared and immutable, so concurrent sampling is safe.
+        std::uint64_t picks[kMaxTxSize];
+        for (std::uint32_t i = 0; i < tx_size_; ++i) {
+            picks[i] = sampler_.sample(rng);
+        }
+        exec.atomically([&](stm::Transaction& tx) {
+            std::uint64_t acc = 0;
+            for (std::uint32_t i = 0; i + 1 < tx_size_; ++i) {
+                acc += slots_[picks[i]].read(tx);
+            }
+            (void)acc;
+            auto& hot = slots_[picks[tx_size_ - 1]];
+            hot.write(tx, hot.read(tx) + 1);
+        });
+    }
+
+    void verify(std::uint64_t committed_ops) const override {
+        std::uint64_t sum = 0;
+        for (const auto& s : slots_) sum += s.unsafe_read();
+        if (sum != committed_ops) {
+            throw std::runtime_error(
+                "zipf invariant violated: slot sum " + std::to_string(sum) +
+                " != committed ops " + std::to_string(committed_ops));
+        }
+    }
+
+    std::uint64_t state_hash() const override {
+        std::uint64_t h = 0;
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            h += slot_digest(i, slots_[i].unsafe_read());
+        }
+        return h;
+    }
+
+private:
+    std::vector<stm::TVar<std::uint64_t>> slots_;
+    trace::ZipfianSampler sampler_;
+    std::uint32_t tx_size_;
+};
+
+// ---------------------------------------------------------------------------
+// bank — transfers between random accounts; conservation invariant
+// ---------------------------------------------------------------------------
+
+class BankWorkload final : public Workload {
+public:
+    static constexpr std::int64_t kInitialBalance = 1000;
+
+    explicit BankWorkload(std::uint64_t accounts) : accounts_(accounts) {
+        if (accounts < 2) throw std::invalid_argument("bank needs >= 2 accounts");
+        for (auto& a : accounts_) a.unsafe_write(kInitialBalance);
+    }
+
+    std::string_view name() const noexcept override { return "bank"; }
+
+    void op(stm::Executor& exec, util::Xoshiro256& rng) override {
+        const std::uint64_t from = rng.below(accounts_.size());
+        std::uint64_t to = rng.below(accounts_.size() - 1);
+        if (to >= from) ++to;  // uniform over accounts != from
+        const auto amount = static_cast<std::int64_t>(rng.uniform(1, 10));
+        exec.atomically([&](stm::Transaction& tx) {
+            accounts_[from].write(tx, accounts_[from].read(tx) - amount);
+            accounts_[to].write(tx, accounts_[to].read(tx) + amount);
+        });
+    }
+
+    void verify(std::uint64_t /*committed_ops*/) const override {
+        std::int64_t total = 0;
+        for (const auto& a : accounts_) total += a.unsafe_read();
+        const auto expected =
+            static_cast<std::int64_t>(accounts_.size()) * kInitialBalance;
+        if (total != expected) {
+            throw std::runtime_error(
+                "bank invariant violated: total balance " +
+                std::to_string(total) + " != " + std::to_string(expected));
+        }
+    }
+
+    std::uint64_t state_hash() const override {
+        std::uint64_t h = 0;
+        for (std::size_t i = 0; i < accounts_.size(); ++i) {
+            h += slot_digest(
+                i, static_cast<std::uint64_t>(accounts_[i].unsafe_read()));
+        }
+        return h;
+    }
+
+private:
+    std::vector<stm::TVar<std::int64_t>> accounts_;
+};
+
+/// Registers the built-in workloads exactly once (same bootstrap pattern as
+/// the table and backend registries).
+WorkloadRegistry& registry() {
+    static const bool bootstrapped = [] {
+        auto& r = WorkloadRegistry::instance();
+        r.add_default("counters", [](const config::Config& cfg) {
+            return std::make_unique<CounterArrayWorkload>(
+                cfg.get_u64("slots", 1u << 16), cfg.get_u32("tx_size", 4));
+        });
+        r.add_default("zipf", [](const config::Config& cfg) {
+            return std::make_unique<ZipfWorkload>(
+                cfg.get_u64("slots", 1u << 16), cfg.get_u32("tx_size", 4),
+                cfg.get_double("skew", 0.99));
+        });
+        r.add_default("bank", [](const config::Config& cfg) {
+            return std::make_unique<BankWorkload>(
+                cfg.get_u64("accounts", 1024));
+        });
+        return true;
+    }();
+    (void)bootstrapped;
+    return WorkloadRegistry::instance();
+}
+
+}  // namespace
+
+std::vector<std::string> workload_names() { return registry().names(); }
+
+std::unique_ptr<Workload> make_workload(const config::Config& cfg) {
+    return registry().create(cfg.get("workload", "counters"), cfg);
+}
+
+}  // namespace tmb::exec

@@ -1,0 +1,78 @@
+// workload.hpp — registry-selected transactional workloads for the
+// execution engine.
+//
+// A Workload owns shared transactional state (TVar arrays) and exposes one
+// operation that engine threads execute over and over through their
+// per-thread stm::Executor. Workloads are constructed *by name* through the
+// config registry — exactly like tables and backends — so the parallel
+// bench sweeps `--workload=` the way every other driver sweeps `--table=`:
+//
+//   "counters"  — increment tx_size uniformly random slots of a large
+//                 counter array per transaction (low contention when
+//                 slots >> threads · tx_size; the scaling baseline).
+//   "zipf"      — tx_size-1 Zipf-distributed reads plus one Zipf-
+//                 distributed increment per transaction (hot blocks pin hot
+//                 table entries; contention rises with `skew`).
+//   "bank"      — transfer a random amount between two random accounts
+//                 (read-modify-write pairs; the classic STM invariant demo).
+//
+// Every workload carries a checkable invariant (`verify`) and an
+// order-independent `state_hash` so the engine's stress and determinism
+// tests apply to all of them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/config.hpp"
+#include "config/registry.hpp"
+#include "stm/stm.hpp"
+#include "util/rng.hpp"
+
+namespace tmb::exec {
+
+/// A named transactional workload. `op` is called concurrently from many
+/// engine threads; all shared state must be accessed through `exec`'s
+/// transactions (plus non-transactional initialization in the constructor,
+/// before the object is published to threads).
+class Workload {
+public:
+    virtual ~Workload() = default;
+
+    [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+    /// Executes one operation: exactly one committed transaction (the
+    /// engine counts ops and equates them with commits). `rng` is the
+    /// calling thread's private substream — operand selection must use it
+    /// and nothing else, so a single-threaded run is deterministic.
+    virtual void op(stm::Executor& exec, util::Xoshiro256& rng) = 0;
+
+    /// Checks the workload invariant at quiescence (all threads joined);
+    /// `committed_ops` is the engine-wide completed-operation count.
+    /// Throws std::runtime_error on violation — a lost or doubled update.
+    virtual void verify(std::uint64_t committed_ops) const = 0;
+
+    /// Order-independent digest of the shared state at quiescence, for
+    /// determinism tests (two 1-thread runs with one seed must agree).
+    [[nodiscard]] virtual std::uint64_t state_hash() const = 0;
+};
+
+/// The process-wide workload registry; external workloads can be added at
+/// runtime and become selectable by the engine, bench and smoke tool.
+using WorkloadRegistry = config::Registry<Workload>;
+
+/// Registered workload names, in registration order.
+[[nodiscard]] std::vector<std::string> workload_names();
+
+/// Creates a workload from a Config. Keys:
+///   workload  counters | zipf | bank (default "counters")
+///   slots     counter/zipf array size (default 65536; accepts "64k")
+///   tx_size   transactional accesses per operation (default 4)
+///   skew      zipf skew s (default 0.99)
+///   accounts  bank account count (default 1024)
+[[nodiscard]] std::unique_ptr<Workload> make_workload(const config::Config& cfg);
+
+}  // namespace tmb::exec

@@ -42,6 +42,9 @@ public:
         std::uint64_t block) const noexcept override {
         return table_.mode_of_block(block);
     }
+    [[nodiscard]] TxId max_tx() const noexcept override {
+        return table_.max_tx();
+    }
     void clear() override { table_.clear(); }
     [[nodiscard]] std::string_view name() const noexcept override {
         return name_;

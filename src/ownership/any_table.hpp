@@ -61,6 +61,11 @@ public:
     /// conflicting; for tagged it is the block's own record.
     [[nodiscard]] virtual Mode mode_of_block(
         std::uint64_t block) const noexcept = 0;
+    /// Largest number of concurrently live transactions this organization
+    /// supports (valid TxIds are [0, max_tx)). 64 for the lock-based tables;
+    /// 62 for atomic_tagless, whose entry word spends two bits on the mode.
+    /// Drivers must validate their concurrency against this, not kMaxTx.
+    [[nodiscard]] virtual TxId max_tx() const noexcept = 0;
     virtual void clear() = 0;
     [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 };

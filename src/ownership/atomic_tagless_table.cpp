@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <stdexcept>
+#include <string>
 
 namespace tmb::ownership {
 
@@ -15,8 +16,26 @@ std::uint64_t AtomicTaglessTable::index_of(std::uint64_t block) const noexcept {
     return util::hash_block(config_.hash, block, config_.entries);
 }
 
+namespace {
+
+/// TxIds 62 and 63 would alias the mode bits of the entry word (tx_bit(62)
+/// = 1<<62 lands in the mode field), silently corrupting the entry; fail
+/// fast instead.
+void check_tx(TxId tx) {
+    if (tx >= kMaxAtomicTx) {
+        throw std::out_of_range(
+            "AtomicTaglessTable: TxId " + std::to_string(tx) +
+            " exceeds the atomic table's capacity of " +
+            std::to_string(kMaxAtomicTx) +
+            " (two bits of the entry word encode the mode)");
+    }
+}
+
+}  // namespace
+
 AcquireResult AtomicTaglessTable::acquire_read(TxId tx, std::uint64_t block) {
-    read_acquires_.fetch_add(1, std::memory_order_relaxed);
+    check_tx(tx);
+    counter_shards_[tx].read_acquires.fetch_add(1, std::memory_order_relaxed);
     std::atomic<std::uint64_t>& entry = entries_[index_of(block)];
     std::uint64_t word = entry.load(std::memory_order_acquire);
     for (;;) {
@@ -40,7 +59,7 @@ AcquireResult AtomicTaglessTable::acquire_read(TxId tx, std::uint64_t block) {
             case Mode::kWrite: {
                 const auto writer = static_cast<TxId>(payload_of(word));
                 if (writer == tx) return {.ok = true};
-                conflicts_.fetch_add(1, std::memory_order_relaxed);
+                counter_shards_[tx].conflicts.fetch_add(1, std::memory_order_relaxed);
                 return {.ok = false, .conflicting = tx_bit(writer)};
             }
         }
@@ -48,7 +67,8 @@ AcquireResult AtomicTaglessTable::acquire_read(TxId tx, std::uint64_t block) {
 }
 
 AcquireResult AtomicTaglessTable::acquire_write(TxId tx, std::uint64_t block) {
-    write_acquires_.fetch_add(1, std::memory_order_relaxed);
+    check_tx(tx);
+    counter_shards_[tx].write_acquires.fetch_add(1, std::memory_order_relaxed);
     std::atomic<std::uint64_t>& entry = entries_[index_of(block)];
     std::uint64_t word = entry.load(std::memory_order_acquire);
     for (;;) {
@@ -62,7 +82,7 @@ AcquireResult AtomicTaglessTable::acquire_write(TxId tx, std::uint64_t block) {
             case Mode::kRead: {
                 const std::uint64_t others = payload_of(word) & ~tx_bit(tx);
                 if (others != 0) {
-                    conflicts_.fetch_add(1, std::memory_order_relaxed);
+                    counter_shards_[tx].conflicts.fetch_add(1, std::memory_order_relaxed);
                     return {.ok = false, .conflicting = others};
                 }
                 if (entry.compare_exchange_weak(word, pack(Mode::kWrite, tx),
@@ -74,7 +94,7 @@ AcquireResult AtomicTaglessTable::acquire_write(TxId tx, std::uint64_t block) {
             case Mode::kWrite: {
                 const auto writer = static_cast<TxId>(payload_of(word));
                 if (writer == tx) return {.ok = true};
-                conflicts_.fetch_add(1, std::memory_order_relaxed);
+                counter_shards_[tx].conflicts.fetch_add(1, std::memory_order_relaxed);
                 return {.ok = false, .conflicting = tx_bit(writer)};
             }
         }
@@ -82,7 +102,7 @@ AcquireResult AtomicTaglessTable::acquire_write(TxId tx, std::uint64_t block) {
 }
 
 void AtomicTaglessTable::release(TxId tx, std::uint64_t block, Mode /*mode*/) {
-    releases_.fetch_add(1, std::memory_order_relaxed);
+    counter_shards_[tx & 63].releases.fetch_add(1, std::memory_order_relaxed);
     std::atomic<std::uint64_t>& entry = entries_[index_of(block)];
     std::uint64_t word = entry.load(std::memory_order_acquire);
     for (;;) {
@@ -112,12 +132,14 @@ void AtomicTaglessTable::release(TxId tx, std::uint64_t block, Mode /*mode*/) {
 }
 
 TableCounters AtomicTaglessTable::counters() const noexcept {
-    return TableCounters{
-        .read_acquires = read_acquires_.load(std::memory_order_relaxed),
-        .write_acquires = write_acquires_.load(std::memory_order_relaxed),
-        .conflicts = conflicts_.load(std::memory_order_relaxed),
-        .releases = releases_.load(std::memory_order_relaxed),
-    };
+    TableCounters out;
+    for (const CounterShard& shard : counter_shards_) {
+        out.read_acquires += shard.read_acquires.load(std::memory_order_relaxed);
+        out.write_acquires += shard.write_acquires.load(std::memory_order_relaxed);
+        out.conflicts += shard.conflicts.load(std::memory_order_relaxed);
+        out.releases += shard.releases.load(std::memory_order_relaxed);
+    }
+    return out;
 }
 
 std::uint64_t AtomicTaglessTable::occupied_entries() const noexcept {

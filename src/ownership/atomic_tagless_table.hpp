@@ -17,6 +17,7 @@
 // inherits by construction.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -37,7 +38,9 @@ public:
     AtomicTaglessTable& operator=(const AtomicTaglessTable&) = delete;
 
     /// Lock-free; linearizes at a successful CAS (or at the load that
-    /// observes a conflicting state).
+    /// observes a conflicting state). Throws std::out_of_range when
+    /// `tx >= kMaxAtomicTx`: a TxId of 62 or 63 would set a mode bit in the
+    /// entry word instead of a sharer bit, silently corrupting the entry.
     AcquireResult acquire_read(TxId tx, std::uint64_t block);
     AcquireResult acquire_write(TxId tx, std::uint64_t block);
     void release(TxId tx, std::uint64_t block, Mode mode);
@@ -48,6 +51,10 @@ public:
     [[nodiscard]] const TableConfig& config() const noexcept { return config_; }
     [[nodiscard]] TableCounters counters() const noexcept;
     [[nodiscard]] std::uint64_t occupied_entries() const noexcept;
+    /// Largest number of concurrently live transactions: the sharer bitmap
+    /// is only 62 bits wide, so TxIds 62 and 63 are NOT usable here even
+    /// though other organizations accept them.
+    [[nodiscard]] TxId max_tx() const noexcept { return kMaxAtomicTx; }
 
     /// Not thread-safe; call only at quiescent points.
     void clear();
@@ -78,12 +85,21 @@ private:
         return word & kPayloadMask;
     }
 
+    /// Per-TxId statistics shard: counters are bumped on every acquire, so
+    /// a single shared set would ping-pong one cache line between all
+    /// threads; each transaction writes its own line instead and counters()
+    /// sums at read time. Sized kMaxTx (not kMaxAtomicTx) so release() —
+    /// which tolerates any TxId — can index with `tx & 63` unconditionally.
+    struct alignas(64) CounterShard {
+        std::atomic<std::uint64_t> read_acquires{0};
+        std::atomic<std::uint64_t> write_acquires{0};
+        std::atomic<std::uint64_t> conflicts{0};
+        std::atomic<std::uint64_t> releases{0};
+    };
+
     TableConfig config_;
     std::vector<std::atomic<std::uint64_t>> entries_;
-    mutable std::atomic<std::uint64_t> read_acquires_{0};
-    mutable std::atomic<std::uint64_t> write_acquires_{0};
-    mutable std::atomic<std::uint64_t> conflicts_{0};
-    mutable std::atomic<std::uint64_t> releases_{0};
+    std::array<CounterShard, kMaxTx> counter_shards_;
 };
 
 static_assert(OwnershipTable<AtomicTaglessTable>);

@@ -25,7 +25,9 @@ namespace tmb::ownership {
 
 /// Transaction identifier. Tables track holders in a 64-bit bitmap, so at
 /// most 64 concurrently live transactions are supported — far beyond the
-/// paper's experiments (C <= 8) and plenty for a per-thread STM.
+/// paper's experiments (C <= 8) and plenty for a per-thread STM. Individual
+/// organizations may support fewer (the atomic table spends two bitmap bits
+/// on the entry mode); query `max_tx()` instead of assuming this constant.
 using TxId = std::uint32_t;
 inline constexpr TxId kMaxTx = 64;
 
@@ -71,6 +73,7 @@ concept OwnershipTable = requires(T t, const T ct, TxId tx, std::uint64_t block)
     { ct.index_of(block) } -> std::convertible_to<std::uint64_t>;
     { ct.occupied_entries() } -> std::convertible_to<std::uint64_t>;
     { ct.mode_of_block(block) } -> std::same_as<Mode>;
+    { ct.max_tx() } -> std::convertible_to<TxId>;
     { t.clear() } -> std::same_as<void>;
 };
 

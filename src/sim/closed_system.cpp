@@ -36,9 +36,6 @@ ClosedSystemResult run_closed_system(const config::Config& cfg) {
 }
 
 ClosedSystemResult run_closed_system(const ClosedSystemConfig& config) {
-    if (config.concurrency < 1 || config.concurrency > ownership::kMaxTx) {
-        throw std::invalid_argument("concurrency must be in [1, 64]");
-    }
     if (config.write_footprint == 0) {
         throw std::invalid_argument("write_footprint must be > 0");
     }
@@ -49,6 +46,13 @@ ClosedSystemResult run_closed_system(const ClosedSystemConfig& config) {
         config.table, {.entries = config.table_entries,
                        .hash = util::HashKind::kShiftMask});
     ownership::AnyTable& table = *table_ptr;
+    // The valid range depends on the organization: atomic_tagless holds only
+    // 62 sharer bits, so a TxId of 62/63 would corrupt its entry words.
+    if (config.concurrency < 1 || config.concurrency > table.max_tx()) {
+        throw std::invalid_argument(
+            "concurrency must be in [1, " + std::to_string(table.max_tx()) +
+            "] for table '" + config.table + "'");
+    }
     util::Xoshiro256 rng{config.seed};
 
     const auto alpha_reads = static_cast<std::uint64_t>(config.alpha);
@@ -135,25 +139,29 @@ ClosedSystemResult run_closed_system(const ClosedSystemConfig& config) {
     return result;
 }
 
-ClosedSystemResult run_closed_system_averaged(const ClosedSystemConfig& config,
-                                              std::uint32_t repeats) {
+ClosedSystemAverages run_closed_system_averaged(const ClosedSystemConfig& config,
+                                                std::uint32_t repeats) {
     if (repeats == 0) repeats = 1;
-    ClosedSystemResult sum;
+    ClosedSystemAverages out;
+    out.repeats = repeats;
+    double occupancy_sum = 0.0;
+    double concurrency_sum = 0.0;
     for (std::uint32_t i = 0; i < repeats; ++i) {
         ClosedSystemConfig c = config;
         c.seed = util::mix64(config.seed + 0x51ed2701u + i);
         const ClosedSystemResult r = run_closed_system(c);
-        sum.conflicts += r.conflicts;
-        sum.commits += r.commits;
-        sum.mean_occupancy += r.mean_occupancy;
-        sum.actual_concurrency += r.actual_concurrency;
-        sum.expected_occupancy_no_conflicts = r.expected_occupancy_no_conflicts;
+        out.total_conflicts += r.conflicts;
+        out.total_commits += r.commits;
+        occupancy_sum += r.mean_occupancy;
+        concurrency_sum += r.actual_concurrency;
+        out.expected_occupancy_no_conflicts = r.expected_occupancy_no_conflicts;
     }
-    sum.conflicts /= repeats;
-    sum.commits /= repeats;
-    sum.mean_occupancy /= repeats;
-    sum.actual_concurrency /= repeats;
-    return sum;
+    const auto n = static_cast<double>(repeats);
+    out.conflicts = static_cast<double>(out.total_conflicts) / n;
+    out.commits = static_cast<double>(out.total_commits) / n;
+    out.mean_occupancy = occupancy_sum / n;
+    out.actual_concurrency = concurrency_sum / n;
+    return out;
 }
 
 }  // namespace tmb::sim

@@ -64,10 +64,25 @@ struct ClosedSystemResult {
 /// Config-driven overload (organization selected by `table=`).
 [[nodiscard]] ClosedSystemResult run_closed_system(const config::Config& cfg);
 
+/// Aggregate of `repeats` closed-system runs. Event counts are kept both as
+/// exact totals and as double-valued per-run means — integer-dividing the
+/// totals (the old behaviour) silently truncated up to repeats-1 events,
+/// rounding the fig5 low-conflict points down.
+struct ClosedSystemAverages {
+    std::uint32_t repeats = 1;
+    std::uint64_t total_conflicts = 0;
+    std::uint64_t total_commits = 0;
+    double conflicts = 0.0;  ///< mean conflicts per run
+    double commits = 0.0;    ///< mean commits per run
+    double mean_occupancy = 0.0;
+    double actual_concurrency = 0.0;
+    double expected_occupancy_no_conflicts = 0.0;
+};
+
 /// Averages `repeats` runs with derived seeds (the paper's plots are single
 /// runs; averaging tightens the series for the reproduction without changing
 /// the trends).
-[[nodiscard]] ClosedSystemResult run_closed_system_averaged(
+[[nodiscard]] ClosedSystemAverages run_closed_system_averaged(
     const ClosedSystemConfig& config, std::uint32_t repeats);
 
 }  // namespace tmb::sim

@@ -44,9 +44,6 @@ OpenSystemResult run_open_system(const config::Config& cfg) {
 }
 
 OpenSystemResult run_open_system(const OpenSystemConfig& config) {
-    if (config.concurrency < 2 || config.concurrency > ownership::kMaxTx) {
-        throw std::invalid_argument("concurrency must be in [2, 64]");
-    }
     if (config.table_entries == 0) {
         throw std::invalid_argument("table_entries must be > 0");
     }
@@ -57,6 +54,13 @@ OpenSystemResult run_open_system(const OpenSystemConfig& config) {
         config.table, {.entries = config.table_entries,
                        .hash = util::HashKind::kShiftMask});
     ownership::AnyTable& table = *table_ptr;
+    // The valid range depends on the organization: atomic_tagless holds only
+    // 62 sharer bits, so a TxId of 62/63 would corrupt its entry words.
+    if (config.concurrency < 2 || config.concurrency > table.max_tx()) {
+        throw std::invalid_argument(
+            "concurrency must be in [2, " + std::to_string(table.max_tx()) +
+            "] for table '" + config.table + "'");
+    }
 
     util::Xoshiro256 rng{config.seed};
     OpenSystemResult result;

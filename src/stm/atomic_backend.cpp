@@ -71,6 +71,14 @@ public:
         return std::make_unique<AtomicContext>(*this, slots_.acquire());
     }
 
+    std::uint32_t max_live_contexts() const noexcept override {
+        return ownership::kMaxAtomicTx;
+    }
+
+    std::uint64_t occupied_metadata_entries() const noexcept override {
+        return table_.occupied_entries();
+    }
+
     void begin(TxContext& cx_base) override {
         auto& cx = static_cast<AtomicContext&>(cx_base);
         cx.modes_.clear();

@@ -57,6 +57,23 @@ public:
 
     /// Rolls back after ConflictAbort (or failed commit cleanup is internal).
     virtual void abort(TxContext& cx) = 0;
+
+    /// Largest number of contexts that can be live simultaneously without
+    /// make_context() blocking — the table's TxId capacity for table
+    /// backends (62 for atomic_tagless, else 64); unbounded for tl2. The
+    /// execution engine validates its thread count against this.
+    [[nodiscard]] virtual std::uint32_t max_live_contexts() const noexcept {
+        return ownership::kMaxTx;
+    }
+
+    /// Currently held conflict-metadata entries (ownership-table occupancy;
+    /// 0 for backends without a table). Exact only at quiescent points; the
+    /// engine's stress tests assert it returns to 0 after all transactions
+    /// finish — a nonzero value there means a release was lost.
+    [[nodiscard]] virtual std::uint64_t occupied_metadata_entries()
+        const noexcept {
+        return 0;
+    }
 };
 
 [[nodiscard]] std::unique_ptr<Backend> make_tl2_backend(const StmConfig& config,

@@ -7,6 +7,7 @@
 #include "ownership/any_table.hpp"
 #include "stm/backend.hpp"
 #include "stm/contention.hpp"
+#include "util/hash.hpp"
 
 namespace tmb::stm {
 
@@ -48,6 +49,19 @@ BackendRegistry& backend_registry() {
         case BackendKind::kTaggedTable: return "table";
     }
     return "table";
+}
+
+/// Value-type snapshot of an instrumentation block (instance-wide or an
+/// executor shard).
+[[nodiscard]] StmStats snapshot(const detail::Instrumentation& in) noexcept {
+    StmStats out;
+    out.commits = in.commits.load(std::memory_order_relaxed);
+    out.aborts = in.aborts.load(std::memory_order_relaxed);
+    out.explicit_retries = in.explicit_retries.load(std::memory_order_relaxed);
+    out.true_conflicts = in.true_conflicts.load(std::memory_order_relaxed);
+    out.false_conflicts = in.false_conflicts.load(std::memory_order_relaxed);
+    out.attempts_per_commit = in.attempts_histogram();
+    return out;
 }
 
 [[nodiscard]] ContentionPolicy contention_policy_from(std::string_view name) {
@@ -172,38 +186,34 @@ std::unique_ptr<Stm> Stm::create(const config::Config& cfg) {
 }
 
 StmStats Stm::stats() const noexcept {
-    const detail::Instrumentation& in = impl_->stats_;
-    StmStats out;
-    out.commits = in.commits.load(std::memory_order_relaxed);
-    out.aborts = in.aborts.load(std::memory_order_relaxed);
-    out.explicit_retries = in.explicit_retries.load(std::memory_order_relaxed);
-    out.true_conflicts = in.true_conflicts.load(std::memory_order_relaxed);
-    out.false_conflicts = in.false_conflicts.load(std::memory_order_relaxed);
-    out.attempts_per_commit = in.attempts_histogram();
-    return out;
+    return snapshot(impl_->stats_);
 }
 
 const StmConfig& Stm::config() const noexcept { return impl_->config_; }
 
-void Stm::run(BodyRef body) {
-    detail::Backend& backend = *impl_->backend_;
-    const auto cx = backend.make_context();
+void Stm::run(detail::BodyRef body) {
+    const auto cx = impl_->backend_->make_context();
+    run_in(body, *cx, impl_->stats_,
+           impl_->cm_seed_.fetch_add(0x9e3779b97f4a7c15ULL,
+                                     std::memory_order_relaxed));
+}
 
-    ContentionManager cm(
-        impl_->config_.contention,
-        impl_->cm_seed_.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed));
+void Stm::run_in(detail::BodyRef body, detail::TxContext& cx,
+                 detail::Instrumentation& stats, std::uint64_t cm_seed) {
+    detail::Backend& backend = *impl_->backend_;
+    ContentionManager cm(impl_->config_.contention, cm_seed);
 
     std::uint32_t attempts = 0;
     for (;;) {
         ++attempts;
-        backend.begin(*cx);
-        Transaction tx(backend, *cx);
+        backend.begin(cx);
+        Transaction tx(backend, cx);
         try {
             body.invoke(body.object, tx);
         } catch (const detail::ConflictAbort& conflict) {
-            backend.abort(*cx);
-            auto& counter = conflict.user_requested ? impl_->stats_.explicit_retries
-                                                    : impl_->stats_.aborts;
+            backend.abort(cx);
+            auto& counter = conflict.user_requested ? stats.explicit_retries
+                                                    : stats.aborts;
             counter.fetch_add(1, std::memory_order_relaxed);
             if (impl_->config_.max_attempts != 0 &&
                 attempts >= impl_->config_.max_attempts) {
@@ -213,15 +223,15 @@ void Stm::run(BodyRef body) {
             continue;
         } catch (...) {
             // User exception: roll back and propagate (failure atomicity).
-            backend.abort(*cx);
+            backend.abort(cx);
             throw;
         }
 
-        if (backend.commit(*cx)) {
-            impl_->stats_.record_commit(attempts);
+        if (backend.commit(cx)) {
+            stats.record_commit(attempts);
             return;
         }
-        impl_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+        stats.aborts.fetch_add(1, std::memory_order_relaxed);
         if (impl_->config_.max_attempts != 0 &&
             attempts >= impl_->config_.max_attempts) {
             throw TooMuchContention(attempts);
@@ -229,5 +239,40 @@ void Stm::run(BodyRef body) {
         cm.on_abort();
     }
 }
+
+std::unique_ptr<Executor> Stm::make_executor() {
+    return std::unique_ptr<Executor>(new Executor(*this));
+}
+
+std::uint32_t Stm::max_live_executors() const noexcept {
+    return impl_->backend_->max_live_contexts();
+}
+
+std::uint64_t Stm::occupied_metadata_entries() const noexcept {
+    return impl_->backend_->occupied_metadata_entries();
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+Executor::Executor(Stm& stm)
+    : stm_(stm),
+      cx_(stm.impl_->backend_->make_context()),
+      cm_seed_(stm.impl_->cm_seed_.fetch_add(0x9e3779b97f4a7c15ULL,
+                                             std::memory_order_relaxed)) {}
+
+Executor::~Executor() = default;
+
+void Executor::run(detail::BodyRef body) {
+    // Iterated-mix64 walk from this executor's private starting point — no
+    // shared atomic on this path, and (unlike advancing every executor by
+    // the same additive constant) no two executors' seed sequences lie on
+    // one arithmetic progression, so their backoff jitter never locks step.
+    cm_seed_ = util::mix64(cm_seed_);
+    stm_.run_in(body, *cx_, shard_, cm_seed_);
+}
+
+StmStats Executor::stats() const noexcept { return snapshot(shard_); }
 
 }  // namespace tmb::stm

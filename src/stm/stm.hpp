@@ -44,6 +44,7 @@
 #include "config/config.hpp"
 #include "ownership/ownership.hpp"
 #include "stm/contention.hpp"
+#include "stm/instrumentation.hpp"
 #include "util/histogram.hpp"
 
 namespace tmb::stm {
@@ -138,6 +139,18 @@ struct StmStats {
                               static_cast<double>(attempts)
                         : 0.0;
     }
+
+    /// Accumulates `other` into this snapshot (counters sum, histograms
+    /// merge). The execution engine uses this to fold per-thread Executor
+    /// shards into one engine-wide StmStats at join time.
+    void merge(const StmStats& other) {
+        commits += other.commits;
+        aborts += other.aborts;
+        explicit_retries += other.explicit_retries;
+        true_conflicts += other.true_conflicts;
+        false_conflicts += other.false_conflicts;
+        attempts_per_commit.merge(other.attempts_per_commit);
+    }
 };
 
 /// Thrown by atomically() when max_attempts is exhausted.
@@ -147,6 +160,8 @@ public:
         : std::runtime_error("transaction aborted after " +
                              std::to_string(attempts) + " attempts") {}
 };
+
+class Transaction;
 
 namespace detail {
 
@@ -159,9 +174,16 @@ struct ConflictAbort {
 class Backend;
 class TxContext;
 
+/// Type-erased reference to a transaction body (no allocation).
+struct BodyRef {
+    void* object;
+    void (*invoke)(void*, Transaction&);
+};
+
 }  // namespace detail
 
 class Stm;
+class Executor;
 
 /// Handle passed to the user's transaction body. All transactional data
 /// access goes through this object; it is valid only during the atomically()
@@ -189,6 +211,52 @@ private:
     detail::Backend& backend_;
     detail::TxContext& cx_;
 };
+
+namespace detail {
+
+/// Shared dispatcher behind Stm::atomically and Executor::atomically: wraps
+/// `fn` in a type-erased BodyRef (capturing the result slot when fn returns
+/// a value) and hands it to `run`, which loops attempts until commit.
+template <typename RunFn, typename F>
+    requires std::invocable<F&, Transaction&>
+decltype(auto) run_body(RunFn run, F&& fn) {
+    using R = std::invoke_result_t<F&, Transaction&>;
+    if constexpr (std::is_void_v<R>) {
+        BodyRef body{&fn, [](void* f, Transaction& tx) {
+                         (*static_cast<std::remove_reference_t<F>*>(f))(tx);
+                     }};
+        run(body);
+    } else if constexpr (std::is_default_constructible_v<R>) {
+        // Default-construct the result slot: run() returns only after a
+        // committed attempt overwrote it, and a definitely-initialized
+        // object keeps -Wmaybe-uninitialized quiet in caller code.
+        R out{};
+        struct Capture {
+            std::remove_reference_t<F>* fn;
+            R* out;
+        } capture{&fn, &out};
+        BodyRef body{&capture, [](void* c, Transaction& tx) {
+                         auto* cap = static_cast<Capture*>(c);
+                         *cap->out = (*cap->fn)(tx);
+                     }};
+        run(body);
+        return out;
+    } else {
+        std::optional<R> out;
+        struct Capture {
+            std::remove_reference_t<F>* fn;
+            std::optional<R>* out;
+        } capture{&fn, &out};
+        BodyRef body{&capture, [](void* c, Transaction& tx) {
+                         auto* cap = static_cast<Capture*>(c);
+                         cap->out->emplace((*cap->fn)(tx));
+                     }};
+        run(body);
+        return std::move(out).value();
+    }
+}
+
+}  // namespace detail
 
 /// A transactional variable holding a trivially copyable value of at most
 /// 8 bytes. The storage is a single aligned word, so every backend can track
@@ -262,59 +330,97 @@ public:
     /// Runs `fn(Transaction&)` as an atomic transaction, retrying on
     /// conflict with contention-managed backoff. Returns fn's result.
     /// `fn` must be safe to re-execute (no irrevocable side effects).
+    ///
+    /// This convenience path allocates a fresh backend context (for table
+    /// backends: acquires a transaction slot) per call and records into the
+    /// instance-wide counters; threads on a hot path should hold an
+    /// Executor instead.
     template <typename F>
         requires std::invocable<F&, Transaction&>
     decltype(auto) atomically(F&& fn) {
-        using R = std::invoke_result_t<F&, Transaction&>;
-        if constexpr (std::is_void_v<R>) {
-            BodyRef body{&fn, [](void* f, Transaction& tx) {
-                             (*static_cast<std::remove_reference_t<F>*>(f))(tx);
-                         }};
-            run(body);
-        } else if constexpr (std::is_default_constructible_v<R>) {
-            // Default-construct the result slot: run() returns only after a
-            // committed attempt overwrote it, and a definitely-initialized
-            // object keeps -Wmaybe-uninitialized quiet in caller code.
-            R out{};
-            struct Capture {
-                std::remove_reference_t<F>* fn;
-                R* out;
-            } capture{&fn, &out};
-            BodyRef body{&capture, [](void* c, Transaction& tx) {
-                             auto* cap = static_cast<Capture*>(c);
-                             *cap->out = (*cap->fn)(tx);
-                         }};
-            run(body);
-            return out;
-        } else {
-            std::optional<R> out;
-            struct Capture {
-                std::remove_reference_t<F>* fn;
-                std::optional<R>* out;
-            } capture{&fn, &out};
-            BodyRef body{&capture, [](void* c, Transaction& tx) {
-                             auto* cap = static_cast<Capture*>(c);
-                             cap->out->emplace((*cap->fn)(tx));
-                         }};
-            run(body);
-            return std::move(out).value();
-        }
+        return detail::run_body(
+            [this](detail::BodyRef body) { run(body); }, std::forward<F>(fn));
     }
 
+    /// Creates a per-thread execution handle (see Executor). At most
+    /// max_live_executors() may be alive at once for table backends; one
+    /// more blocks until another is destroyed.
+    [[nodiscard]] std::unique_ptr<Executor> make_executor();
+
+    /// Number of Executors (more generally: concurrently live transactions)
+    /// the configured backend supports — bounded by the selected table's
+    /// TxId capacity (62 for the atomic table, 64 for the lock-based ones);
+    /// effectively unbounded for tl2.
+    [[nodiscard]] std::uint32_t max_live_executors() const noexcept;
+
+    /// Currently held conflict-metadata entries (ownership-table occupancy;
+    /// always 0 for tl2). Exact only at quiescent points — with no
+    /// transaction in flight this must be 0; anything else means a release
+    /// was lost. The execution engine asserts this after every run.
+    [[nodiscard]] std::uint64_t occupied_metadata_entries() const noexcept;
+
+    /// Counters for transactions run through Stm::atomically() plus the
+    /// backend's conflict classification (which covers Executor-run
+    /// transactions too); Executor commit/abort counts live in the
+    /// executors' own shards — merge() them in for an engine-wide view.
     [[nodiscard]] StmStats stats() const noexcept;
     [[nodiscard]] const StmConfig& config() const noexcept;
 
 private:
-    /// Type-erased reference to the transaction body (no allocation).
-    struct BodyRef {
-        void* object;
-        void (*invoke)(void*, Transaction&);
-    };
+    friend class Executor;
 
-    void run(BodyRef body);
+    void run(detail::BodyRef body);
+
+    /// One attempt loop: begin/body/commit with retries, recording into
+    /// `stats` (an executor's shard or the instance-wide block).
+    void run_in(detail::BodyRef body, detail::TxContext& cx,
+                detail::Instrumentation& stats, std::uint64_t cm_seed);
 
     class Impl;
     std::unique_ptr<Impl> impl_;
+};
+
+/// A per-thread execution handle — the unit of real concurrency in the
+/// execution engine (exec::ParallelRunner binds one to each of its
+/// threads). Compared to Stm::atomically it
+///
+///   * reuses one backend context across calls, so a table-backend slot
+///     (TxId) is acquired once per thread instead of once per transaction,
+///     and
+///   * records commits/aborts/attempt histograms into a private
+///     Instrumentation shard — no shared counter is touched on the commit
+///     fast path; shards are merged (StmStats::merge) after join.
+///
+/// An Executor must be used by one thread at a time; distinct Executors of
+/// one Stm may run fully concurrently. It must not outlive its Stm.
+class Executor {
+public:
+    ~Executor();
+    Executor(const Executor&) = delete;
+    Executor& operator=(const Executor&) = delete;
+
+    /// Same contract as Stm::atomically (retry loop, contention backoff,
+    /// TooMuchContention), against this executor's pinned context.
+    template <typename F>
+        requires std::invocable<F&, Transaction&>
+    decltype(auto) atomically(F&& fn) {
+        return detail::run_body(
+            [this](detail::BodyRef body) { run(body); }, std::forward<F>(fn));
+    }
+
+    /// Snapshot of this executor's private shard only.
+    [[nodiscard]] StmStats stats() const noexcept;
+
+private:
+    friend class Stm;
+    explicit Executor(Stm& stm);
+
+    void run(detail::BodyRef body);
+
+    Stm& stm_;
+    std::unique_ptr<detail::TxContext> cx_;
+    detail::Instrumentation shard_;
+    std::uint64_t cm_seed_;
 };
 
 }  // namespace tmb::stm

@@ -125,6 +125,11 @@ public:
         slots_.release(slot);
     }
 
+    std::uint64_t occupied_metadata_entries() const noexcept override {
+        const std::lock_guard<std::mutex> guard(mutex_);
+        return table_.occupied_entries();
+    }
+
 private:
     [[nodiscard]] std::uint64_t block_of(const std::uint64_t* addr) const noexcept {
         return reinterpret_cast<std::uintptr_t>(addr) >> block_shift_;
@@ -170,7 +175,7 @@ private:
 
     SharedStats& stats_;
     unsigned block_shift_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     Table table_;
     std::array<std::unordered_set<std::uint64_t>, ownership::kMaxTx> held_blocks_;
     SlotPool slots_;
@@ -291,6 +296,11 @@ public:
         slots_.release(slot);
     }
 
+    std::uint64_t occupied_metadata_entries() const noexcept override {
+        const std::lock_guard<std::mutex> guard(mutex_);
+        return table_.occupied_entries();
+    }
+
 private:
     [[nodiscard]] std::uint64_t block_of(const std::uint64_t* addr) const noexcept {
         return reinterpret_cast<std::uintptr_t>(addr) >> block_shift_;
@@ -323,7 +333,7 @@ private:
 
     SharedStats& stats_;
     unsigned block_shift_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     Table table_;
     std::array<std::unordered_set<std::uint64_t>, ownership::kMaxTx> held_blocks_;
     SlotPool slots_;

@@ -10,6 +10,7 @@
 // clock and only grow.
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "stm/backend.hpp"
@@ -56,6 +57,10 @@ public:
 
     std::unique_ptr<TxContext> make_context() override {
         return std::make_unique<Tl2Context>();
+    }
+
+    std::uint32_t max_live_contexts() const noexcept override {
+        return std::numeric_limits<std::uint32_t>::max();  // no slot pool
     }
 
     void begin(TxContext& cx_base) override {

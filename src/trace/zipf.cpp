@@ -40,9 +40,14 @@ MultiThreadTrace generate_zipf_trace(const ZipfTraceParams& params,
 
     MultiThreadTrace trace;
     trace.streams.resize(params.threads);
+    // Per-thread RNG substreams via the xoshiro jump function: thread t gets
+    // the base stream advanced by t * 2^128 steps, so streams are provably
+    // non-overlapping (the ad-hoc seed ^ constant*(t+1) mixing this replaces
+    // only made collisions unlikely, not impossible).
+    util::Xoshiro256 substream{seed};
     for (std::uint32_t t = 0; t < params.threads; ++t) {
-        util::Xoshiro256 rng{
-            util::mix64(seed ^ (0xabcd1234ULL * (t + 1)))};
+        util::Xoshiro256 rng = substream;
+        substream.jump();
         // Per-thread rank->block permutation base so the hot blocks of
         // different threads land at unrelated addresses.
         const std::uint64_t base =

@@ -144,6 +144,9 @@ TEST(TableRegistry, RuntimeRegistrationExtendsTheAblation) {
         ownership::Mode mode_of_block(std::uint64_t) const noexcept override {
             return ownership::Mode::kFree;
         }
+        ownership::TxId max_tx() const noexcept override {
+            return ownership::kMaxTx;
+        }
         void clear() override {}
         std::string_view name() const noexcept override { return "permissive"; }
     };

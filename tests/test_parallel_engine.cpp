@@ -1,0 +1,254 @@
+// Tests for the exec layer (ParallelRunner + workloads + stm::Executor) and
+// for the tx-id cap fixes the real-thread engine forced: the atomic table's
+// 62-transaction capacity is enforced everywhere instead of silently
+// corrupting entry words.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "config/config.hpp"
+#include "exec/parallel_runner.hpp"
+#include "exec/workload.hpp"
+#include "ownership/any_table.hpp"
+#include "ownership/atomic_tagless_table.hpp"
+#include "sim/closed_system.hpp"
+#include "stm/stm.hpp"
+#include "util/rng.hpp"
+
+namespace tmb {
+namespace {
+
+config::Config cfg(std::string_view spec) {
+    return config::Config::from_string(spec);
+}
+
+// ---------------------------------------------------------------------------
+// TxId cap enforcement (the bugfix satellite)
+// ---------------------------------------------------------------------------
+
+TEST(TxIdCap, AtomicTableRejectsOutOfRangeTxIds) {
+    ownership::AtomicTaglessTable t({.entries = 16});
+    EXPECT_TRUE(t.acquire_read(ownership::kMaxAtomicTx - 1, 3).ok);
+    t.release(ownership::kMaxAtomicTx - 1, 3, ownership::Mode::kRead);
+    // TxIds 62 and 63 would set mode bits instead of sharer bits.
+    EXPECT_THROW((void)t.acquire_read(62, 3), std::out_of_range);
+    EXPECT_THROW((void)t.acquire_write(63, 3), std::out_of_range);
+    // And the failed acquires corrupted nothing.
+    EXPECT_EQ(t.occupied_entries(), 0u);
+    EXPECT_TRUE(t.acquire_write(0, 3).ok);
+}
+
+TEST(TxIdCap, TablesReportTheirOwnCapacity) {
+    const ownership::TableConfig shape{.entries = 64};
+    EXPECT_EQ(ownership::make_table("tagless", shape)->max_tx(),
+              ownership::kMaxTx);
+    EXPECT_EQ(ownership::make_table("tagged", shape)->max_tx(),
+              ownership::kMaxTx);
+    EXPECT_EQ(ownership::make_table("atomic_tagless", shape)->max_tx(),
+              ownership::kMaxAtomicTx);
+}
+
+TEST(TxIdCap, ClosedSystemValidatesAgainstSelectedTable) {
+    sim::ClosedSystemConfig c{.concurrency = 63,
+                              .write_footprint = 2,
+                              .table_entries = 4096,
+                              .table = "atomic_tagless",
+                              .target_transactions = 10};
+    // 63 > 62: must fail fast with the actual cap in the message, not
+    // corrupt entries mid-run.
+    try {
+        (void)sim::run_closed_system(c);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("62"), std::string::npos)
+            << e.what();
+    }
+    // At the cap it runs; on a 64-capacity table 63 is fine too.
+    c.concurrency = 62;
+    EXPECT_NO_THROW((void)sim::run_closed_system(c));
+    c.concurrency = 64;
+    c.table = "tagless";
+    EXPECT_NO_THROW((void)sim::run_closed_system(c));
+}
+
+TEST(TxIdCap, EngineRejectsThreadCountsOverBackendCapacity) {
+    try {
+        exec::ParallelRunner runner(
+            cfg("backend=atomic threads=63 ops=1 entries=1024"));
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("62"), std::string::npos)
+            << e.what();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Real-concurrency stress
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEngine, AtomicBackendSurvivesContentionWithNoLostReleases) {
+    // 8 threads hammer a deliberately small table (aliasing + contention);
+    // run() verifies the counter invariant (no lost/doubled increments).
+    exec::ParallelRunner runner(cfg(
+        "backend=atomic workload=counters threads=8 ops=4000 "
+        "slots=256 tx_size=4 entries=512 contention=yield seed=41"));
+    const auto result = runner.run();
+    EXPECT_EQ(result.ops, 8u * 4000u);
+    EXPECT_EQ(result.stats.commits, result.ops);
+    // Quiescent engine ⇒ every acquired entry was released.
+    EXPECT_EQ(runner.stm().occupied_metadata_entries(), 0u);
+    EXPECT_EQ(runner.stm().stats().commits, 0u)  // all traffic via executors
+        << "engine transactions must not hit the instance-wide counters";
+}
+
+TEST(ParallelEngine, CountersSumAcrossShards) {
+    exec::ParallelRunner runner(cfg(
+        "backend=atomic workload=counters threads=4 ops=2000 "
+        "slots=128 tx_size=2 entries=256 contention=yield seed=43"));
+    const auto result = runner.run();
+    ASSERT_EQ(result.per_thread.size(), 4u);
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    for (const auto& shard : result.per_thread) {
+        EXPECT_EQ(shard.commits, 2000u);  // each thread ran its own budget
+        commits += shard.commits;
+        aborts += shard.aborts;
+    }
+    EXPECT_EQ(result.stats.commits, commits);
+    EXPECT_EQ(result.stats.aborts, aborts);
+    EXPECT_EQ(result.stats.attempts_per_commit.total(), commits);
+}
+
+TEST(ParallelEngine, TableQuiescentAfterRun) {
+    // Drive the lock-free table through the STM, then check the table
+    // directly: a lost release would leave a stuck entry that blocks this
+    // fresh writer forever (we just check occupancy through a fresh tx).
+    auto stm = stm::Stm::create(cfg("backend=atomic entries=128 contention=yield"));
+    auto workload =
+        exec::make_workload(cfg("workload=bank accounts=32"));
+    exec::ParallelRunner runner({.threads = 6, .ops_per_thread = 3000,
+                                 .seed = 7, .workload = "bank"},
+                                std::move(stm), std::move(workload));
+    const auto result = runner.run();
+    EXPECT_EQ(result.stats.commits, 6u * 3000u);
+    // Quiescent ⇒ every acquired entry was released (run() also enforces
+    // this; the explicit check documents the invariant under test).
+    EXPECT_EQ(runner.stm().occupied_metadata_entries(), 0u);
+}
+
+TEST(ParallelEngine, AllBackendsRunAllWorkloads) {
+    for (const char* backend : {"tl2", "table", "atomic"}) {
+        for (const std::string& workload : exec::workload_names()) {
+            config::Config c = cfg(
+                "threads=4 ops=500 slots=256 accounts=64 entries=1024 "
+                "contention=yield seed=47");
+            c.set("backend", backend);
+            c.set("workload", workload);
+            exec::ParallelRunner runner(c);
+            const auto result = runner.run();
+            EXPECT_EQ(result.stats.commits, 4u * 500u)
+                << backend << "/" << workload;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEngine, OneThreadIsDeterministic) {
+    const char* spec =
+        "backend=atomic workload=zipf threads=1 ops=3000 slots=512 "
+        "tx_size=3 entries=1024 seed=101";
+    exec::ParallelRunner a(cfg(spec));
+    exec::ParallelRunner b(cfg(spec));
+    const auto ra = a.run();
+    const auto rb = b.run();
+    EXPECT_EQ(ra.state_hash, rb.state_hash);
+    EXPECT_EQ(ra.stats.commits, rb.stats.commits);
+    EXPECT_EQ(ra.stats.aborts, rb.stats.aborts);
+}
+
+TEST(ParallelEngine, OneThreadMatchesManualSingleThreadedDrive) {
+    // The engine with 1 thread must reproduce the plain single-threaded
+    // path bit-for-bit: same workload, same seed, one executor, no jump.
+    const char* spec =
+        "backend=atomic workload=counters threads=1 ops=2500 slots=512 "
+        "tx_size=4 entries=1024 seed=103";
+    exec::ParallelRunner engine(cfg(spec));
+    const auto engine_result = engine.run();
+
+    auto stm = stm::Stm::create(cfg(spec));
+    auto workload = exec::make_workload(cfg(spec));
+    const auto executor = stm->make_executor();
+    util::Xoshiro256 rng{103};
+    for (int i = 0; i < 2500; ++i) workload->op(*executor, rng);
+    workload->verify(2500);
+
+    EXPECT_EQ(engine_result.state_hash, workload->state_hash());
+    EXPECT_EQ(engine_result.stats.commits, executor->stats().commits);
+}
+
+TEST(ParallelEngine, ThreadsUseNonOverlappingSubstreams) {
+    // Two threads with the same seed must not replay each other's operand
+    // sequence: with disjoint substreams the 2-thread hash differs from a
+    // 1-thread run of twice the ops with probability ~1.
+    const auto one = exec::ParallelRunner(
+        cfg("backend=atomic workload=counters threads=1 ops=2000 "
+            "slots=64k seed=7")).run();
+    const auto two = exec::ParallelRunner(
+        cfg("backend=atomic workload=counters threads=2 ops=1000 "
+            "slots=64k seed=7")).run();
+    EXPECT_EQ(one.stats.commits, two.stats.commits);
+    EXPECT_NE(one.state_hash, two.state_hash);
+}
+
+// ---------------------------------------------------------------------------
+// Executor API
+// ---------------------------------------------------------------------------
+
+TEST(Executor, ShardsArePrivateAndMergeable) {
+    auto stm = stm::Stm::create(cfg("backend=tagged entries=4096"));
+    stm::TVar<long> x{0};
+    const auto e1 = stm->make_executor();
+    const auto e2 = stm->make_executor();
+    for (int i = 0; i < 10; ++i) {
+        e1->atomically([&](stm::Transaction& tx) { x.write(tx, x.read(tx) + 1); });
+    }
+    for (int i = 0; i < 5; ++i) {
+        e2->atomically([&](stm::Transaction& tx) { x.write(tx, x.read(tx) + 1); });
+    }
+    EXPECT_EQ(e1->stats().commits, 10u);
+    EXPECT_EQ(e2->stats().commits, 5u);
+    EXPECT_EQ(stm->stats().commits, 0u);  // executor traffic is sharded
+    stm::StmStats merged = stm->stats();
+    merged.merge(e1->stats());
+    merged.merge(e2->stats());
+    EXPECT_EQ(merged.commits, 15u);
+    EXPECT_EQ(x.unsafe_read(), 15);
+    EXPECT_DOUBLE_EQ(merged.mean_attempts(), 1.0);
+}
+
+TEST(Executor, ReturnsValuesLikeAtomically) {
+    auto stm = stm::Stm::create(cfg("backend=tl2"));
+    stm::TVar<std::uint64_t> x{41};
+    const auto exec = stm->make_executor();
+    const auto out = exec->atomically([&](stm::Transaction& tx) {
+        x.write(tx, x.read(tx) + 1);
+        return x.read(tx);
+    });
+    EXPECT_EQ(out, 42u);
+}
+
+TEST(Workloads, RegistryListsBuiltins) {
+    const auto names = exec::workload_names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "counters");
+    EXPECT_EQ(names[1], "zipf");
+    EXPECT_EQ(names[2], "bank");
+    EXPECT_THROW((void)exec::make_workload(cfg("workload=nonesuch")),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tmb

@@ -313,8 +313,7 @@ TEST(ClosedSystem, ConflictsGrowSuperlinearlyWithConcurrency) {
     // Eq. 8 per-transaction odds ratio is 56/2 = 28; the closed system holds
     // total work fixed so the observed ratio is compressed, but must remain
     // clearly superlinear in C (> 4x for a 4x concurrency increase).
-    EXPECT_GT(static_cast<double>(r8.conflicts),
-              4.0 * static_cast<double>(std::max<std::uint64_t>(r2.conflicts, 1)));
+    EXPECT_GT(r8.conflicts, 4.0 * std::max(r2.conflicts, 1.0));
 }
 
 TEST(ClosedSystem, ConflictCountWithinFactorTwoOfModelEstimate) {

@@ -288,7 +288,13 @@ TEST(StmTagless, ReportsFalseConflictsUnderAliasing) {
     StmConfig cfg = config_for(BackendKind::kTaglessTable);
     cfg.table.entries = 2;  // everything aliases
     Stm tm(cfg);
-    TVar<long> a{0}, b{0};
+    // Separate 64-byte blocks (adjacent stack TVars can share one, which
+    // would make cross-thread conflicts true, not false); they still alias
+    // in the 2-entry table.
+    struct alignas(64) Padded { TVar<long> var{0}; };
+    Padded pa, pb;
+    TVar<long>& a = pa.var;
+    TVar<long>& b = pb.var;
 
     std::thread t1([&] {
         for (int i = 0; i < 400; ++i) {
@@ -317,7 +323,13 @@ TEST(StmTagged, NoFalseConflictsEver) {
     StmConfig cfg = config_for(BackendKind::kTaggedTable);
     cfg.table.entries = 2;  // heavy aliasing, but tags disambiguate
     Stm tm(cfg);
-    TVar<long> a{0}, b{0};
+    // Separate 64-byte blocks (adjacent stack TVars can share one, which
+    // would make cross-thread conflicts true, not false); they still alias
+    // in the 2-entry table.
+    struct alignas(64) Padded { TVar<long> var{0}; };
+    Padded pa, pb;
+    TVar<long>& a = pa.var;
+    TVar<long>& b = pb.var;
 
     std::thread t1([&] {
         for (int i = 0; i < 400; ++i) {
