@@ -1,7 +1,12 @@
 #include "exec/workload.hpp"
 
+#include <atomic>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
 
+#include "trace/source.hpp"
 #include "trace/zipf.hpp"
 #include "util/hash.hpp"
 
@@ -188,6 +193,163 @@ private:
     std::vector<stm::TVar<std::int64_t>> accounts_;
 };
 
+// ---------------------------------------------------------------------------
+// replay — stream a trace source through the STM with real threads
+// ---------------------------------------------------------------------------
+
+class ReplayWorkload final : public Workload {
+public:
+    /// Replay transactions can be much larger than the RNG workloads'
+    /// stack-buffered ops; cursors buffer on the heap.
+    static constexpr std::uint32_t kMaxReplayTxSize = 4096;
+
+    ReplayWorkload(std::shared_ptr<trace::TraceSource> source,
+                   std::uint64_t slots, std::uint32_t accesses_per_tx)
+        : slots_(slots),
+          source_(std::move(source)),
+          accesses_per_tx_(accesses_per_tx),
+          id_(next_instance_id()) {
+        if (slots == 0) throw std::invalid_argument("workload slots must be > 0");
+        if (accesses_per_tx_ == 0 || accesses_per_tx_ > kMaxReplayTxSize) {
+            throw std::invalid_argument(
+                "replay tx_size must be in [1, " +
+                std::to_string(kMaxReplayTxSize) + "]");
+        }
+        if (source_->stream_count() == 0) {
+            throw std::invalid_argument("replay source has no streams");
+        }
+    }
+
+    std::string_view name() const noexcept override { return "replay"; }
+
+    void op(stm::Executor& exec, util::Xoshiro256& rng) override {
+        (void)rng;  // operands come from the trace, not the RNG
+        Cursor& cur = cursor();
+        fill(cur);
+        exec.atomically([&](stm::Transaction& tx) {
+            for (const Op& o : cur.ops) {
+                auto& slot = slots_[o.slot];
+                if (o.is_write) {
+                    slot.write(tx, slot.read(tx) + 1);
+                } else {
+                    (void)slot.read(tx);
+                }
+            }
+        });
+        // Published only after the commit, so aborted attempts never count.
+        writes_replayed_.fetch_add(cur.writes, std::memory_order_relaxed);
+    }
+
+    void verify(std::uint64_t /*committed_ops*/) const override {
+        std::uint64_t sum = 0;
+        for (const auto& s : slots_) sum += s.unsafe_read();
+        const std::uint64_t expected =
+            writes_replayed_.load(std::memory_order_relaxed);
+        if (sum != expected) {
+            throw std::runtime_error(
+                "replay invariant violated: slot sum " + std::to_string(sum) +
+                " != replayed writes " + std::to_string(expected));
+        }
+    }
+
+    std::uint64_t state_hash() const override {
+        std::uint64_t h = 0;
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            h += slot_digest(i, slots_[i].unsafe_read());
+        }
+        return h;
+    }
+
+private:
+    /// One trace access resolved to a TVar slot (the 64-bit block address
+    /// space is hashed down onto the slot array).
+    struct Op {
+        std::uint64_t slot;
+        bool is_write;
+    };
+
+    /// Per-thread replay cursor: one stream plus its chunk buffers.
+    struct Cursor {
+        std::unique_ptr<trace::StreamSource> reader;
+        std::size_t stream_index = 0;
+        std::vector<trace::Access> buf;
+        std::vector<Op> ops;
+        std::uint32_t writes = 0;
+    };
+
+    static std::uint64_t next_instance_id() {
+        static std::atomic<std::uint64_t> counter{0};
+        return counter.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Binds the calling thread to a cursor on first use: threads claim
+    /// streams in arrival order (stream = claim index mod stream count), so
+    /// a 1-thread run deterministically replays stream 0. The thread-local
+    /// cache keyed by a unique instance id keeps the mutex off the steady
+    /// state.
+    Cursor& cursor() {
+        thread_local std::uint64_t cached_id = ~std::uint64_t{0};
+        thread_local Cursor* cached = nullptr;
+        if (cached_id == id_ && cached) return *cached;
+        const std::scoped_lock lock(mu_);
+        auto& slot = cursors_[std::this_thread::get_id()];
+        if (!slot) {
+            slot = std::make_unique<Cursor>();
+            slot->stream_index = next_stream_++ % source_->stream_count();
+            slot->reader = source_->stream(slot->stream_index);
+        }
+        cached_id = id_;
+        cached = slot.get();
+        return *slot;
+    }
+
+    /// Pulls the next accesses_per_tx_ accesses (wrapping at end of stream)
+    /// and pre-resolves them to slot operations, so the transaction body —
+    /// which may re-execute on conflict — does no source I/O.
+    void fill(Cursor& cur) {
+        cur.buf.resize(accesses_per_tx_);
+        std::size_t have = 0;
+        bool reopened = false;
+        while (have < accesses_per_tx_) {
+            const std::size_t n = cur.reader->next(
+                std::span(cur.buf).subspan(have));
+            if (n == 0) {
+                if (reopened) {
+                    throw std::runtime_error(
+                        "replay: source stream " +
+                        std::to_string(cur.stream_index) + " is empty");
+                }
+                {
+                    // stream() calls must be serialized (source.hpp);
+                    // wrapping is rare (once per stream drain).
+                    const std::scoped_lock lock(mu_);
+                    cur.reader = source_->stream(cur.stream_index);
+                }
+                reopened = true;
+                continue;
+            }
+            reopened = false;
+            have += n;
+        }
+        cur.ops.clear();
+        cur.writes = 0;
+        for (const trace::Access& a : cur.buf) {
+            cur.ops.push_back(
+                Op{util::mix64(a.block) % slots_.size(), a.is_write});
+            cur.writes += a.is_write ? 1 : 0;
+        }
+    }
+
+    std::vector<stm::TVar<std::uint64_t>> slots_;
+    std::shared_ptr<trace::TraceSource> source_;
+    std::uint32_t accesses_per_tx_;
+    std::uint64_t id_;
+    std::atomic<std::uint64_t> writes_replayed_{0};
+    std::mutex mu_;
+    std::unordered_map<std::thread::id, std::unique_ptr<Cursor>> cursors_;
+    std::size_t next_stream_ = 0;
+};
+
 /// Registers the built-in workloads exactly once (same bootstrap pattern as
 /// the table and backend registries).
 WorkloadRegistry& registry() {
@@ -205,6 +367,13 @@ WorkloadRegistry& registry() {
         r.add_default("bank", [](const config::Config& cfg) {
             return std::make_unique<BankWorkload>(
                 cfg.get_u64("accounts", 1024));
+        });
+        r.add_default("replay", [](const config::Config& cfg) {
+            std::shared_ptr<trace::TraceSource> source =
+                trace::make_trace_source(cfg);
+            return std::make_unique<ReplayWorkload>(
+                std::move(source), cfg.get_u64("slots", 1u << 16),
+                cfg.get_u32("tx_size", 16));
         });
         return true;
     }();

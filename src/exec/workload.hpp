@@ -15,6 +15,14 @@
 //                 table entries; contention rises with `skew`).
 //   "bank"      — transfer a random amount between two random accounts
 //                 (read-modify-write pairs; the classic STM invariant demo).
+//   "replay"    — feed a registry-selected trace source (trace/source.hpp,
+//                 `source=jbb|zipf|spec:<p>|file:<path>`) through the STM:
+//                 each engine thread owns one stream cursor and replays
+//                 tx_size consecutive accesses per transaction (reads read,
+//                 writes increment), wrapping at end of stream. This closes
+//                 the loop between the paper's trace experiments and the
+//                 real-thread engine: any trace that drives the simulators
+//                 can now contend on real ownership metadata.
 //
 // Every workload carries a checkable invariant (`verify`) and an
 // order-independent `state_hash` so the engine's stress and determinism
@@ -68,11 +76,16 @@ using WorkloadRegistry = config::Registry<Workload>;
 [[nodiscard]] std::vector<std::string> workload_names();
 
 /// Creates a workload from a Config. Keys:
-///   workload  counters | zipf | bank (default "counters")
-///   slots     counter/zipf array size (default 65536; accepts "64k")
-///   tx_size   transactional accesses per operation (default 4)
+///   workload  counters | zipf | bank | replay (default "counters")
+///   slots     counter/zipf/replay array size (default 65536; accepts "64k")
+///   tx_size   transactional accesses per operation (default 4; replay
+///             default 16, up to 4096)
 ///   skew      zipf skew s (default 0.99)
 ///   accounts  bank account count (default 1024)
+///   source, accesses, profile, ...   replay trace source keys
+///             (trace::make_trace_source; `threads` doubles as the
+///             generator stream count, so each engine thread replays its
+///             own stream)
 [[nodiscard]] std::unique_ptr<Workload> make_workload(const config::Config& cfg);
 
 }  // namespace tmb::exec

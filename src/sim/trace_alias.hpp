@@ -23,6 +23,10 @@
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 
+namespace tmb::trace {
+class TraceSource;
+}
+
 namespace tmb::sim {
 
 /// Configuration of one trace-alias data point.
@@ -57,16 +61,28 @@ struct TraceAliasResult {
     }
 };
 
-/// Runs the trace-alias experiment. `trace` must contain at least
-/// `config.concurrency` streams and no true conflicts (see
+/// Runs the trace-alias experiment on a materialized trace. `trace` must
+/// contain at least `config.concurrency` streams and no true conflicts (see
 /// trace::remove_true_conflicts); each sample starts every stream at an
-/// independent random offset.
+/// independent random offset. Internally the streams are consumed
+/// chunk-wise through the source layer; this overload only adds the O(1)
+/// random repositioning that in-memory streams afford.
 [[nodiscard]] TraceAliasResult run_trace_alias(const TraceAliasConfig& config,
                                                const trace::MultiThreadTrace& trace);
 
-/// Config-driven overload: any organization the registry knows, selected by
-/// `table=` — the paper's ablation with no recompilation.
+/// Streaming overload: consumes any TraceSource chunk-wise in O(chunk)
+/// memory, so the experiment runs on traces far larger than RAM. Samples
+/// are drawn *sequentially* — each sample continues where the previous one
+/// stopped, wrapping to the stream start at end-of-stream — instead of at
+/// random offsets (random access would defeat streaming).
+[[nodiscard]] TraceAliasResult run_trace_alias(const TraceAliasConfig& config,
+                                               trace::TraceSource& source);
+
+/// Config-driven overloads: any organization the registry knows, selected
+/// by `table=` — the paper's ablation with no recompilation.
 [[nodiscard]] TraceAliasResult run_trace_alias(const config::Config& cfg,
                                                const trace::MultiThreadTrace& trace);
+[[nodiscard]] TraceAliasResult run_trace_alias(const config::Config& cfg,
+                                               trace::TraceSource& source);
 
 }  // namespace tmb::sim

@@ -4,79 +4,108 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "trace/source.hpp"
+
 namespace tmb::trace {
 
-StreamProfile analyze_stream(std::span<const Access> stream) {
-    StreamProfile p;
-    p.accesses = stream.size();
-    if (stream.empty()) return p;
-
-    std::unordered_map<std::uint64_t, std::size_t> last_touch;  // block -> index
+/// The one-pass state machine behind the profile: everything the per-access
+/// loop updates, independent of how the stream is chunked.
+struct StreamAnalyzer::State {
+    std::unordered_map<std::uint64_t, std::size_t> last_touch;  // block -> idx
     std::unordered_set<std::uint64_t> written_blocks;
-    last_touch.reserve(stream.size());
-
+    std::size_t index = 0;
     std::size_t writes = 0;
     std::size_t sequential = 0;
     std::size_t reused = 0;
     std::uint64_t instr_total = 0;
     std::uint64_t current_run = 1;
-
     std::size_t next_pow2_mark = 1;
+    std::uint64_t prev_block = 0;
+};
 
-    for (std::size_t i = 0; i < stream.size(); ++i) {
-        const Access& a = stream[i];
-        instr_total += a.instr_delta;
+StreamAnalyzer::StreamAnalyzer() : state_(std::make_unique<State>()) {}
+StreamAnalyzer::~StreamAnalyzer() = default;
+
+void StreamAnalyzer::add(std::span<const Access> chunk) {
+    State& s = *state_;
+    for (const Access& a : chunk) {
+        s.instr_total += a.instr_delta;
         if (a.is_write) {
-            ++writes;
-            written_blocks.insert(a.block);
+            ++s.writes;
+            s.written_blocks.insert(a.block);
         }
 
-        if (i > 0) {
-            if (a.block == stream[i - 1].block + 1) {
-                ++sequential;
-                ++current_run;
+        if (s.index > 0) {
+            if (a.block == s.prev_block + 1) {
+                ++s.sequential;
+                ++s.current_run;
             } else {
-                p.run_lengths.add(current_run);
-                current_run = 1;
+                profile_.run_lengths.add(s.current_run);
+                s.current_run = 1;
             }
         }
+        s.prev_block = a.block;
 
-        const auto it = last_touch.find(a.block);
-        if (it != last_touch.end()) {
-            ++reused;
-            p.reuse_distances.add(i - it->second);
-            it->second = i;
+        const auto it = s.last_touch.find(a.block);
+        if (it != s.last_touch.end()) {
+            ++s.reused;
+            profile_.reuse_distances.add(s.index - it->second);
+            it->second = s.index;
         } else {
-            last_touch.emplace(a.block, i);
+            s.last_touch.emplace(a.block, s.index);
         }
 
-        if (i + 1 == next_pow2_mark) {
-            p.footprint_at_pow2.push_back(last_touch.size());
-            next_pow2_mark *= 2;
+        ++s.index;
+        if (s.index == s.next_pow2_mark) {
+            profile_.footprint_at_pow2.push_back(s.last_touch.size());
+            s.next_pow2_mark *= 2;
         }
     }
-    p.run_lengths.add(current_run);
-    if (p.footprint_at_pow2.empty() ||
-        p.footprint_at_pow2.back() != last_touch.size()) {
-        p.footprint_at_pow2.push_back(last_touch.size());
+}
+
+StreamProfile StreamAnalyzer::finish() {
+    State& s = *state_;
+    profile_.accesses = s.index;
+    if (s.index == 0) return std::move(profile_);
+
+    profile_.run_lengths.add(s.current_run);
+    if (profile_.footprint_at_pow2.empty() ||
+        profile_.footprint_at_pow2.back() != s.last_touch.size()) {
+        profile_.footprint_at_pow2.push_back(s.last_touch.size());
     }
 
-    const double n = static_cast<double>(stream.size());
-    p.unique_blocks = last_touch.size();
-    p.write_fraction = static_cast<double>(writes) / n;
-    p.written_block_fraction =
-        static_cast<double>(written_blocks.size()) /
-        static_cast<double>(p.unique_blocks);
-    p.alpha = writes ? static_cast<double>(stream.size() - writes) /
-                           static_cast<double>(writes)
-                     : 0.0;
-    p.mean_run_length = p.run_lengths.mean();
-    p.sequential_fraction = static_cast<double>(sequential) / n;
-    p.reuse_fraction = static_cast<double>(reused) / n;
-    p.median_reuse_distance =
-        static_cast<double>(p.reuse_distances.percentile(0.5));
-    p.instr_per_access = static_cast<double>(instr_total) / n;
-    return p;
+    const double n = static_cast<double>(s.index);
+    profile_.unique_blocks = s.last_touch.size();
+    profile_.write_fraction = static_cast<double>(s.writes) / n;
+    profile_.written_block_fraction =
+        static_cast<double>(s.written_blocks.size()) /
+        static_cast<double>(profile_.unique_blocks);
+    profile_.alpha = s.writes ? static_cast<double>(s.index - s.writes) /
+                                    static_cast<double>(s.writes)
+                              : 0.0;
+    profile_.mean_run_length = profile_.run_lengths.mean();
+    profile_.sequential_fraction = static_cast<double>(s.sequential) / n;
+    profile_.reuse_fraction = static_cast<double>(s.reused) / n;
+    profile_.median_reuse_distance =
+        static_cast<double>(profile_.reuse_distances.percentile(0.5));
+    profile_.instr_per_access = static_cast<double>(s.instr_total) / n;
+    return std::move(profile_);
+}
+
+StreamProfile analyze_stream(std::span<const Access> stream) {
+    StreamAnalyzer analyzer;
+    analyzer.add(stream);
+    return analyzer.finish();
+}
+
+StreamProfile analyze(StreamSource& stream) {
+    StreamAnalyzer analyzer;
+    std::vector<Access> chunk(kDefaultChunk);
+    std::size_t n;
+    while ((n = stream.next(chunk)) > 0) {
+        analyzer.add(std::span(chunk).first(n));
+    }
+    return analyzer.finish();
 }
 
 std::string to_string(const StreamProfile& p) {

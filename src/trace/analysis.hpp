@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -49,8 +50,34 @@ struct StreamProfile {
     double instr_per_access = 0.0;
 };
 
-/// Computes the profile in one pass (O(accesses) time and space).
+class StreamSource;
+
+/// Incremental profile builder: feed the stream in chunks of any size, then
+/// finish(). One pass, O(footprint) space (the reuse and footprint metrics
+/// need one map entry per distinct block) — never O(trace length), so
+/// arbitrarily long streamed traces can be profiled.
+class StreamAnalyzer {
+public:
+    StreamAnalyzer();
+    ~StreamAnalyzer();
+
+    /// Appends the next chunk of the stream.
+    void add(std::span<const Access> chunk);
+
+    /// Finalizes and returns the profile. Call exactly once.
+    [[nodiscard]] StreamProfile finish();
+
+private:
+    struct State;
+    std::unique_ptr<State> state_;
+    StreamProfile profile_;
+};
+
+/// Computes the profile in one pass (O(accesses) time, O(footprint) space).
 [[nodiscard]] StreamProfile analyze_stream(std::span<const Access> stream);
+
+/// Drains a stream cursor (source.hpp) chunk-wise into a profile.
+[[nodiscard]] StreamProfile analyze(StreamSource& stream);
 
 /// Pretty one-line-per-metric rendering for tools and benches.
 [[nodiscard]] std::string to_string(const StreamProfile& profile);

@@ -1,0 +1,379 @@
+#include "trace/binary_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace tmb::trace {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+/// 19 bytes hold ceil(128/7) varint groups — anything longer is corrupt.
+constexpr std::size_t kMaxVarintBytes = 19;
+constexpr std::size_t kRingSize = 128;
+
+[[noreturn]] void corrupt(const std::string& what) {
+    throw std::runtime_error("binary trace: " + what);
+}
+
+std::uint64_t zigzag_encode(std::int64_t d) noexcept {
+    return (static_cast<std::uint64_t>(d) << 1) ^
+           static_cast<std::uint64_t>(d >> 63);
+}
+
+std::int64_t zigzag_decode(std::uint64_t z) noexcept {
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+void put_varint(u128 v, std::string& out) {
+    do {
+        auto byte = static_cast<unsigned char>(v & 0x7f);
+        v >>= 7;
+        if (v) byte |= 0x80;
+        out.push_back(static_cast<char>(byte));
+    } while (v);
+}
+
+std::size_t varint_size(u128 v) noexcept {
+    std::size_t n = 1;
+    while (v >>= 7) ++n;
+    return n;
+}
+
+/// Reads one varint from `is`, adding consumed bytes to `*consumed` when
+/// non-null. Throws on EOF mid-varint or an oversized encoding.
+u128 get_varint(std::istream& is, std::uint64_t* consumed, const char* what) {
+    u128 value = 0;
+    unsigned shift = 0;
+    for (std::size_t i = 0; i < kMaxVarintBytes; ++i) {
+        const int c = is.get();
+        if (c == std::istream::traits_type::eof()) {
+            corrupt(std::string("truncated ") + what);
+        }
+        if (consumed) ++*consumed;
+        value |= static_cast<u128>(c & 0x7f) << shift;
+        if (!(c & 0x80)) return value;
+        shift += 7;
+    }
+    corrupt(std::string("oversized varint in ") + what);
+}
+
+/// Reads a varint that must fit 64 bits (headers and counts).
+std::uint64_t get_varint_u64(std::istream& is, std::uint64_t* consumed,
+                             const char* what) {
+    const u128 v = get_varint(is, consumed, what);
+    if (v > std::numeric_limits<std::uint64_t>::max()) {
+        corrupt(std::string("out-of-range ") + what);
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+/// Per-stream codec state shared by encoder and decoder: the previous block
+/// address, the previous block delta (for the stride-repeat token), and a
+/// ring of recently seen addresses. Both sides update it identically per
+/// record, so it is chunking-independent.
+///
+/// Invariant: after any commit, the ring's recency-0 entry equals `prev`
+/// (immediate repeats are not pushed, and anything else pushed *is* the new
+/// prev). A ring reference with recency 0 would therefore be redundant with
+/// a zero delta, so the head's kind-1 index 0 is repurposed as "repeat the
+/// previous delta" — which turns every strided-run continuation into one
+/// byte.
+struct Codec {
+    std::uint64_t prev = 0;
+    std::uint64_t prev_delta = 0;  ///< block - previous block (mod 2^64)
+    std::array<std::uint64_t, kRingSize> ring{};
+    std::uint32_t count = 0;
+    std::uint32_t next = 0;
+
+    [[nodiscard]] int find(std::uint64_t block) const noexcept {
+        for (std::uint32_t r = 0; r < count; ++r) {
+            if (ring[(next + kRingSize - 1 - r) & (kRingSize - 1)] == block) {
+                return static_cast<int>(r);
+            }
+        }
+        return -1;
+    }
+    [[nodiscard]] std::uint64_t at(std::uint32_t recency) const noexcept {
+        return ring[(next + kRingSize - 1 - recency) & (kRingSize - 1)];
+    }
+    /// Advances the codec past one access. Immediate repeats are not
+    /// pushed (they are already delta-0 coded and would flush the ring);
+    /// the rule depends only on decoded state, so both sides stay in sync.
+    void commit(std::uint64_t block) noexcept {
+        prev_delta = block - prev;
+        if (block != prev || count == 0) {
+            ring[next] = block;
+            next = (next + 1) & (kRingSize - 1);
+            if (count < kRingSize) ++count;
+        }
+        prev = block;
+    }
+};
+
+void encode_access(Codec& codec, const Access& a, std::string& out) {
+    const std::uint64_t delta = a.block - codec.prev;
+    const std::uint64_t zz =
+        zigzag_encode(static_cast<std::int64_t>(delta));
+    const std::uint32_t instr3 = std::min<std::uint32_t>(a.instr_delta - 1, 7);
+    const std::uint32_t low =
+        (instr3 << 2) | (static_cast<std::uint32_t>(a.is_write) << 1);
+
+    u128 head;
+    if (delta == codec.prev_delta && codec.count > 0) {
+        // Stride repeat: one byte for every continuation of a strided run.
+        head = low | 1;
+    } else {
+        const int recency = codec.find(a.block);
+        const bool use_ring =
+            recency >= 1 &&  // recency 0 is the repeat token's slot
+            varint_size((static_cast<u128>(recency) << 5) | low | 1) <
+                varint_size((static_cast<u128>(zz) << 5) | low);
+        head = use_ring ? ((static_cast<u128>(recency) << 5) | low | 1)
+                        : ((static_cast<u128>(zz) << 5) | low);
+    }
+    put_varint(head, out);
+    if (instr3 == 7) put_varint(a.instr_delta - 8, out);
+
+    codec.commit(a.block);
+}
+
+Access decode_access(Codec& codec, std::istream& is, std::uint64_t* consumed) {
+    const u128 head = get_varint(is, consumed, "access record");
+    const bool kind1 = (head & 1) != 0;
+    const bool is_write = (head & 2) != 0;
+    const auto instr3 = static_cast<std::uint32_t>((head >> 2) & 7);
+    const u128 payload = head >> 5;
+
+    std::uint64_t block;
+    if (kind1 && payload == 0) {
+        if (codec.count == 0) corrupt("stride repeat before first access");
+        block = codec.prev + codec.prev_delta;
+    } else if (kind1) {
+        if (payload >= codec.count) corrupt("ring reference out of range");
+        block = codec.at(static_cast<std::uint32_t>(payload));
+    } else {
+        if (payload > std::numeric_limits<std::uint64_t>::max()) {
+            corrupt("block delta out of range");
+        }
+        block = codec.prev +
+                static_cast<std::uint64_t>(
+                    zigzag_decode(static_cast<std::uint64_t>(payload)));
+    }
+
+    std::uint32_t instr_delta;
+    if (instr3 < 7) {
+        instr_delta = instr3 + 1;
+    } else {
+        const u128 extra = get_varint(is, consumed, "instr_delta");
+        if (extra > std::numeric_limits<std::uint32_t>::max() - 8) {
+            corrupt("instr_delta out of range");
+        }
+        instr_delta = static_cast<std::uint32_t>(extra) + 8;
+    }
+
+    codec.commit(block);
+    return Access{block, is_write, instr_delta};
+}
+
+struct BlockHeader {
+    std::uint64_t stream = 0;
+    std::uint64_t records = 0;
+    std::uint64_t payload_len = 0;
+};
+
+/// Reads the next block header; false at clean end of file (EOF exactly at
+/// a block boundary).
+bool read_block_header(std::istream& is, std::size_t threads,
+                       BlockHeader& out) {
+    if (is.peek() == std::istream::traits_type::eof()) return false;
+    out.stream = get_varint_u64(is, nullptr, "block header");
+    out.records = get_varint_u64(is, nullptr, "block header");
+    out.payload_len = get_varint_u64(is, nullptr, "block header");
+    if (out.stream >= threads) corrupt("stream id out of range");
+    if (out.records == 0) corrupt("empty block");
+    // A record costs at least one byte, at most 2 * kMaxVarintBytes.
+    if (out.payload_len < out.records ||
+        out.payload_len > out.records * 2 * kMaxVarintBytes) {
+        corrupt("implausible block payload length");
+    }
+    return true;
+}
+
+void write_magic(std::ostream& os) {
+    os.write(kBinaryTraceMagic.data(), kBinaryTraceMagic.size());
+}
+
+}  // namespace
+
+struct BinaryTraceWriter::StreamCodec : Codec {};
+
+BinaryTraceWriter::~BinaryTraceWriter() = default;
+
+BinaryTraceWriter::BinaryTraceWriter(std::ostream& os,
+                                     std::size_t thread_count)
+    : os_(os), codecs_(thread_count) {
+    if (thread_count == 0 || thread_count > 1024) {
+        throw std::invalid_argument("binary trace: bad thread count");
+    }
+    write_magic(os_);
+    std::string header;
+    put_varint(thread_count, header);
+    os_.write(header.data(), static_cast<std::streamsize>(header.size()));
+    if (!os_) throw std::runtime_error("binary trace: header write failed");
+}
+
+void BinaryTraceWriter::write_chunk(std::size_t stream,
+                                    std::span<const Access> accesses) {
+    if (accesses.empty()) return;
+    if (stream >= codecs_.size()) {
+        throw std::out_of_range("binary trace: stream id out of range");
+    }
+    payload_.clear();
+    for (const Access& a : accesses) {
+        encode_access(codecs_[stream], a, payload_);
+    }
+    std::string header;
+    put_varint(stream, header);
+    put_varint(accesses.size(), header);
+    put_varint(payload_.size(), header);
+    os_.write(header.data(), static_cast<std::streamsize>(header.size()));
+    os_.write(payload_.data(), static_cast<std::streamsize>(payload_.size()));
+    if (!os_) throw std::runtime_error("binary trace: block write failed");
+}
+
+void write_binary(std::ostream& os, const MultiThreadTrace& trace) {
+    BinaryTraceWriter writer(os, trace.streams.size());
+    for (std::size_t t = 0; t < trace.streams.size(); ++t) {
+        std::span<const Access> stream = trace.streams[t];
+        for (std::size_t i = 0; i < stream.size(); i += kDefaultChunk) {
+            writer.write_chunk(
+                t, stream.subspan(i, std::min(kDefaultChunk,
+                                              stream.size() - i)));
+        }
+    }
+}
+
+std::size_t read_binary_header(std::istream& is) {
+    std::array<char, 8> magic{};
+    is.read(magic.data(), magic.size());
+    if (is.gcount() != static_cast<std::streamsize>(magic.size()) ||
+        magic != kBinaryTraceMagic) {
+        corrupt("bad magic (not a tmb binary trace)");
+    }
+    const std::uint64_t threads = get_varint_u64(is, nullptr, "thread count");
+    if (threads == 0 || threads > 1024) corrupt("bad thread count");
+    return static_cast<std::size_t>(threads);
+}
+
+MultiThreadTrace read_binary(std::istream& is) {
+    const std::size_t threads = read_binary_header(is);
+    MultiThreadTrace trace;
+    trace.streams.resize(threads);
+    std::vector<Codec> codecs(threads);
+
+    BlockHeader block;
+    while (read_block_header(is, threads, block)) {
+        Stream& out = trace.streams[block.stream];
+        Codec& codec = codecs[block.stream];
+        std::uint64_t consumed = 0;
+        for (std::uint64_t r = 0; r < block.records; ++r) {
+            out.push_back(decode_access(codec, is, &consumed));
+            if (consumed > block.payload_len) {
+                corrupt("block payload overrun");
+            }
+        }
+        if (consumed != block.payload_len) {
+            corrupt("block payload length mismatch");
+        }
+    }
+    return trace;
+}
+
+void save_binary_file(const std::string& path, const MultiThreadTrace& trace) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) throw std::runtime_error("cannot open for writing: " + path);
+    write_binary(os, trace);
+    if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+MultiThreadTrace load_binary_file(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("cannot open for reading: " + path);
+    return read_binary(is);
+}
+
+bool is_binary_trace_file(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("cannot open for reading: " + path);
+    std::array<char, 8> magic{};
+    is.read(magic.data(), magic.size());
+    return is.gcount() == static_cast<std::streamsize>(magic.size()) &&
+           magic == kBinaryTraceMagic;
+}
+
+struct BinaryStreamReader::Impl {
+    std::ifstream is;
+    std::size_t target = 0;
+    std::size_t threads = 0;
+    Codec codec;
+    std::uint64_t block_remaining = 0;   ///< records left in current block
+    std::uint64_t payload_remaining = 0; ///< bytes left in current payload
+    bool done = false;
+};
+
+BinaryStreamReader::BinaryStreamReader(std::string path, std::size_t stream)
+    : impl_(std::make_unique<Impl>()) {
+    impl_->is.open(path, std::ios::binary);
+    if (!impl_->is) throw std::runtime_error("cannot open for reading: " + path);
+    impl_->threads = read_binary_header(impl_->is);
+    if (stream >= impl_->threads) {
+        throw std::out_of_range("binary trace: stream index out of range");
+    }
+    impl_->target = stream;
+}
+
+BinaryStreamReader::~BinaryStreamReader() = default;
+
+std::size_t BinaryStreamReader::next(std::span<Access> out) {
+    Impl& im = *impl_;
+    std::size_t filled = 0;
+    while (filled < out.size() && !im.done) {
+        if (im.block_remaining == 0) {
+            BlockHeader block;
+            if (!read_block_header(im.is, im.threads, block)) {
+                im.done = true;
+                break;
+            }
+            if (block.stream != im.target) {
+                // Foreign stream: skip the payload wholesale. ignore()
+                // (rather than seekg) detects truncation via gcount.
+                im.is.ignore(static_cast<std::streamsize>(block.payload_len));
+                if (im.is.gcount() !=
+                    static_cast<std::streamsize>(block.payload_len)) {
+                    corrupt("truncated block payload");
+                }
+                continue;
+            }
+            im.block_remaining = block.records;
+            im.payload_remaining = block.payload_len;
+            continue;
+        }
+        std::uint64_t consumed = 0;
+        out[filled++] = decode_access(im.codec, im.is, &consumed);
+        if (consumed > im.payload_remaining) corrupt("block payload overrun");
+        im.payload_remaining -= consumed;
+        --im.block_remaining;
+        if (im.block_remaining == 0 && im.payload_remaining != 0) {
+            corrupt("block payload length mismatch");
+        }
+    }
+    return filled;
+}
+
+}  // namespace tmb::trace

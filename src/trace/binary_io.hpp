@@ -1,0 +1,113 @@
+// binary_io.hpp — compact binary trace container with streaming reader and
+// writer.
+//
+// The text format (trace_io.hpp) costs ~13 bytes per access and dominates
+// tool runtime at scale; this container stores the same streams in roughly
+// 2–3 bytes per access, writable and readable chunk-wise in O(chunk)
+// memory. Layout (all multi-byte integers are LEB128 varints, little-endian
+// groups of 7 bits, high bit = continue):
+//
+//   magic        8 bytes   "TMBTRC01" (version in the last two bytes)
+//   threads      varint    stream count, in [1, 1024]
+//   blocks ...   until EOF, each:
+//     stream       varint  stream id in [0, threads)
+//     records      varint  access count in this block (>= 1)
+//     payload_len  varint  byte length of the payload that follows (lets
+//                          per-stream readers skip foreign blocks in O(1))
+//     payload      `records` packed accesses (see below)
+//
+// Access coding. Each stream carries persistent codec state — the previous
+// block address, the previous delta, and a 128-entry ring of recently seen
+// addresses — that survives across blocks, so any chunking of a stream
+// yields the same per-record bytes. One access is a head varint h plus an
+// optional tail:
+//
+//   h bit 0        kind: 0 = delta-coded, 1 = repeat/ring
+//   h bit 1        is_write
+//   h bits 2..4    min(instr_delta - 1, 7); the value 7 means a tail
+//                  varint follows holding instr_delta - 8
+//   h bits 5...    kind 0: zigzag(block - prev_block)   (two's complement)
+//                  kind 1, index 0: repeat the previous delta (strided-run
+//                                   continuation; a recency-0 ring hit
+//                                   would be redundant with delta 0)
+//                  kind 1, index k >= 1: ring entry at recency k
+//
+// Sequential and strided run continuations cost one byte; temporal reuse
+// of any of the last 128 window addresses costs two; random jumps cost ~4.
+//
+// Every structural violation — bad magic, truncated block, oversized
+// varint, stream id out of range, payload length mismatch — throws
+// std::runtime_error; corrupt input never crashes or silently truncates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/source.hpp"
+#include "trace/trace.hpp"
+
+namespace tmb::trace {
+
+/// File magic ("TMBTRC" + 2-digit version).
+inline constexpr std::array<char, 8> kBinaryTraceMagic = {'T', 'M', 'B', 'T',
+                                                          'R', 'C', '0', '1'};
+
+/// Streaming writer: construct over an output stream (writes the file
+/// header), then append chunks per stream in any interleaving. Per-stream
+/// codec state persists across chunks, so chunk boundaries do not affect
+/// the encoded payload bytes.
+class BinaryTraceWriter {
+public:
+    BinaryTraceWriter(std::ostream& os, std::size_t thread_count);
+    ~BinaryTraceWriter();
+
+    BinaryTraceWriter(const BinaryTraceWriter&) = delete;
+    BinaryTraceWriter& operator=(const BinaryTraceWriter&) = delete;
+
+    /// Appends one block holding `accesses` for stream `stream`. Empty
+    /// chunks are a no-op. Throws std::runtime_error on I/O failure or a
+    /// stream id out of range.
+    void write_chunk(std::size_t stream, std::span<const Access> accesses);
+
+private:
+    struct StreamCodec;
+
+    std::ostream& os_;
+    std::vector<StreamCodec> codecs_;
+    std::string payload_;  ///< reused per-block encode buffer
+};
+
+/// Whole-trace conveniences (materialized path).
+void write_binary(std::ostream& os, const MultiThreadTrace& trace);
+[[nodiscard]] MultiThreadTrace read_binary(std::istream& is);
+void save_binary_file(const std::string& path, const MultiThreadTrace& trace);
+[[nodiscard]] MultiThreadTrace load_binary_file(const std::string& path);
+
+/// Reads and validates the magic + thread count; positions `is` at the
+/// first block. Throws std::runtime_error on anything else.
+[[nodiscard]] std::size_t read_binary_header(std::istream& is);
+
+/// True when `path` starts with the binary magic (false for short files or
+/// text traces). Throws std::runtime_error only if the file cannot be
+/// opened.
+[[nodiscard]] bool is_binary_trace_file(const std::string& path);
+
+/// Pull cursor over one stream of a binary trace file: decodes its own
+/// blocks, skips foreign blocks via payload_len. Owns its file handle, so
+/// cursors for different streams are concurrency-safe with respect to each
+/// other.
+class BinaryStreamReader final : public StreamSource {
+public:
+    BinaryStreamReader(std::string path, std::size_t stream);
+    ~BinaryStreamReader() override;
+
+    [[nodiscard]] std::size_t next(std::span<Access> out) override;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tmb::trace

@@ -1,36 +1,52 @@
 #include "trace/conflict_filter.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
+#include <vector>
+
+#include "trace/source.hpp"
 
 namespace tmb::trace {
 
 namespace {
 
 struct BlockUse {
-    std::uint32_t reader_mask = 0;  ///< bit per stream (capped at 32 streams)
-    std::uint32_t writer_mask = 0;
+    std::uint64_t reader_mask = 0;  ///< bit per stream (one per stream, <= 64)
+    std::uint64_t writer_mask = 0;
 
     [[nodiscard]] bool multi_stream() const noexcept {
-        const std::uint32_t any = reader_mask | writer_mask;
+        const std::uint64_t any = reader_mask | writer_mask;
         return (any & (any - 1)) != 0;  // more than one bit set
     }
     [[nodiscard]] bool true_conflict() const noexcept {
         if (writer_mask == 0) return false;            // read-only sharing is fine
         if (!multi_stream()) return false;             // single stream only
         // A writer plus any other stream (reader or writer) conflicts.
-        const std::uint32_t others = (reader_mask | writer_mask) & ~writer_mask;
+        const std::uint64_t others = (reader_mask | writer_mask) & ~writer_mask;
         const bool multiple_writers = (writer_mask & (writer_mask - 1)) != 0;
         return multiple_writers || others != 0;
     }
 };
 
+/// The per-block masks are exact only with one bit per stream; sharing bits
+/// (the old `t & 31` wrap) would silently miss cross-stream conflicts, so
+/// larger traces are rejected loudly instead.
+void check_stream_count(std::size_t streams) {
+    if (streams > 64) {
+        throw std::invalid_argument(
+            "conflict filter supports at most 64 streams, got " +
+            std::to_string(streams));
+    }
+}
+
 std::unordered_map<std::uint64_t, BlockUse> build_use_map(
     const MultiThreadTrace& trace) {
+    check_stream_count(trace.streams.size());
     std::unordered_map<std::uint64_t, BlockUse> use;
     use.reserve(trace.total_accesses());
     for (std::size_t t = 0; t < trace.streams.size(); ++t) {
-        const auto bit = std::uint32_t{1} << (t & 31);
+        const auto bit = std::uint64_t{1} << t;
         for (const auto& a : trace.streams[t]) {
             auto& u = use[a.block];
             if (a.is_write) {
@@ -40,6 +56,34 @@ std::unordered_map<std::uint64_t, BlockUse> build_use_map(
             }
         }
     }
+    return use;
+}
+
+/// Chunk-wise use-map construction; memory is O(distinct blocks). Also
+/// counts total accesses (the pass sees every access anyway).
+std::unordered_map<std::uint64_t, BlockUse> build_use_map(
+    TraceSource& source, std::size_t* total_accesses) {
+    check_stream_count(source.stream_count());
+    std::unordered_map<std::uint64_t, BlockUse> use;
+    std::vector<Access> chunk(kDefaultChunk);
+    std::size_t total = 0;
+    for (std::size_t t = 0; t < source.stream_count(); ++t) {
+        const auto bit = std::uint64_t{1} << t;
+        const auto reader = source.stream(t);
+        std::size_t n;
+        while ((n = reader->next(chunk)) > 0) {
+            total += n;
+            for (std::size_t i = 0; i < n; ++i) {
+                auto& u = use[chunk[i].block];
+                if (chunk[i].is_write) {
+                    u.writer_mask |= bit;
+                } else {
+                    u.reader_mask |= bit;
+                }
+            }
+        }
+    }
+    if (total_accesses) *total_accesses = total;
     return use;
 }
 
@@ -72,4 +116,66 @@ bool has_true_conflicts(const MultiThreadTrace& trace) {
     });
 }
 
+ConflictFilterStats remove_true_conflicts(TraceSource& source,
+                                          const FilterSink& sink) {
+    ConflictFilterStats stats;
+    const auto use = build_use_map(source, &stats.accesses_before);
+    for (const auto& [block, u] : use) {
+        (void)block;
+        if (u.true_conflict()) ++stats.blocks_removed;
+    }
+
+    // Pass 2: re-open every stream, compact each chunk in place, forward.
+    std::vector<Access> chunk(kDefaultChunk);
+    for (std::size_t t = 0; t < source.stream_count(); ++t) {
+        const auto reader = source.stream(t);
+        std::size_t n;
+        while ((n = reader->next(chunk)) > 0) {
+            std::size_t kept = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const auto it = use.find(chunk[i].block);
+                if (it != use.end() && it->second.true_conflict()) continue;
+                chunk[kept++] = chunk[i];
+            }
+            stats.accesses_after += kept;
+            if (kept > 0) sink(t, std::span(chunk).first(kept));
+        }
+    }
+    return stats;
+}
+
+bool has_true_conflicts(TraceSource& source) {
+    const auto use = build_use_map(source, nullptr);
+    return std::any_of(use.begin(), use.end(), [](const auto& kv) {
+        return kv.second.true_conflict();
+    });
+}
+
+struct TrueConflictScanner::Impl {
+    std::unordered_map<std::uint64_t, BlockUse> use;
+};
+
+TrueConflictScanner::TrueConflictScanner() : impl_(std::make_unique<Impl>()) {}
+TrueConflictScanner::~TrueConflictScanner() = default;
+
+void TrueConflictScanner::add(std::size_t stream,
+                              std::span<const Access> accesses) {
+    check_stream_count(stream + 1);
+    const auto bit = std::uint64_t{1} << stream;
+    for (const Access& a : accesses) {
+        auto& u = impl_->use[a.block];
+        if (a.is_write) {
+            u.writer_mask |= bit;
+        } else {
+            u.reader_mask |= bit;
+        }
+    }
+}
+
+bool TrueConflictScanner::has_true_conflicts() const {
+    return std::any_of(impl_->use.begin(), impl_->use.end(),
+                       [](const auto& kv) { return kv.second.true_conflict(); });
+}
+
 }  // namespace tmb::trace
+

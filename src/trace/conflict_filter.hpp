@@ -14,10 +14,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
 
 #include "trace/trace.hpp"
 
 namespace tmb::trace {
+
+class TraceSource;
 
 /// Statistics describing what the filter removed.
 struct ConflictFilterStats {
@@ -35,11 +40,54 @@ struct ConflictFilterStats {
 
 /// Removes all true conflicts between the trace's streams, in place.
 /// After this call, no block is accessed by two different streams unless all
-/// accesses to it (in all streams) are reads.
+/// accesses to it (in all streams) are reads. The classification keeps one
+/// bit per stream, so all filter entry points reject traces with more than
+/// 64 streams (std::invalid_argument) rather than silently missing
+/// conflicts.
 ConflictFilterStats remove_true_conflicts(MultiThreadTrace& trace);
 
 /// Returns true iff the trace contains no true conflicts (used as the
 /// postcondition check in tests).
 [[nodiscard]] bool has_true_conflicts(const MultiThreadTrace& trace);
+
+/// Chunk-wise consumer of filtered output: receives each stream's surviving
+/// accesses in order (streams emitted sequentially, chunks within a stream
+/// in stream order).
+using FilterSink =
+    std::function<void(std::size_t stream, std::span<const Access> accesses)>;
+
+/// Streaming two-pass filter: pass 1 scans `source` chunk-wise to find the
+/// truly-conflicting blocks (memory: O(distinct blocks), never O(trace
+/// length)); pass 2 re-opens every stream and forwards the surviving
+/// accesses to `sink`. The source must support reopening streams (all
+/// built-in sources do).
+ConflictFilterStats remove_true_conflicts(TraceSource& source,
+                                          const FilterSink& sink);
+
+/// Streaming variant of the postcondition check.
+[[nodiscard]] bool has_true_conflicts(TraceSource& source);
+
+/// Incremental true-conflict detector: feed every stream's chunks (any
+/// interleaving), then ask. Lets consumers that already drain a trace for
+/// another reason (e.g. trace_tool analyze) answer the conflict question in
+/// the same pass instead of re-reading the file. Memory: O(distinct
+/// blocks). Same 64-stream bound as the filter.
+class TrueConflictScanner {
+public:
+    TrueConflictScanner();
+    ~TrueConflictScanner();
+
+    TrueConflictScanner(const TrueConflictScanner&) = delete;
+    TrueConflictScanner& operator=(const TrueConflictScanner&) = delete;
+
+    /// Records one chunk of stream `stream` (must be < 64).
+    void add(std::size_t stream, std::span<const Access> accesses);
+
+    [[nodiscard]] bool has_true_conflicts() const;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace tmb::trace

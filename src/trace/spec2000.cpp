@@ -98,80 +98,78 @@ const Spec2000Profile& spec2000_profile(std::string_view name) {
     throw std::out_of_range("unknown SPEC2000 profile: " + std::string(name));
 }
 
-Stream generate_spec2000_stream(const Spec2000Profile& profile,
-                                std::size_t accesses, std::uint64_t seed) {
-    util::Xoshiro256 rng{util::mix64(seed)};
-
+Spec2000Emitter::Spec2000Emitter(const Spec2000Profile& profile,
+                                 std::uint64_t seed)
+    : profile_(profile), rng_(util::mix64(seed)) {
     // Region base addresses are spread far apart so different regions start
     // at unrelated cache sets (as real stack/heap/global segments do).
-    std::vector<std::uint64_t> region_base;
     std::uint64_t next_base = 1u << 20;
-    for (std::uint64_t sz : profile.region_blocks) {
-        region_base.push_back(next_base);
+    for (std::uint64_t sz : profile_.region_blocks) {
+        region_base_.push_back(next_base);
         next_base += sz + (1u << 18);
     }
+    run_block_ = region_base_[0];
+}
 
-    Stream out;
-    out.reserve(accesses);
-
-    // Footprint tracking: block -> whether the block has been written.
-    std::unordered_map<std::uint64_t, bool> footprint;
-    std::vector<std::uint64_t> touched;  // insertion order, for reuse draws
-
-    std::size_t region = 0;
-    std::uint64_t run_block = region_base[0];
-    std::uint64_t run_stride = 1;
-    std::uint64_t run_remaining = 0;
-
-    auto new_block = [&]() -> std::uint64_t {
-        if (run_remaining > 0) {
-            --run_remaining;
-            run_block += run_stride;
+std::uint64_t Spec2000Emitter::new_block() {
+    if (run_remaining_ > 0) {
+        --run_remaining_;
+        run_block_ += run_stride_;
+    } else {
+        if (rng_.bernoulli(profile_.scatter_fraction) || touched_.empty()) {
+            // Pointer-chase: jump to a random spot in a random region.
+            region_ = rng_.below(region_base_.size());
+            run_block_ = region_base_[region_] +
+                         rng_.below(profile_.region_blocks[region_]);
         } else {
-            if (rng.bernoulli(profile.scatter_fraction) || touched.empty()) {
-                // Pointer-chase: jump to a random spot in a random region.
-                region = rng.below(region_base.size());
-                run_block = region_base[region] +
-                            rng.below(profile.region_blocks[region]);
-            } else {
-                // Start a nearby run (spatial locality around recent work).
-                run_block += 1 + rng.below(8);
-            }
-            run_stride = profile.strides[rng.below(profile.strides.size())];
-            run_remaining =
-                rng.run_length(1.0 - profile.run_continue, profile.max_run) - 1;
+            // Start a nearby run (spatial locality around recent work).
+            run_block_ += 1 + rng_.below(8);
         }
-        return run_block;
-    };
+        run_stride_ = profile_.strides[rng_.below(profile_.strides.size())];
+        run_remaining_ =
+            rng_.run_length(1.0 - profile_.run_continue, profile_.max_run) - 1;
+    }
+    return run_block_;
+}
 
-    for (std::size_t i = 0; i < accesses; ++i) {
+std::size_t Spec2000Emitter::emit(std::span<Access> out) {
+    for (Access& slot : out) {
         std::uint64_t block;
-        const bool discover = touched.empty() || rng.bernoulli(profile.p_new_block);
+        const bool discover =
+            touched_.empty() || rng_.bernoulli(profile_.p_new_block);
         if (discover) {
             block = new_block();
-            if (!footprint.contains(block)) {
-                const bool written = rng.bernoulli(profile.write_block_fraction);
-                footprint.emplace(block, written);
-                touched.push_back(block);
+            if (!footprint_.contains(block)) {
+                const bool written = rng_.bernoulli(profile_.write_block_fraction);
+                footprint_.emplace(block, written);
+                touched_.push_back(block);
             }
         } else {
             // Temporal reuse, biased toward recent blocks: draw from the last
             // K touched blocks where K grows with footprint.
             const std::size_t window =
-                std::min<std::size_t>(touched.size(), 128);
-            block = touched[touched.size() - 1 - rng.below(window)];
+                std::min<std::size_t>(touched_.size(), 128);
+            block = touched_[touched_.size() - 1 - rng_.below(window)];
         }
 
-        const bool block_written = footprint[block];
-        const bool is_write = block_written && rng.bernoulli(profile.rewrite_fraction);
+        const bool block_written = footprint_[block];
+        const bool is_write =
+            block_written && rng_.bernoulli(profile_.rewrite_fraction);
         // First access to a "written" block is the write that marks it.
         const bool first_touch_write = discover && block_written;
 
-        const auto mean_i = profile.instr_per_access;
+        const auto mean_i = profile_.instr_per_access;
         const auto instr_delta = static_cast<std::uint32_t>(
-            1 + rng.below(static_cast<std::uint64_t>(2.0 * mean_i)));
-        out.push_back(Access{block, is_write || first_touch_write, instr_delta});
+            1 + rng_.below(static_cast<std::uint64_t>(2.0 * mean_i)));
+        slot = Access{block, is_write || first_touch_write, instr_delta};
     }
+    return out.size();
+}
+
+Stream generate_spec2000_stream(const Spec2000Profile& profile,
+                                std::size_t accesses, std::uint64_t seed) {
+    Stream out(accesses);
+    Spec2000Emitter(profile, seed).emit(out);
     return out;
 }
 

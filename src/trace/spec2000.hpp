@@ -15,10 +15,13 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "util/rng.hpp"
 
 namespace tmb::trace {
 
@@ -55,6 +58,34 @@ struct Spec2000Profile {
 
 /// Look up a profile by name; throws std::out_of_range for unknown names.
 [[nodiscard]] const Spec2000Profile& spec2000_profile(std::string_view name);
+
+/// Incremental emitter for one profile's stream: yields exactly the
+/// sequence of generate_spec2000_stream, chunk by chunk. State is
+/// O(footprint) — the block-level write decisions require remembering which
+/// blocks were classified as written — but never O(trace length).
+class Spec2000Emitter {
+public:
+    /// `profile.name` must outlive the emitter (built-in profiles are
+    /// static, so this only matters for caller-owned custom profiles).
+    Spec2000Emitter(const Spec2000Profile& profile, std::uint64_t seed);
+
+    /// Fills `out` completely (the stream is unbounded); returns out.size().
+    std::size_t emit(std::span<Access> out);
+
+private:
+    Spec2000Profile profile_;
+    util::Xoshiro256 rng_;
+    std::vector<std::uint64_t> region_base_;
+    /// Footprint tracking: block -> whether the block counts as written.
+    std::unordered_map<std::uint64_t, bool> footprint_;
+    std::vector<std::uint64_t> touched_;  ///< insertion order, for reuse draws
+    std::size_t region_ = 0;
+    std::uint64_t run_block_;
+    std::uint64_t run_stride_ = 1;
+    std::uint64_t run_remaining_ = 0;
+
+    [[nodiscard]] std::uint64_t new_block();
+};
 
 /// Generates a transaction-like access stream from a profile. The stream has
 /// `accesses` entries; block-level write decisions follow

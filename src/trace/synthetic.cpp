@@ -15,66 +15,72 @@ SpecJbbLikeGenerator::SpecJbbLikeGenerator(SpecJbbLikeParams params,
     if (params_.strides.empty()) throw std::invalid_argument("strides must be non-empty");
 }
 
-Stream SpecJbbLikeGenerator::generate_stream(std::uint32_t thread_id,
-                                             std::size_t accesses) {
+SpecJbbLikeGenerator::Emitter::Emitter(const SpecJbbLikeParams& params,
+                                       std::uint64_t seed,
+                                       std::uint32_t thread_id)
     // Per-thread independent RNG stream: mix the seed with the thread id so
     // streams are reproducible independently of generation order.
-    util::Xoshiro256 rng{util::mix64(seed_ ^ (0x9e3779b97f4a7c15ULL * (thread_id + 1)))};
+    : params_(params),
+      rng_(util::mix64(seed ^ (0x9e3779b97f4a7c15ULL * (thread_id + 1)))),
+      // Arena layout: [shared pool][thread 0 arena][thread 1 arena]...
+      arena_base_(params.shared_blocks +
+                  static_cast<std::uint64_t>(thread_id) * params.arena_blocks) {
+    recent_.reserve(params_.reuse_window);
+    run_block_ = arena_base_ + rng_.below(params_.arena_blocks);
+}
 
-    // Arena layout: [shared pool][thread 0 arena][thread 1 arena]...
-    const std::uint64_t arena_base =
-        params_.shared_blocks + static_cast<std::uint64_t>(thread_id) * params_.arena_blocks;
+void SpecJbbLikeGenerator::Emitter::remember(std::uint64_t block) {
+    if (params_.reuse_window == 0) return;
+    if (recent_.size() < params_.reuse_window) {
+        recent_.push_back(block);
+    } else {
+        recent_[recent_next_] = block;
+        recent_next_ = (recent_next_ + 1) % recent_.size();
+    }
+}
 
-    Stream out;
-    out.reserve(accesses);
-
-    // Recent-block ring buffer for temporal reuse.
-    std::vector<std::uint64_t> recent;
-    recent.reserve(params_.reuse_window);
-    std::size_t recent_next = 0;
-    auto remember = [&](std::uint64_t block) {
-        if (params_.reuse_window == 0) return;
-        if (recent.size() < params_.reuse_window) {
-            recent.push_back(block);
-        } else {
-            recent[recent_next] = block;
-            recent_next = (recent_next + 1) % recent.size();
-        }
-    };
-
-    std::uint64_t run_block = arena_base + rng.below(params_.arena_blocks);
-    std::uint64_t run_remaining = 0;
-    std::uint64_t run_stride = 1;
-
-    for (std::size_t i = 0; i < accesses; ++i) {
+std::size_t SpecJbbLikeGenerator::Emitter::emit(std::span<Access> out) {
+    for (Access& slot : out) {
         std::uint64_t block;
-        if (run_remaining > 0) {
+        if (run_remaining_ > 0) {
             // Continue the current spatial run.
-            run_block += run_stride;
-            --run_remaining;
-            block = arena_base + (run_block - arena_base) % params_.arena_blocks;
-            run_block = block;
-        } else if (!recent.empty() && rng.bernoulli(params_.reuse_fraction)) {
+            run_block_ += run_stride_;
+            --run_remaining_;
+            block = arena_base_ + (run_block_ - arena_base_) % params_.arena_blocks;
+            run_block_ = block;
+        } else if (!recent_.empty() && rng_.bernoulli(params_.reuse_fraction)) {
             // Temporal reuse of a recently touched block.
-            block = recent[rng.below(recent.size())];
-        } else if (rng.bernoulli(params_.shared_fraction)) {
+            block = recent_[rng_.below(recent_.size())];
+        } else if (rng_.bernoulli(params_.shared_fraction)) {
             // Shared-pool access (potential true conflict, filtered later).
-            block = rng.below(std::max<std::uint64_t>(params_.shared_blocks, 1));
+            block = rng_.below(std::max<std::uint64_t>(params_.shared_blocks, 1));
         } else {
             // Start a fresh spatial run at a random arena location.
-            run_block = arena_base + rng.below(params_.arena_blocks);
-            run_stride = params_.strides[rng.below(params_.strides.size())];
-            run_remaining =
-                rng.run_length(1.0 - params_.run_continue, params_.max_run) - 1;
-            block = run_block;
+            run_block_ = arena_base_ + rng_.below(params_.arena_blocks);
+            run_stride_ = params_.strides[rng_.below(params_.strides.size())];
+            run_remaining_ =
+                rng_.run_length(1.0 - params_.run_continue, params_.max_run) - 1;
+            block = run_block_;
         }
         remember(block);
 
-        const bool is_write = rng.bernoulli(params_.write_fraction);
+        const bool is_write = rng_.bernoulli(params_.write_fraction);
         const auto instr_delta = static_cast<std::uint32_t>(
-            1 + rng.below(2 * std::max<std::uint32_t>(params_.mean_instr_per_access, 1) - 1));
-        out.push_back(Access{block, is_write, instr_delta});
+            1 + rng_.below(2 * std::max<std::uint32_t>(params_.mean_instr_per_access, 1) - 1));
+        slot = Access{block, is_write, instr_delta};
     }
+    return out.size();
+}
+
+SpecJbbLikeGenerator::Emitter SpecJbbLikeGenerator::stream_emitter(
+    std::uint32_t thread_id) const {
+    return Emitter(params_, seed_, thread_id);
+}
+
+Stream SpecJbbLikeGenerator::generate_stream(std::uint32_t thread_id,
+                                             std::size_t accesses) {
+    Stream out(accesses);
+    stream_emitter(thread_id).emit(out);
     return out;
 }
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "trace/trace.hpp"
@@ -55,6 +56,35 @@ struct SpecJbbLikeParams {
 class SpecJbbLikeGenerator {
 public:
     explicit SpecJbbLikeGenerator(SpecJbbLikeParams params, std::uint64_t seed);
+
+    /// Incremental single-stream emitter: produces exactly the access
+    /// sequence of generate_stream, any chunk size, in O(reuse_window)
+    /// state. This is what the streaming TraceSource layer (source.hpp)
+    /// pulls from, so trace length never bounds memory.
+    class Emitter {
+    public:
+        Emitter(const SpecJbbLikeParams& params, std::uint64_t seed,
+                std::uint32_t thread_id);
+
+        /// Fills `out` completely (the stream is unbounded) and returns
+        /// out.size().
+        std::size_t emit(std::span<Access> out);
+
+    private:
+        SpecJbbLikeParams params_;
+        util::Xoshiro256 rng_;
+        std::uint64_t arena_base_;
+        std::vector<std::uint64_t> recent_;  ///< reuse ring buffer
+        std::size_t recent_next_ = 0;
+        std::uint64_t run_block_;
+        std::uint64_t run_remaining_ = 0;
+        std::uint64_t run_stride_ = 1;
+
+        void remember(std::uint64_t block);
+    };
+
+    /// Builds the emitter for one thread's stream.
+    [[nodiscard]] Emitter stream_emitter(std::uint32_t thread_id) const;
 
     /// Generates `accesses_per_thread` accesses for every thread.
     [[nodiscard]] MultiThreadTrace generate(std::size_t accesses_per_thread);

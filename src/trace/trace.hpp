@@ -29,7 +29,13 @@ struct Access {
 /// One thread's access stream.
 using Stream = std::vector<Access>;
 
-/// A multithreaded trace: one stream per thread.
+/// A multithreaded trace, fully materialized: one stream per thread.
+///
+/// This is the small-input representation — tests and the figure benches
+/// use it for random access. Anything that scales with trace length should
+/// consume streams through the pull-based trace::TraceSource layer
+/// (source.hpp) instead, which runs in O(chunk) memory;
+/// trace::MemoryTraceSource adapts a materialized trace to that interface.
 struct MultiThreadTrace {
     std::vector<Stream> streams;
 

@@ -6,59 +6,89 @@
 
 namespace tmb::trace {
 
-void write_text(std::ostream& os, const MultiThreadTrace& trace) {
-    os << "# tm_birthday trace v1\n";
-    os << "T " << trace.streams.size() << '\n';
-    for (std::size_t t = 0; t < trace.streams.size(); ++t) {
-        for (const auto& a : trace.streams[t]) {
-            os << t << ' ' << (a.is_write ? 'W' : 'R') << ' ' << std::hex
-               << a.block << std::dec << ' ' << a.instr_delta << '\n';
+void TextTraceScanner::fail(const std::string& what) const {
+    throw std::runtime_error("trace parse error at line " +
+                             std::to_string(line_no_) + ": " + what);
+}
+
+TextTraceScanner::TextTraceScanner(std::istream& is) : is_(is) {
+    while (std::getline(is_, line_)) {
+        ++line_no_;
+        if (line_.empty() || line_[0] == '#') continue;
+        std::istringstream ls(line_);
+        char tag = 0;
+        std::size_t threads = 0;
+        if (!(ls >> tag >> threads) || tag != 'T') {
+            fail("expected 'T <thread_count>' header");
         }
+        if (threads == 0 || threads > 1024) fail("bad thread count");
+        std::string trailing;
+        if (ls >> trailing) fail("trailing tokens after header");
+        threads_ = threads;
+        return;
+    }
+    throw std::runtime_error("trace parse error: missing 'T' header");
+}
+
+bool TextTraceScanner::next(std::size_t& tid, Access& out) {
+    while (std::getline(is_, line_)) {
+        ++line_no_;
+        if (line_.empty() || line_[0] == '#') continue;
+        std::istringstream ls(line_);
+        std::size_t t = 0;
+        char mode = 0;
+        std::uint64_t block = 0;
+        std::uint32_t instr_delta = 1;
+        if (!(ls >> t >> mode >> std::hex >> block >> std::dec)) {
+            fail("expected '<tid> <R|W> <hex block>'");
+        }
+        if (ls >> instr_delta) {
+            // The >= 1 invariant of trace.hpp: a zero delta is a malformed
+            // trace, not something to silently round up.
+            if (instr_delta == 0) fail("instr_delta must be >= 1");
+        } else if (!ls.eof()) {
+            fail("instr_delta must be a number");
+        } else {
+            instr_delta = 1;
+        }
+        std::string trailing;
+        if (ls.clear(), ls >> trailing) fail("trailing tokens on access line");
+        if (t >= threads_) fail("thread id out of range");
+        if (mode != 'R' && mode != 'W') fail("mode must be R or W");
+        tid = t;
+        out = Access{block, mode == 'W', instr_delta};
+        return true;
+    }
+    return false;
+}
+
+void write_text_header(std::ostream& os, std::size_t thread_count) {
+    os << "# tm_birthday trace v1\n";
+    os << "T " << thread_count << '\n';
+}
+
+void write_text_chunk(std::ostream& os, std::size_t tid,
+                      std::span<const Access> accesses) {
+    for (const auto& a : accesses) {
+        os << tid << ' ' << (a.is_write ? 'W' : 'R') << ' ' << std::hex
+           << a.block << std::dec << ' ' << a.instr_delta << '\n';
+    }
+}
+
+void write_text(std::ostream& os, const MultiThreadTrace& trace) {
+    write_text_header(os, trace.streams.size());
+    for (std::size_t t = 0; t < trace.streams.size(); ++t) {
+        write_text_chunk(os, t, trace.streams[t]);
     }
 }
 
 MultiThreadTrace read_text(std::istream& is) {
+    TextTraceScanner scanner(is);
     MultiThreadTrace trace;
-    std::string line;
-    std::size_t line_no = 0;
-    bool saw_header = false;
-
-    auto fail = [&](const std::string& what) {
-        throw std::runtime_error("trace parse error at line " +
-                                 std::to_string(line_no) + ": " + what);
-    };
-
-    while (std::getline(is, line)) {
-        ++line_no;
-        if (line.empty() || line[0] == '#') continue;
-        std::istringstream ls(line);
-        if (!saw_header) {
-            char tag = 0;
-            std::size_t threads = 0;
-            if (!(ls >> tag >> threads) || tag != 'T') {
-                fail("expected 'T <thread_count>' header");
-            }
-            if (threads == 0 || threads > 1024) fail("bad thread count");
-            trace.streams.resize(threads);
-            saw_header = true;
-            continue;
-        }
-        std::size_t tid = 0;
-        char mode = 0;
-        std::uint64_t block = 0;
-        std::uint32_t instr_delta = 1;
-        if (!(ls >> tid >> mode >> std::hex >> block >> std::dec)) {
-            fail("expected '<tid> <R|W> <hex block>'");
-        }
-        ls >> instr_delta;  // optional
-        if (tid >= trace.streams.size()) fail("thread id out of range");
-        if (mode != 'R' && mode != 'W') fail("mode must be R or W");
-        if (instr_delta == 0) instr_delta = 1;
-        trace.streams[tid].push_back(Access{block, mode == 'W', instr_delta});
-    }
-    if (!saw_header) {
-        throw std::runtime_error("trace parse error: missing 'T' header");
-    }
+    trace.streams.resize(scanner.thread_count());
+    std::size_t tid = 0;
+    Access a;
+    while (scanner.next(tid, a)) trace.streams[tid].push_back(a);
     return trace;
 }
 

@@ -1,4 +1,4 @@
-// trace_io.hpp — (de)serialization of multithreaded traces.
+// trace_io.hpp — (de)serialization of multithreaded traces (text format).
 //
 // Users with real address traces (the paper used SPECJBB2005 and SPEC2000)
 // can run every experiment in this repository on them by converting to this
@@ -9,15 +9,53 @@
 //   <thread_id> <R|W> <hex block address> [instr_delta]
 //
 // Lines appear in per-thread program order (interleaving between threads is
-// irrelevant: the experiments consume streams per thread).
+// irrelevant: the experiments consume streams per thread). The format is
+// strict: `instr_delta` must honour the `>= 1` invariant documented in
+// trace.hpp, and trailing tokens on a line are parse errors — both are
+// reported with the offending line number instead of silently coerced.
+//
+// A compact binary container lives in binary_io.hpp; the streaming source
+// layer (source.hpp) reads either format chunk-wise without materializing.
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
 
 #include "trace/trace.hpp"
 
 namespace tmb::trace {
+
+/// Streaming scanner over the text format: parses the header, then yields
+/// one (thread id, Access) record per body line. Shared by the whole-trace
+/// reader below and the per-stream file source, so both enforce the same
+/// strict grammar. Throws std::runtime_error with a line number on
+/// malformed input.
+class TextTraceScanner {
+public:
+    /// Reads up to and including the 'T <thread_count>' header.
+    explicit TextTraceScanner(std::istream& is);
+
+    [[nodiscard]] std::size_t thread_count() const noexcept { return threads_; }
+
+    /// Parses the next body record; returns false at end of input.
+    bool next(std::size_t& tid, Access& out);
+
+private:
+    std::istream& is_;
+    std::size_t threads_ = 0;
+    std::size_t line_no_ = 0;
+    std::string line_;
+
+    [[noreturn]] void fail(const std::string& what) const;
+};
+
+/// Writes the 'T <thread_count>' header (plus the format comment).
+void write_text_header(std::ostream& os, std::size_t thread_count);
+
+/// Writes one chunk of stream `tid` as body lines.
+void write_text_chunk(std::ostream& os, std::size_t tid,
+                      std::span<const Access> accesses);
 
 /// Writes `trace` in the text format above.
 void write_text(std::ostream& os, const MultiThreadTrace& trace);

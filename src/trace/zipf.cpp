@@ -32,38 +32,49 @@ double ZipfianSampler::pmf(std::uint64_t k) const {
     return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
 }
 
-MultiThreadTrace generate_zipf_trace(const ZipfTraceParams& params,
-                                     std::size_t accesses_per_thread,
-                                     std::uint64_t seed) {
-    if (params.threads == 0) throw std::invalid_argument("threads must be > 0");
-    const ZipfianSampler sampler(params.blocks_per_thread, params.skew);
-
-    MultiThreadTrace trace;
-    trace.streams.resize(params.threads);
+ZipfStreamEmitter::ZipfStreamEmitter(
+    std::shared_ptr<const ZipfianSampler> sampler,
+    const ZipfTraceParams& params, std::uint64_t seed, std::uint32_t thread_id)
+    : sampler_(std::move(sampler)),
+      rng_(seed),
+      // Per-thread rank->block permutation base so the hot blocks of
+      // different threads land at unrelated addresses.
+      base_(static_cast<std::uint64_t>(thread_id + 1) << 32),
+      write_fraction_(params.write_fraction),
+      mean_instr_(std::max<std::uint32_t>(params.mean_instr_per_access, 1)) {
+    if (!sampler_) throw std::invalid_argument("zipf emitter needs a sampler");
     // Per-thread RNG substreams via the xoshiro jump function: thread t gets
     // the base stream advanced by t * 2^128 steps, so streams are provably
     // non-overlapping (the ad-hoc seed ^ constant*(t+1) mixing this replaces
     // only made collisions unlikely, not impossible).
-    util::Xoshiro256 substream{seed};
-    for (std::uint32_t t = 0; t < params.threads; ++t) {
-        util::Xoshiro256 rng = substream;
-        substream.jump();
-        // Per-thread rank->block permutation base so the hot blocks of
-        // different threads land at unrelated addresses.
-        const std::uint64_t base =
-            static_cast<std::uint64_t>(t + 1) << 32;
+    for (std::uint32_t t = 0; t < thread_id; ++t) rng_.jump();
+}
 
+std::size_t ZipfStreamEmitter::emit(std::span<Access> out) {
+    for (Access& slot : out) {
+        const std::uint64_t rank = sampler_->sample(rng_);
+        const bool is_write = rng_.bernoulli(write_fraction_);
+        const auto instr = static_cast<std::uint32_t>(
+            1 + rng_.below(2 * mean_instr_ - 1));
+        slot = Access{base_ + rank, is_write, instr};
+    }
+    return out.size();
+}
+
+MultiThreadTrace generate_zipf_trace(const ZipfTraceParams& params,
+                                     std::size_t accesses_per_thread,
+                                     std::uint64_t seed) {
+    if (params.threads == 0) throw std::invalid_argument("threads must be > 0");
+    const auto sampler = std::make_shared<const ZipfianSampler>(
+        params.blocks_per_thread, params.skew);
+
+    MultiThreadTrace trace;
+    trace.streams.resize(params.threads);
+    for (std::uint32_t t = 0; t < params.threads; ++t) {
+        ZipfStreamEmitter emitter(sampler, params, seed, t);
         Stream& stream = trace.streams[t];
-        stream.reserve(accesses_per_thread);
-        for (std::size_t i = 0; i < accesses_per_thread; ++i) {
-            const std::uint64_t rank = sampler.sample(rng);
-            const bool is_write = rng.bernoulli(params.write_fraction);
-            const auto instr = static_cast<std::uint32_t>(
-                1 + rng.below(2 * std::max<std::uint32_t>(
-                                      params.mean_instr_per_access, 1) -
-                              1));
-            stream.push_back(Access{base + rank, is_write, instr});
-        }
+        stream.resize(accesses_per_thread);
+        emitter.emit(stream);
     }
     return trace;
 }

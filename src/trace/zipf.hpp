@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "trace/trace.hpp"
@@ -43,6 +45,29 @@ struct ZipfTraceParams {
     double skew = 0.99;
     double write_fraction = 1.0 / 3.0;
     std::uint32_t mean_instr_per_access = 3;
+};
+
+/// Incremental single-stream emitter for the Zipf generator: one RNG plus a
+/// shared immutable sampler, so any number of streams can be produced
+/// chunk-wise in O(1) state each. Thread t's emitter yields exactly the
+/// stream generate_zipf_trace would put in streams[t].
+class ZipfStreamEmitter {
+public:
+    /// `sampler` must have been built with the same params; shared across
+    /// emitters (it is immutable and thread-safe to sample concurrently).
+    ZipfStreamEmitter(std::shared_ptr<const ZipfianSampler> sampler,
+                      const ZipfTraceParams& params, std::uint64_t seed,
+                      std::uint32_t thread_id);
+
+    /// Fills `out` completely (the stream is unbounded); returns out.size().
+    std::size_t emit(std::span<Access> out);
+
+private:
+    std::shared_ptr<const ZipfianSampler> sampler_;
+    util::Xoshiro256 rng_;
+    std::uint64_t base_;
+    double write_fraction_;
+    std::uint32_t mean_instr_;
 };
 
 /// Generates per-thread streams with Zipf-distributed block popularity over

@@ -242,12 +242,66 @@ TEST(Executor, ReturnsValuesLikeAtomically) {
 
 TEST(Workloads, RegistryListsBuiltins) {
     const auto names = exec::workload_names();
-    ASSERT_EQ(names.size(), 3u);
+    ASSERT_EQ(names.size(), 4u);
     EXPECT_EQ(names[0], "counters");
     EXPECT_EQ(names[1], "zipf");
     EXPECT_EQ(names[2], "bank");
+    EXPECT_EQ(names[3], "replay");
     EXPECT_THROW((void)exec::make_workload(cfg("workload=nonesuch")),
                  std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Replay workload (trace source -> real threads)
+// ---------------------------------------------------------------------------
+
+TEST(ReplayWorkload, OneThreadIsBitForBitDeterministic) {
+    const char* spec =
+        "backend=atomic workload=replay source=jbb threads=1 ops=500 "
+        "tx_size=8 accesses=3000 slots=4096 entries=4096 seed=31";
+    exec::ParallelRunner a(cfg(spec));
+    exec::ParallelRunner b(cfg(spec));
+    const auto ra = a.run();
+    const auto rb = b.run();
+    EXPECT_EQ(ra.state_hash, rb.state_hash);
+    EXPECT_EQ(ra.stats.commits, rb.stats.commits);
+    EXPECT_EQ(ra.stats.commits, 500u);
+}
+
+TEST(ReplayWorkload, WrapsShortStreamsInsteadOfStarving) {
+    // 200 accesses per stream, but 500 ops x 8 accesses demand 4000: the
+    // cursor must wrap and the run still commit every transaction.
+    exec::ParallelRunner runner(cfg(
+        "backend=atomic workload=replay source=jbb threads=2 ops=500 "
+        "tx_size=8 accesses=200 slots=1024 entries=2048 contention=yield "
+        "seed=33"));
+    const auto r = runner.run();
+    EXPECT_EQ(r.stats.commits, 2u * 500u);
+}
+
+TEST(ReplayWorkload, AllBackendsReplayUnderContention) {
+    for (const char* backend : {"tl2", "table", "atomic"}) {
+        config::Config c = cfg(
+            "workload=replay source=zipf threads=4 ops=300 tx_size=8 "
+            "accesses=10000 slots=512 entries=1024 contention=yield seed=37");
+        c.set("backend", backend);
+        exec::ParallelRunner runner(c);
+        const auto r = runner.run();
+        EXPECT_EQ(r.stats.commits, 4u * 300u) << backend;
+    }
+}
+
+TEST(ReplayWorkload, RejectsBadShape) {
+    EXPECT_THROW((void)exec::make_workload(cfg("workload=replay tx_size=0")),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (void)exec::make_workload(cfg("workload=replay tx_size=5000")),
+        std::invalid_argument);
+    EXPECT_THROW((void)exec::make_workload(cfg("workload=replay slots=0")),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (void)exec::make_workload(cfg("workload=replay source=nonesuch")),
+        std::invalid_argument);
 }
 
 }  // namespace

@@ -204,6 +204,41 @@ TEST(TraceIo, RejectsMalformedInput) {
     }
 }
 
+TEST(TraceIo, RejectsZeroInstrDelta) {
+    // The documented invariant is instr_delta >= 1; a zero must be a parse
+    // error with the line number, not a silent coercion to 1.
+    std::istringstream in("T 1\n0 R 1a 0\n");
+    try {
+        (void)read_text(in);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("instr_delta"), std::string::npos) << what;
+    }
+}
+
+TEST(TraceIo, RejectsTrailingTokens) {
+    {
+        std::istringstream in("T 1\n0 R 1a 2 junk\n");
+        try {
+            (void)read_text(in);
+            FAIL() << "expected std::runtime_error";
+        } catch (const std::runtime_error& e) {
+            EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+                << e.what();
+        }
+    }
+    {
+        std::istringstream in("T 1 junk\n0 R 1a\n");  // trailing after header
+        EXPECT_THROW((void)read_text(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("T 1\n0 R 1a x\n");  // non-numeric delta
+        EXPECT_THROW((void)read_text(in), std::runtime_error);
+    }
+}
+
 TEST(Spec2000, TwelveDistinctProfiles) {
     const auto& profiles = spec2000_profiles();
     ASSERT_EQ(profiles.size(), 12u);

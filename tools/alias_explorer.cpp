@@ -14,9 +14,12 @@
 //     --model              also print the analytical prediction
 //
 // All options map straight onto sim::trace_alias_config_from, so this tool
-// accepts exactly the keys the simulators and benches accept. The trace
-// must be true-conflict-free (trace_tool filter); the tool warns otherwise,
-// since true conflicts would be misattributed to aliasing.
+// accepts exactly the keys the simulators and benches accept. The trace —
+// text or binary, auto-detected — is consumed chunk-wise through the
+// streaming source layer, so it may be far larger than RAM; samples are
+// drawn sequentially through the streams (see sim/trace_alias.hpp). The
+// trace must be true-conflict-free (trace_tool filter); the tool warns
+// otherwise, since true conflicts would be misattributed to aliasing.
 #include <iostream>
 #include <string>
 
@@ -25,7 +28,7 @@
 #include "sim/trace_alias.hpp"
 #include "trace/analysis.hpp"
 #include "trace/conflict_filter.hpp"
-#include "trace/trace_io.hpp"
+#include "trace/source.hpp"
 
 int main(int argc, char** argv) {
     const auto cli = tmb::config::Config::from_args(argc, argv);
@@ -50,13 +53,14 @@ int main(int argc, char** argv) {
             return 2;
         }
 
-        const auto trace = tmb::trace::load_text_file(cli.positional().front());
-        if (tmb::trace::has_true_conflicts(trace)) {
+        const auto source =
+            tmb::trace::open_trace_file(cli.positional().front());
+        if (tmb::trace::has_true_conflicts(*source)) {
             std::cerr << "WARNING: trace has true conflicts; results will "
                          "overstate aliasing (run trace_tool filter).\n";
         }
 
-        const auto result = run_trace_alias(config, trace);
+        const auto result = run_trace_alias(config, *source);
         std::cout << "config: C=" << config.concurrency
                   << " W=" << config.write_footprint
                   << " N=" << config.table_entries
@@ -74,7 +78,8 @@ int main(int argc, char** argv) {
 
         if (with_model) {
             // Estimate alpha from the first stream for the model overlay.
-            const auto profile = tmb::trace::analyze_stream(trace.streams[0]);
+            const auto reader = source->stream(0);
+            const auto profile = tmb::trace::analyze(*reader);
             const tmb::core::ModelParams p{.alpha = profile.alpha,
                                            .table_entries = config.table_entries};
             const double predicted =
