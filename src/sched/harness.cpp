@@ -1,0 +1,725 @@
+#include "sched/harness.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <exception>
+#include <semaphore>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "stm/sched_hook.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace tmb::sched {
+
+namespace {
+
+using stm::detail::YieldPoint;
+
+/// Thrown into a virtual thread at its next yield point when the run is
+/// cancelled (step budget exhausted). Never escapes run_schedule.
+struct HarnessCancelled {};
+
+/// The shared words all runs execute over: one 64-byte block per slot in a
+/// process-static 64-byte-aligned arena. A static arena means every run in
+/// a process sees identical addresses (exact in-process replay even for
+/// TL2's address-hashed locks), and — because the harness pins
+/// hash=shift-mask — two slots alias in the ownership table iff their
+/// *distance* is a multiple of the entry count, which no ASLR shift can
+/// change. Safe to share across sequential runs: the harness zeroes it per
+/// run and never runs two schedules concurrently in one process (runs are
+/// serialized by design — the turnstile admits one OS thread at a time).
+std::uint64_t* arena() {
+    alignas(64) static std::uint64_t words[kMaxSlots * 8];
+    return words;
+}
+
+[[nodiscard]] std::uint64_t* slot_addr(std::uint32_t slot) {
+    return arena() + std::size_t{slot} * 8;  // 64-byte stride: 1 block/slot
+}
+
+/// Per-transaction seed: the accumulator's starting point, and the basis of
+/// the commutative mode's write deltas.
+[[nodiscard]] std::uint64_t tx_seed(const HarnessConfig& cfg, std::uint32_t t,
+                                    std::uint32_t k) {
+    return util::mix64(cfg.workload_seed ^
+                       (std::uint64_t{t} * 0x9e3779b97f4a7c15ULL + k + 1));
+}
+
+[[nodiscard]] std::uint64_t op_delta(const HarnessConfig& cfg, std::uint32_t t,
+                                     std::uint32_t k, std::size_t op_index) {
+    return (util::mix64(tx_seed(cfg, t, k) ^ (op_index + 1)) & 0xff) + 1;
+}
+
+/// Semaphore turnstile: exactly one party — the scheduler or one worker —
+/// holds the baton. Semaphore handoff gives the happens-before edges that
+/// make the workers' plain accesses to the shared arena and commit log
+/// race-free (and TSan-clean) despite no further locking.
+class Turnstile {
+public:
+    explicit Turnstile(std::uint32_t n) : workers_(n) {}
+
+    // --- worker side -----------------------------------------------------
+
+    /// Yields from a worker's hook: parks the worker and wakes the
+    /// scheduler. Throws HarnessCancelled when the run was cancelled while
+    /// parked.
+    void worker_yield(std::uint32_t id, YieldPoint point) {
+        workers_[id].last_point = point;
+        scheduler_go_.release();
+        workers_[id].go.acquire();
+        if (cancel_.load(std::memory_order_relaxed)) throw HarnessCancelled{};
+    }
+
+    /// Marks a worker done (normally or with `error`) and wakes the
+    /// scheduler one last time.
+    void worker_finish(std::uint32_t id, std::exception_ptr error) {
+        workers_[id].error = std::move(error);
+        workers_[id].finished = true;
+        scheduler_go_.release();
+    }
+
+    // --- scheduler side --------------------------------------------------
+
+    /// Waits until all n workers have reached their first yield point (each
+    /// release is one worker parking — or finishing instantly).
+    void await_parked(std::uint32_t n) {
+        for (std::uint32_t i = 0; i < n; ++i) scheduler_go_.acquire();
+    }
+
+    /// Runs worker `id` for one step: from its parked yield point to its
+    /// next one (or to completion).
+    void grant(std::uint32_t id) {
+        workers_[id].go.release();
+        scheduler_go_.acquire();
+    }
+
+    void cancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+    [[nodiscard]] bool finished(std::uint32_t id) const {
+        return workers_[id].finished;
+    }
+    [[nodiscard]] YieldPoint last_point(std::uint32_t id) const {
+        return workers_[id].last_point;
+    }
+    [[nodiscard]] std::exception_ptr error(std::uint32_t id) const {
+        return workers_[id].error;
+    }
+
+private:
+    struct Worker {
+        std::binary_semaphore go{0};
+        YieldPoint last_point = YieldPoint::kTxBegin;
+        bool finished = false;
+        std::exception_ptr error;
+    };
+
+    std::vector<Worker> workers_;
+    /// Counting, not binary: during startup all N workers release once
+    /// each (racing freely to their first yield point) before await_parked
+    /// drains them — a binary semaphore's max would be exceeded (UB).
+    std::counting_semaphore<64> scheduler_go_{0};
+    std::atomic<bool> cancel_{false};
+};
+
+/// The per-worker SchedulerHook: forwards every runtime yield point into
+/// the turnstile.
+class WorkerHook final : public stm::detail::SchedulerHook {
+public:
+    WorkerHook(Turnstile& ts, std::uint32_t id) : ts_(ts), id_(id) {}
+
+    void yield(YieldPoint point) override { ts_.worker_yield(id_, point); }
+
+private:
+    Turnstile& ts_;
+    std::uint32_t id_;
+};
+
+void validate(const HarnessConfig& cfg, const stm::Stm& tm) {
+    if (cfg.threads == 0 || cfg.threads > kMaxScheduleThreads) {
+        throw std::invalid_argument("sched harness: threads must be in [1, " +
+                                    std::to_string(kMaxScheduleThreads) + "]");
+    }
+    if (cfg.threads > tm.max_live_executors()) {
+        throw std::invalid_argument(
+            "sched harness: threads=" + std::to_string(cfg.threads) +
+            " exceeds the backend's capacity of " +
+            std::to_string(tm.max_live_executors()));
+    }
+    if (cfg.slots == 0 || cfg.slots > kMaxSlots) {
+        throw std::invalid_argument("sched harness: slots must be in [1, " +
+                                    std::to_string(kMaxSlots) + "]");
+    }
+    if (cfg.txs_per_thread == 0 || cfg.ops_per_tx == 0) {
+        throw std::invalid_argument(
+            "sched harness: txs and ops must be >= 1");
+    }
+}
+
+[[nodiscard]] std::string format_double(double v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Config plumbing
+// ---------------------------------------------------------------------------
+
+HarnessConfig harness_config_from(const config::Config& cfg) {
+    HarnessConfig out;
+    out.backend = cfg.get("backend", out.backend);
+    out.table = cfg.get("table", out.table);
+    out.entries = cfg.get_u64("entries", out.entries);
+    out.commit_time_locks =
+        cfg.get_bool("commit_time_locks", out.commit_time_locks);
+    out.threads = cfg.get_u32("threads", out.threads);
+    out.txs_per_thread = cfg.get_u32("txs", out.txs_per_thread);
+    out.ops_per_tx = cfg.get_u32("ops", out.ops_per_tx);
+    out.slots = cfg.get_u32("slots", out.slots);
+    out.write_fraction = cfg.get_double("wfrac", out.write_fraction);
+    out.read_only_fraction = cfg.get_double("rofrac", out.read_only_fraction);
+    const std::string mode = cfg.get("mode", out.commutative ? "incr" : "acc");
+    if (mode == "incr") {
+        out.commutative = true;
+    } else if (mode == "acc") {
+        out.commutative = false;
+    } else {
+        throw std::invalid_argument("sched harness: unknown mode '" + mode +
+                                    "' (known: acc, incr)");
+    }
+    out.workload_seed = cfg.get_u64("wseed", out.workload_seed);
+    out.step_limit = cfg.get_u64("step_limit", out.step_limit);
+    return out;
+}
+
+config::Config stm_spec(const HarnessConfig& cfg) {
+    config::Config out;
+    out.set("backend", cfg.backend);
+    if (cfg.backend == "table") out.set("table", cfg.table);
+    out.set("entries", std::to_string(cfg.entries));
+    out.set("block_bytes", "64");
+    // Determinism pins: shift-mask makes ownership-table aliasing a pure
+    // function of slot distances (ASLR-proof), `none` removes sleeps and
+    // jitter from the retry loop.
+    out.set("hash", "shift-mask");
+    out.set("contention", "none");
+    if (cfg.commit_time_locks) out.set("commit_time_locks", "1");
+    return out;
+}
+
+std::string repro_flags(const HarnessConfig& cfg) {
+    std::string out = "--backend=" + cfg.backend;
+    if (cfg.backend == "table") out += " --table=" + cfg.table;
+    if (cfg.commit_time_locks) out += " --commit_time_locks=1";
+    out += " --entries=" + std::to_string(cfg.entries);
+    out += " --threads=" + std::to_string(cfg.threads);
+    out += " --txs=" + std::to_string(cfg.txs_per_thread);
+    out += " --ops=" + std::to_string(cfg.ops_per_tx);
+    out += " --slots=" + std::to_string(cfg.slots);
+    out += " --wfrac=" + format_double(cfg.write_fraction);
+    out += " --rofrac=" + format_double(cfg.read_only_fraction);
+    out += std::string(" --mode=") + (cfg.commutative ? "incr" : "acc");
+    out += " --wseed=" + std::to_string(cfg.workload_seed);
+    return out;
+}
+
+std::string repro_line(const HarnessConfig& cfg, const std::string& schedule) {
+    return "sched_explorer " + repro_flags(cfg) + " --schedule=" + schedule;
+}
+
+// ---------------------------------------------------------------------------
+// Workload generation
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<TxProgram>> generate_programs(
+    const HarnessConfig& cfg) {
+    util::Xoshiro256 gen(util::mix64(cfg.workload_seed ^ 0x5eedfeedULL));
+    std::vector<std::vector<TxProgram>> programs(cfg.threads);
+    for (std::uint32_t t = 0; t < cfg.threads; ++t) {
+        programs[t].resize(cfg.txs_per_thread);
+        for (std::uint32_t k = 0; k < cfg.txs_per_thread; ++k) {
+            TxProgram& prog = programs[t][k];
+            const bool read_only = gen.bernoulli(cfg.read_only_fraction);
+            bool has_write = false;
+            for (std::uint32_t i = 0; i < cfg.ops_per_tx; ++i) {
+                TxOp op;
+                op.slot = static_cast<std::uint32_t>(gen.below(cfg.slots));
+                op.is_write = !read_only && gen.bernoulli(cfg.write_fraction);
+                has_write |= op.is_write;
+                prog.ops.push_back(op);
+            }
+            // A "writer" transaction with zero sampled writes would dilute
+            // both oracles; promote its last access.
+            if (!read_only && !has_write) prog.ops.back().is_write = true;
+        }
+    }
+    return programs;
+}
+
+// ---------------------------------------------------------------------------
+// The scheduled run
+// ---------------------------------------------------------------------------
+
+RunResult run_schedule(const HarnessConfig& cfg,
+                       const std::vector<std::vector<TxProgram>>& programs,
+                       Schedule& schedule) {
+    if (programs.size() != cfg.threads) {
+        throw std::invalid_argument(
+            "sched harness: programs/threads mismatch");
+    }
+    const auto tm = stm::Stm::create(stm_spec(cfg));
+    validate(cfg, *tm);
+
+    std::fill(arena(), arena() + std::size_t{kMaxSlots} * 8, 0);
+
+    // Executors are created sequentially here so virtual thread t always
+    // binds table TxId t — part of the determinism contract.
+    std::vector<std::unique_ptr<stm::Executor>> executors;
+    executors.reserve(cfg.threads);
+    for (std::uint32_t t = 0; t < cfg.threads; ++t) {
+        executors.push_back(tm->make_executor());
+    }
+
+    RunResult result;
+    Turnstile ts(cfg.threads);
+
+    std::vector<std::thread> workers;
+    workers.reserve(cfg.threads);
+    for (std::uint32_t t = 0; t < cfg.threads; ++t) {
+        workers.emplace_back([&, t] {
+            WorkerHook hook(ts, t);
+            stm::detail::SchedulerHook* previous =
+                stm::detail::install_scheduler_hook(&hook);
+            std::exception_ptr error;
+            try {
+                stm::Executor& exec = *executors[t];
+                for (std::uint32_t k = 0; k < cfg.txs_per_thread; ++k) {
+                    const TxProgram& prog = programs[t][k];
+                    CommitRecord rec;
+                    // The body re-executes per attempt; only the successful
+                    // attempt's records survive (cleared on entry).
+                    exec.atomically([&](stm::Transaction& tx) {
+                        rec.reads.clear();
+                        rec.writes.clear();
+                        rec.begin_commits = result.commit_log.size();
+                        std::uint64_t acc = tx_seed(cfg, t, k);
+                        for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+                            const TxOp& op = prog.ops[i];
+                            const std::uint64_t v = tx.load(slot_addr(op.slot));
+                            rec.reads.push_back({op.slot, v});
+                            acc = util::mix64(acc ^ v);
+                            if (op.is_write) {
+                                const std::uint64_t nv =
+                                    cfg.commutative
+                                        ? v + op_delta(cfg, t, k, i)
+                                        : util::mix64(acc);
+                                tx.store(slot_addr(op.slot), nv);
+                                rec.writes.push_back({op.slot, nv});
+                            }
+                        }
+                    });
+                    rec.thread = t;
+                    rec.tx_index = k;
+                    // Commit-log position == commit order: between the
+                    // backend's commit and this push no yield point runs,
+                    // so no other virtual thread can slip in between.
+                    result.commit_log.push_back(std::move(rec));
+                }
+            } catch (const HarnessCancelled&) {
+                // Step budget exhausted: unwind quietly.
+            } catch (...) {
+                error = std::current_exception();
+            }
+            stm::detail::install_scheduler_hook(previous);
+            ts.worker_finish(t, std::move(error));
+        });
+    }
+
+    // Workers race freely only up to their first yield point (which every
+    // one reaches before touching shared state); from here on the turnstile
+    // admits exactly one at a time.
+    ts.await_parked(cfg.threads);
+
+    std::uint64_t runnable = 0;
+    for (std::uint32_t t = 0; t < cfg.threads; ++t) {
+        if (!ts.finished(t)) runnable |= std::uint64_t{1} << t;
+    }
+
+    while (runnable != 0) {
+        const std::uint32_t pick = schedule.pick(runnable, result.steps);
+        if (pick >= 64 || ((runnable >> pick) & 1) == 0) {
+            ts.cancel();
+            for (std::uint64_t m = runnable; m != 0; m &= m - 1) {
+                ts.grant(static_cast<std::uint32_t>(std::countr_zero(m)));
+            }
+            for (auto& w : workers) w.join();
+            throw std::logic_error(
+                "sched harness: schedule picked a non-runnable thread " +
+                std::to_string(pick));
+        }
+        result.schedule.push_back(thread_to_char(pick));
+        const std::size_t commits_before = result.commit_log.size();
+        ts.grant(pick);
+        ++result.steps;
+
+        if (ts.finished(pick)) {
+            runnable &= ~(std::uint64_t{1} << pick);
+            schedule.observe(pick, Event::kThreadDone);
+        } else if (ts.last_point(pick) == YieldPoint::kRetry) {
+            schedule.observe(pick, Event::kAbort);
+        }
+        if (result.commit_log.size() > commits_before) {
+            schedule.observe(pick, Event::kCommit);
+        }
+
+        if (result.steps >= cfg.step_limit && runnable != 0) {
+            result.cancelled = true;
+            ts.cancel();
+            for (std::uint64_t m = runnable; m != 0; m &= m - 1) {
+                ts.grant(static_cast<std::uint32_t>(std::countr_zero(m)));
+            }
+            break;
+        }
+    }
+
+    for (auto& w : workers) w.join();
+    for (std::uint32_t t = 0; t < cfg.threads; ++t) {
+        if (ts.error(t)) std::rethrow_exception(ts.error(t));
+    }
+
+    result.final_state.resize(cfg.slots);
+    std::uint64_t h = 0x5eedc0de ^ cfg.slots;
+    for (std::uint32_t s = 0; s < cfg.slots; ++s) {
+        result.final_state[s] = *slot_addr(s);
+        h = util::mix64(h ^ (result.final_state[s] +
+                             s * 0x9e3779b97f4a7c15ULL));
+    }
+    result.state_hash = h;
+
+    result.stats = tm->stats();  // conflict classification (instance block)
+    for (const auto& exec : executors) {
+        result.stats.merge(exec->stats());  // commits/aborts (shards)
+    }
+
+    if (!result.cancelled) {
+        if (const std::uint64_t held = tm->occupied_metadata_entries()) {
+            throw std::runtime_error(
+                "sched harness: ownership table not quiescent after run: " +
+                std::to_string(held) + " entries still held");
+        }
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// Serializability oracle
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> check_serializable(
+    const HarnessConfig& cfg,
+    const std::vector<std::vector<TxProgram>>& programs,
+    const RunResult& run) {
+    const auto describe = [&](std::uint32_t t, std::uint32_t k) {
+        return "thread " + std::to_string(t) + " tx " + std::to_string(k);
+    };
+    if (run.cancelled) {
+        return "run cancelled after " + std::to_string(run.steps) +
+               " steps (step_limit " + std::to_string(cfg.step_limit) +
+               " exhausted — livelocked schedule or config mismatch)";
+    }
+    const std::uint64_t expected =
+        std::uint64_t{cfg.threads} * cfg.txs_per_thread;
+    if (run.commit_log.size() != expected) {
+        return "commit log holds " + std::to_string(run.commit_log.size()) +
+               " transactions, expected " + std::to_string(expected);
+    }
+
+    // Serial replay in commit order, keeping every intermediate state for
+    // the read-only window check.
+    std::vector<std::vector<std::uint64_t>> snapshots;
+    snapshots.reserve(run.commit_log.size() + 1);
+    snapshots.emplace_back(cfg.slots, 0);
+
+    std::vector<std::uint8_t> committed(cfg.threads * cfg.txs_per_thread, 0);
+
+    for (std::size_t pos = 0; pos < run.commit_log.size(); ++pos) {
+        const CommitRecord& rec = run.commit_log[pos];
+        if (rec.thread >= cfg.threads || rec.tx_index >= cfg.txs_per_thread) {
+            return "commit log names unknown " +
+                   describe(rec.thread, rec.tx_index);
+        }
+        auto& seen = committed[rec.thread * cfg.txs_per_thread + rec.tx_index];
+        if (seen) {
+            return describe(rec.thread, rec.tx_index) + " committed twice";
+        }
+        seen = 1;
+
+        const TxProgram& prog = programs[rec.thread][rec.tx_index];
+        const bool writer = !prog.read_only();
+        std::vector<std::uint64_t> state = snapshots.back();
+
+        std::uint64_t acc = tx_seed(cfg, rec.thread, rec.tx_index);
+        std::size_t ri = 0;
+        std::size_t wi = 0;
+        for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+            const TxOp& op = prog.ops[i];
+            const std::uint64_t v = state[op.slot];
+            if (ri >= rec.reads.size() || rec.reads[ri].slot != op.slot) {
+                return describe(rec.thread, rec.tx_index) +
+                       " read log does not match its program";
+            }
+            if (writer && rec.reads[ri].value != v) {
+                return describe(rec.thread, rec.tx_index) + " (commit #" +
+                       std::to_string(pos + 1) + ") read slot " +
+                       std::to_string(op.slot) + " = " +
+                       std::to_string(rec.reads[ri].value) +
+                       " but the serial replay in commit order gives " +
+                       std::to_string(v) + " — not serializable";
+            }
+            // For the replay, trust the recorded read (writers proved it
+            // equal; read-only txs are window-checked below and do not
+            // write).
+            const std::uint64_t observed = rec.reads[ri].value;
+            ++ri;
+            acc = util::mix64(acc ^ (writer ? v : observed));
+            if (op.is_write) {
+                const std::uint64_t nv =
+                    cfg.commutative
+                        ? v + op_delta(cfg, rec.thread, rec.tx_index, i)
+                        : util::mix64(acc);
+                if (wi >= rec.writes.size() || rec.writes[wi].slot != op.slot ||
+                    rec.writes[wi].value != nv) {
+                    return describe(rec.thread, rec.tx_index) +
+                           " wrote a value the serial replay does not produce";
+                }
+                ++wi;
+                state[op.slot] = nv;
+            }
+        }
+        snapshots.push_back(std::move(state));
+    }
+
+    // Read-only transactions: their snapshot must exist somewhere between
+    // the begin of their successful attempt and their commit position (TL2
+    // serializes read-only transactions at their read version, which may
+    // precede commit completion).
+    for (std::size_t pos = 0; pos < run.commit_log.size(); ++pos) {
+        const CommitRecord& rec = run.commit_log[pos];
+        if (!programs[rec.thread][rec.tx_index].read_only()) continue;
+        const std::size_t lo =
+            std::min<std::size_t>(rec.begin_commits, pos);
+        bool matched = false;
+        for (std::size_t k = lo; k <= pos && !matched; ++k) {
+            matched = std::all_of(
+                rec.reads.begin(), rec.reads.end(), [&](const SlotValue& r) {
+                    return snapshots[k][r.slot] == r.value;
+                });
+        }
+        if (!matched) {
+            return describe(rec.thread, rec.tx_index) +
+                   " (read-only, commit #" + std::to_string(pos + 1) +
+                   ") observed a state that exists at no serial point in "
+                   "its begin..commit window — not serializable";
+        }
+    }
+
+    if (snapshots.back() != run.final_state) {
+        std::string diff;
+        for (std::uint32_t s = 0; s < cfg.slots; ++s) {
+            if (snapshots.back()[s] != run.final_state[s]) {
+                diff += " slot " + std::to_string(s) + ": serial " +
+                        std::to_string(snapshots.back()[s]) + " vs actual " +
+                        std::to_string(run.final_state[s]) + ";";
+            }
+        }
+        return "final state diverges from the serial replay in commit "
+               "order:" +
+               diff;
+    }
+    return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Exploration / differential / minimization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] Violation make_violation(const HarnessConfig& cfg,
+                                       const RunResult& run,
+                                       const std::string& error) {
+    Violation v;
+    v.schedule = run.schedule;
+    v.repro = repro_line(cfg, run.schedule);
+    v.message = error + "\n  repro: " + v.repro;
+    return v;
+}
+
+[[nodiscard]] std::uint64_t run_seed(std::uint64_t base, std::uint64_t n) {
+    return util::mix64(base + n * 0x9e3779b97f4a7c15ULL + 1);
+}
+
+}  // namespace
+
+ExploreResult explore(const HarnessConfig& cfg, const config::Config& sched_cfg,
+                      std::uint64_t count, std::uint64_t base_seed) {
+    const auto programs = generate_programs(cfg);
+    ExploreResult out;
+    for (std::uint64_t n = 0; n < count; ++n) {
+        const auto schedule = make_schedule(sched_cfg, run_seed(base_seed, n));
+        const RunResult run = run_schedule(cfg, programs, *schedule);
+        ++out.runs;
+        out.stats.merge(run.stats);
+        if (const auto error = check_serializable(cfg, programs, run)) {
+            out.violations.push_back(make_violation(cfg, run, *error));
+        }
+    }
+    return out;
+}
+
+std::string BackendPair::label() const {
+    std::string out = backend;
+    if (!table.empty()) out += "/" + table;
+    if (commit_time_locks) out += "/lazy";
+    return out;
+}
+
+std::vector<BackendPair> default_backend_pairs() {
+    return {
+        {"tl2", "", false},
+        {"table", "tagless", false},
+        {"table", "tagged", false},
+        {"table", "tagless", true},
+        {"table", "tagged", true},
+        {"atomic", "", false},
+    };
+}
+
+std::optional<std::string> run_differential(
+    const HarnessConfig& cfg,
+    const std::vector<std::vector<TxProgram>>& programs,
+    const std::vector<BackendPair>& pairs, const config::Config& sched_cfg,
+    std::uint64_t seed, std::vector<RunResult>* runs_out) {
+    if (!cfg.commutative) {
+        throw std::invalid_argument(
+            "differential oracle requires the commutative workload "
+            "(mode=incr): backends legitimately reorder commits, and only "
+            "commutative writes make the final state order-independent");
+    }
+    if (pairs.empty()) {
+        throw std::invalid_argument("differential oracle: no backend pairs");
+    }
+
+    const auto pair_cfg = [&](const BackendPair& pair) {
+        HarnessConfig pc = cfg;
+        pc.backend = pair.backend;
+        if (!pair.table.empty()) pc.table = pair.table;
+        pc.commit_time_locks = pair.commit_time_locks;
+        return pc;
+    };
+
+    std::vector<RunResult> runs;
+    runs.reserve(pairs.size());
+    for (const BackendPair& pair : pairs) {
+        const HarnessConfig pc = pair_cfg(pair);
+        const auto schedule = make_schedule(sched_cfg, seed);
+        RunResult run = run_schedule(pc, programs, *schedule);
+        if (const auto error = check_serializable(pc, programs, run)) {
+            const auto v = make_violation(pc, run, *error);
+            if (runs_out) *runs_out = std::move(runs);
+            return pair.label() + ": " + v.message;
+        }
+        runs.push_back(std::move(run));
+    }
+
+    std::optional<std::string> verdict;
+    for (std::size_t i = 1; i < pairs.size() && !verdict; ++i) {
+        if (runs[i].final_state != runs[0].final_state) {
+            verdict = "final state of " + pairs[i].label() +
+                      " differs from " + pairs[0].label() +
+                      " on the identical workload and schedule seed " +
+                      std::to_string(seed) + "\n  repro (" +
+                      pairs[i].label() + "): " +
+                      repro_line(pair_cfg(pairs[i]), runs[i].schedule);
+        }
+    }
+
+    // The paper's direction: tagged organizations never report a false
+    // conflict; tagless ones report at least as many as tagged (trivially,
+    // since tagged must be zero — asserting both catches a broken
+    // classifier on either side).
+    for (std::size_t i = 0; i < pairs.size() && !verdict; ++i) {
+        if (pairs[i].table == "tagged" &&
+            runs[i].stats.false_conflicts != 0) {
+            verdict = pairs[i].label() + " reported " +
+                      std::to_string(runs[i].stats.false_conflicts) +
+                      " false conflicts; tagged tables must report none";
+        }
+    }
+    if (!verdict) {
+        std::uint64_t tagged_false = 0;
+        std::uint64_t tagless_false = 0;
+        bool have_tagged = false;
+        bool have_tagless = false;
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            if (pairs[i].table == "tagged") {
+                have_tagged = true;
+                tagged_false =
+                    std::max(tagged_false, runs[i].stats.false_conflicts);
+            }
+            if (pairs[i].table == "tagless") {
+                have_tagless = true;
+                tagless_false =
+                    std::max(tagless_false, runs[i].stats.false_conflicts);
+            }
+        }
+        if (have_tagged && have_tagless && tagless_false < tagged_false) {
+            verdict = "tagless reported fewer false conflicts (" +
+                      std::to_string(tagless_false) + ") than tagged (" +
+                      std::to_string(tagged_false) +
+                      ") — classification direction inverted";
+        }
+    }
+
+    if (runs_out) *runs_out = std::move(runs);
+    return verdict;
+}
+
+std::string minimize_schedule(
+    const HarnessConfig& cfg,
+    const std::vector<std::vector<TxProgram>>& programs,
+    std::string schedule) {
+    const auto fails = [&](const std::string& picks) {
+        config::Config sc;
+        sc.set("sched", "replay");
+        sc.set("schedule", picks);
+        const auto sch = make_schedule(sc, 0);
+        const RunResult run = run_schedule(cfg, programs, *sch);
+        return check_serializable(cfg, programs, run).has_value();
+    };
+    if (schedule.empty() || !fails(schedule)) return schedule;
+
+    std::size_t chunk = std::max<std::size_t>(schedule.size() / 2, 1);
+    for (;;) {
+        for (std::size_t i = 0; i < schedule.size();) {
+            std::string candidate = schedule;
+            candidate.erase(i, chunk);
+            if (candidate.size() < schedule.size() && fails(candidate)) {
+                schedule = std::move(candidate);  // keep shrinking at i
+            } else {
+                i += chunk;
+            }
+        }
+        if (chunk == 1) break;
+        chunk /= 2;
+    }
+    return schedule;
+}
+
+}  // namespace tmb::sched

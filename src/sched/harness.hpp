@@ -1,0 +1,217 @@
+// harness.hpp — deterministic schedule exploration with a serializability
+// oracle.
+//
+// The paper's backends claim serializability; PR 2's engine could only
+// check coarse invariants under whatever interleavings the OS happened to
+// produce. This harness makes interleavings a *first-class input*: N
+// virtual threads run real transactions over a real registry-selected STM
+// backend, but control transfers only at the runtime's yield points
+// (stm/sched_hook.hpp) and only to the thread a Schedule object names. One
+// OS thread executes at a time (a semaphore turnstile), so a run is a pure
+// function of (workload config, programs, pick sequence) — every explored
+// run collapses to a compact base-36 string that replays bit-for-bit, and
+// every failure prints a copy-pasteable `sched_explorer` repro line.
+//
+// Two oracles sit on top:
+//
+//   * check_serializable — records each committed transaction's read/write
+//     sets and the commit order, then replays the transaction *logic*
+//     serially in commit order against a fresh array: every writer's reads
+//     must match the serial state at its commit position, every read-only
+//     transaction's reads must match some serial state between its begin
+//     and its commit, and the final memory must be bit-identical. Commit
+//     (-completion) order is a valid serialization order for all four
+//     backends because commit executes as one scheduler step (see
+//     sched_hook.hpp).
+//
+//   * run_differential — replays one schedule seed across every
+//     backend×table pair and asserts identical final state (the workload
+//     must be commutative: conflict-induced retries legitimately reorder
+//     commits between backends) plus the paper's conflict-count direction:
+//     tagged tables report zero false conflicts, tagless at least as many.
+//
+// Determinism notes: the shared words live in a process-static 64-byte-
+// aligned arena and the harness pins hash=shift-mask, so which slots alias
+// in the ownership table depends only on slot *distances* — recorded
+// schedules replay identically across processes and ASLR. Contention
+// management is pinned to `none` (no sleeps, no jitter).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/config.hpp"
+#include "sched/schedule.hpp"
+#include "stm/stm.hpp"
+
+namespace tmb::sched {
+
+/// Largest shared-array size (one 64-byte block per slot in the arena).
+inline constexpr std::uint32_t kMaxSlots = 64;
+
+/// One exploration subject: workload shape + STM selection. Parsed from the
+/// same `--key=value` vocabulary as every other driver.
+struct HarnessConfig {
+    // --- STM selection (forwarded to stm::Stm::create) ---
+    std::string backend = "table";  ///< tl2 | table | atomic
+    std::string table = "tagless";  ///< organization, table backend only
+    std::uint64_t entries = 16;     ///< ownership-table slots (small ⇒ aliasing)
+    bool commit_time_locks = false;
+    // --- workload shape ---
+    std::uint32_t threads = 3;         ///< virtual threads (≤ 36)
+    std::uint32_t txs_per_thread = 3;  ///< transactions each runs, in order
+    std::uint32_t ops_per_tx = 4;      ///< accesses per transaction
+    std::uint32_t slots = 6;           ///< shared words (one block each)
+    double write_fraction = 0.6;       ///< P(access is a write), writer txs
+    double read_only_fraction = 0.25;  ///< P(tx is read-only)
+    /// Commutative mode ("incr"): every write is `read + constant`, so the
+    /// final state is independent of commit order — required by the
+    /// differential oracle. Default ("acc") writes a hash of everything the
+    /// transaction has read, making the final state maximally sensitive to
+    /// serialization errors — preferred for the serializability oracle.
+    bool commutative = false;
+    std::uint64_t workload_seed = 1;
+    /// Scheduler steps before the run is cancelled (livelocked replays
+    /// under a mismatched config would otherwise never terminate).
+    std::uint64_t step_limit = 1u << 20;
+};
+
+/// Parses harness keys: backend, table, entries, commit_time_locks,
+/// threads, txs, ops, slots, wfrac, rofrac, mode (acc|incr), wseed,
+/// step_limit.
+[[nodiscard]] HarnessConfig harness_config_from(const config::Config& cfg);
+
+/// The Config handed to stm::Stm::create for this harness config —
+/// includes the determinism pins (hash=shift-mask, contention=none).
+[[nodiscard]] config::Config stm_spec(const HarnessConfig& cfg);
+
+/// `--key=value` flags reproducing `cfg` on the sched_explorer command
+/// line (everything except the schedule string).
+[[nodiscard]] std::string repro_flags(const HarnessConfig& cfg);
+
+/// Full repro command for one explored run.
+[[nodiscard]] std::string repro_line(const HarnessConfig& cfg,
+                                     const std::string& schedule);
+
+/// One transactional access of a generated program.
+struct TxOp {
+    std::uint32_t slot = 0;
+    bool is_write = false;
+};
+
+/// One transaction's access list (executed atomically, retried on
+/// conflict). A program with no writes is a read-only transaction.
+struct TxProgram {
+    std::vector<TxOp> ops;
+
+    [[nodiscard]] bool read_only() const noexcept {
+        for (const TxOp& op : ops) {
+            if (op.is_write) return false;
+        }
+        return true;
+    }
+};
+
+/// programs[t][k] = thread t's k-th transaction, generated deterministically
+/// from cfg.workload_seed.
+[[nodiscard]] std::vector<std::vector<TxProgram>> generate_programs(
+    const HarnessConfig& cfg);
+
+/// One observed transactional access (slot index + value read or written).
+struct SlotValue {
+    std::uint32_t slot = 0;
+    std::uint64_t value = 0;
+};
+
+/// What one committed transaction did, in commit order.
+struct CommitRecord {
+    std::uint32_t thread = 0;
+    std::uint32_t tx_index = 0;
+    /// Commits completed when the *successful* attempt began — the lower
+    /// bound of the window a read-only transaction may serialize into.
+    std::uint64_t begin_commits = 0;
+    std::vector<SlotValue> reads;
+    std::vector<SlotValue> writes;
+};
+
+/// Outcome of one scheduled run.
+struct RunResult {
+    std::string schedule;  ///< recorded picks (replayable)
+    std::uint64_t steps = 0;
+    bool cancelled = false;  ///< step_limit exhausted; state is partial
+    std::uint64_t state_hash = 0;
+    std::vector<std::uint64_t> final_state;  ///< slot values at quiescence
+    std::vector<CommitRecord> commit_log;    ///< commit order
+    stm::StmStats stats;
+};
+
+/// Runs `programs` under `schedule` over a fresh Stm built from `cfg`.
+/// Deterministic: identical inputs give identical RunResults.
+[[nodiscard]] RunResult run_schedule(
+    const HarnessConfig& cfg,
+    const std::vector<std::vector<TxProgram>>& programs, Schedule& schedule);
+
+/// The serializability oracle: nullopt when the run is equivalent to the
+/// serial execution of its commit log in commit order; otherwise a
+/// description of the first divergence. A cancelled run is reported as a
+/// violation (step_limit exhausted).
+[[nodiscard]] std::optional<std::string> check_serializable(
+    const HarnessConfig& cfg,
+    const std::vector<std::vector<TxProgram>>& programs, const RunResult& run);
+
+/// A failing schedule plus everything needed to reproduce it.
+struct Violation {
+    std::string message;   ///< oracle description + repro line
+    std::string schedule;  ///< recorded pick string
+    std::string repro;     ///< copy-pasteable sched_explorer command
+};
+
+/// Aggregate of an exploration batch.
+struct ExploreResult {
+    std::uint64_t runs = 0;
+    std::vector<Violation> violations;
+    stm::StmStats stats;  ///< merged over all runs
+};
+
+/// Explores `count` schedules built from `sched_cfg` (keys sched=, depth=,
+/// steps=) with per-run seeds derived from `base_seed`, oracle-checking
+/// every run.
+[[nodiscard]] ExploreResult explore(const HarnessConfig& cfg,
+                                    const config::Config& sched_cfg,
+                                    std::uint64_t count,
+                                    std::uint64_t base_seed);
+
+/// One backend×table combination of the differential sweep.
+struct BackendPair {
+    std::string backend;
+    std::string table;  ///< empty when the backend has no table choice
+    bool commit_time_locks = false;
+
+    [[nodiscard]] std::string label() const;
+};
+
+/// Every built-in pair: tl2, table×{tagless,tagged}×{eager,lazy}, atomic.
+[[nodiscard]] std::vector<BackendPair> default_backend_pairs();
+
+/// The differential oracle: runs one schedule seed across `pairs` (all
+/// sharing cfg's workload, which must be commutative), asserting
+/// serializability per run, identical final state across runs, and the
+/// tagged-zero / tagless≥tagged false-conflict direction. Returns nullopt
+/// on agreement. When `runs_out` is non-null it receives one RunResult per
+/// pair (in order) for inspection.
+[[nodiscard]] std::optional<std::string> run_differential(
+    const HarnessConfig& cfg,
+    const std::vector<std::vector<TxProgram>>& programs,
+    const std::vector<BackendPair>& pairs, const config::Config& sched_cfg,
+    std::uint64_t seed, std::vector<RunResult>* runs_out = nullptr);
+
+/// Greedily shrinks a failing schedule string (ddmin-style chunk removal)
+/// while check_serializable still reports a violation. Returns the input
+/// unchanged when it does not fail.
+[[nodiscard]] std::string minimize_schedule(
+    const HarnessConfig& cfg,
+    const std::vector<std::vector<TxProgram>>& programs, std::string schedule);
+
+}  // namespace tmb::sched

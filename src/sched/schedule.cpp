@@ -1,0 +1,183 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace tmb::sched {
+
+std::uint32_t nearest_runnable(std::uint64_t runnable,
+                               std::uint32_t want) noexcept {
+    want &= 63;
+    const std::uint64_t at_or_after = runnable >> want;
+    if (at_or_after != 0) {
+        return want + static_cast<std::uint32_t>(std::countr_zero(at_or_after));
+    }
+    return static_cast<std::uint32_t>(std::countr_zero(runnable));
+}
+
+char thread_to_char(std::uint32_t thread) noexcept {
+    return thread < 10 ? static_cast<char>('0' + thread)
+                       : static_cast<char>('a' + (thread - 10));
+}
+
+std::uint32_t char_to_thread(char c) {
+    if (c >= '0' && c <= '9') return static_cast<std::uint32_t>(c - '0');
+    if (c >= 'a' && c <= 'z') return static_cast<std::uint32_t>(c - 'a' + 10);
+    throw std::invalid_argument(std::string("schedule string: invalid pick '") +
+                                c + "' (want [0-9a-z])");
+}
+
+namespace {
+
+/// Deterministic baseline: thread (step mod live) in index order.
+class RoundRobinSchedule final : public Schedule {
+public:
+    std::uint32_t pick(std::uint64_t runnable, std::uint64_t step) override {
+        const auto live =
+            static_cast<std::uint32_t>(std::popcount(runnable));
+        std::uint32_t nth = static_cast<std::uint32_t>(step % live);
+        std::uint64_t mask = runnable;
+        while (nth--) mask &= mask - 1;
+        return static_cast<std::uint32_t>(std::countr_zero(mask));
+    }
+};
+
+/// Uniform over runnable threads.
+class RandomSchedule final : public Schedule {
+public:
+    explicit RandomSchedule(std::uint64_t seed) : rng_(seed) {}
+
+    std::uint32_t pick(std::uint64_t runnable, std::uint64_t) override {
+        const auto live =
+            static_cast<std::uint64_t>(std::popcount(runnable));
+        std::uint64_t nth = rng_.below(live);
+        std::uint64_t mask = runnable;
+        while (nth--) mask &= mask - 1;
+        return static_cast<std::uint32_t>(std::countr_zero(mask));
+    }
+
+private:
+    util::Xoshiro256 rng_;
+};
+
+/// PCT (probabilistic concurrency testing): random per-thread priorities,
+/// d-1 random change points; each step runs the highest-priority runnable
+/// thread. Adaptation for abort/retry STMs: an abort demotes the aborting
+/// thread below everyone (in PCT terms, an abort is an involuntary yield) —
+/// otherwise two transactions that keep aborting each other under a fixed
+/// priority order would retry forever.
+class PctSchedule final : public Schedule {
+public:
+    PctSchedule(std::uint64_t seed, std::uint32_t depth, std::uint64_t steps)
+        : rng_(seed) {
+        for (auto& p : priority_) p = 0;
+        for (std::uint32_t d = 1; d < depth; ++d) {
+            change_points_.push_back(rng_.below(std::max<std::uint64_t>(steps, 1)));
+        }
+        std::sort(change_points_.begin(), change_points_.end());
+    }
+
+    std::uint32_t pick(std::uint64_t runnable, std::uint64_t step) override {
+        while (change_index_ < change_points_.size() &&
+               step >= change_points_[change_index_]) {
+            ++change_index_;
+            demote(top_runnable(runnable));
+        }
+        return top_runnable(runnable);
+    }
+
+    void observe(std::uint32_t thread, Event event) override {
+        if (event == Event::kAbort) demote(thread);
+    }
+
+private:
+    [[nodiscard]] std::uint32_t top_runnable(std::uint64_t runnable) {
+        std::uint32_t best = static_cast<std::uint32_t>(std::countr_zero(runnable));
+        for (std::uint64_t mask = runnable; mask != 0; mask &= mask - 1) {
+            const auto t = static_cast<std::uint32_t>(std::countr_zero(mask));
+            if (priority(t) > priority(best)) best = t;
+        }
+        return best;
+    }
+
+    /// Priorities are assigned lazily on first sight (the schedule does not
+    /// know the thread count up front) — a fresh random rank well above the
+    /// demotion floor.
+    [[nodiscard]] std::int64_t priority(std::uint32_t t) {
+        if (priority_[t] == 0) {
+            priority_[t] = static_cast<std::int64_t>(rng_.uniform(1, 1u << 20));
+        }
+        return priority_[t];
+    }
+
+    void demote(std::uint32_t t) { priority_[t] = --floor_; }
+
+    util::Xoshiro256 rng_;
+    std::array<std::int64_t, 64> priority_{};  // 0 = unassigned
+    std::int64_t floor_ = -1;                  // next demotion rank
+    std::vector<std::uint64_t> change_points_;
+    std::size_t change_index_ = 0;
+};
+
+/// Follows a recorded pick string; round-robin past its end.
+class ReplaySchedule final : public Schedule {
+public:
+    explicit ReplaySchedule(std::string picks) : picks_(std::move(picks)) {
+        for (const char c : picks_) (void)char_to_thread(c);  // validate early
+    }
+
+    std::uint32_t pick(std::uint64_t runnable, std::uint64_t step) override {
+        if (pos_ < picks_.size()) {
+            const std::uint32_t want = char_to_thread(picks_[pos_++]);
+            return nearest_runnable(runnable, want);
+        }
+        return fallback_.pick(runnable, step);
+    }
+
+private:
+    std::string picks_;
+    std::size_t pos_ = 0;
+    RoundRobinSchedule fallback_;
+};
+
+ScheduleRegistry& registry() {
+    static const bool bootstrapped = [] {
+        auto& r = ScheduleRegistry::instance();
+        r.add_default("rr", [](const config::Config&, std::uint64_t) {
+            return std::make_unique<RoundRobinSchedule>();
+        });
+        r.add_default("random", [](const config::Config&, std::uint64_t seed) {
+            return std::make_unique<RandomSchedule>(seed);
+        });
+        r.add_default("pct", [](const config::Config& cfg, std::uint64_t seed) {
+            return std::make_unique<PctSchedule>(seed,
+                                                 cfg.get_u32("depth", 3),
+                                                 cfg.get_u64("steps", 256));
+        });
+        r.add_default("replay", [](const config::Config& cfg, std::uint64_t) {
+            return std::make_unique<ReplaySchedule>(cfg.get("schedule", ""));
+        });
+        return true;
+    }();
+    (void)bootstrapped;
+    return ScheduleRegistry::instance();
+}
+
+}  // namespace
+
+std::vector<std::string> schedule_names() { return registry().names(); }
+
+std::unique_ptr<Schedule> make_schedule(const config::Config& cfg,
+                                        std::uint64_t seed) {
+    // An explicit pick string wins: `--schedule=0120` alone means replay.
+    const std::string kind =
+        cfg.get("sched", cfg.has("schedule") ? "replay" : "random");
+    return registry().create(kind, cfg, seed);
+}
+
+}  // namespace tmb::sched

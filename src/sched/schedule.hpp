@@ -1,0 +1,93 @@
+// schedule.hpp — interleaving policies for the schedule-exploration harness.
+//
+// A Schedule decides, at every scheduling step, which runnable virtual
+// thread executes next. The harness (harness.hpp) records every pick as one
+// base-36 character, so any explored run — random, PCT or hand-written —
+// collapses to a compact string that replays bit-for-bit:
+//
+//   "0121020" ≡ step thread 0, then 1, then 2, then 1, ...
+//
+// Schedules are constructed by name through the config registry, exactly
+// like tables and backends:
+//
+//   sched=rr       round-robin (the deterministic baseline)
+//   sched=random   uniform over runnable threads from `seed`
+//   sched=pct      PCT priority scheduling (Burckhardt et al.): random
+//                  priorities, `depth`-1 priority-change points, and — the
+//                  adaptation for abort/retry STMs, where no thread ever
+//                  blocks — demote a thread whenever it aborts, so the
+//                  conflict victim's blocker gets to finish. Without the
+//                  demotion rule strict priorities livelock two mutually
+//                  aborting transactions forever.
+//   sched=replay   follow `schedule=<string>` exactly; past its end, fall
+//                  back to round-robin (only reachable when the replay
+//                  config differs from the recording config)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/config.hpp"
+#include "config/registry.hpp"
+
+namespace tmb::sched {
+
+/// Largest virtual-thread count a schedule string can name: one base-36
+/// digit (0-9, a-z) per pick.
+inline constexpr std::uint32_t kMaxScheduleThreads = 36;
+
+/// Feedback the harness reports after each step, so adaptive schedules
+/// (PCT's abort demotion) stay livelock-free.
+enum class Event : std::uint8_t { kAbort, kCommit, kThreadDone };
+
+/// One interleaving policy. Instances are single-run state machines: the
+/// harness creates a fresh Schedule per explored run.
+class Schedule {
+public:
+    virtual ~Schedule() = default;
+
+    /// Returns the virtual thread (bit index) to run next. `runnable` is a
+    /// nonzero bitmask of unfinished threads; `step` counts picks so far.
+    /// Must return a set bit of `runnable`.
+    [[nodiscard]] virtual std::uint32_t pick(std::uint64_t runnable,
+                                             std::uint64_t step) = 0;
+
+    /// Observes the outcome of the step granted to `thread`.
+    virtual void observe(std::uint32_t thread, Event event) {
+        (void)thread;
+        (void)event;
+    }
+};
+
+/// The set-bit of `runnable` at or cyclically after `want` — the
+/// deterministic adjustment used when a replayed pick names a finished
+/// thread.
+[[nodiscard]] std::uint32_t nearest_runnable(std::uint64_t runnable,
+                                             std::uint32_t want) noexcept;
+
+/// Base-36 encoding of thread indices for schedule strings.
+[[nodiscard]] char thread_to_char(std::uint32_t thread) noexcept;
+/// Decodes one schedule character; throws std::invalid_argument on anything
+/// outside [0-9a-z].
+[[nodiscard]] std::uint32_t char_to_thread(char c);
+
+/// The process-wide schedule registry. Factories receive the per-run seed
+/// (derived by the harness from the base seed and the run index) alongside
+/// the Config holding `schedule=`, `depth=`, ...
+using ScheduleRegistry = config::Registry<Schedule, std::uint64_t>;
+
+/// Registered schedule names, in registration order.
+[[nodiscard]] std::vector<std::string> schedule_names();
+
+/// Creates the schedule named by `sched=` (default "random"). Keys:
+///   sched      rr | random | pct | replay
+///   schedule   pick string (replay; also implies sched=replay when set)
+///   depth      PCT priority-change points + 1 (default 3)
+///   steps      PCT's estimate of the run's step count, over which change
+///              points are sampled (default 256)
+[[nodiscard]] std::unique_ptr<Schedule> make_schedule(const config::Config& cfg,
+                                                      std::uint64_t seed);
+
+}  // namespace tmb::sched

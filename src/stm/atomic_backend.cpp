@@ -22,6 +22,7 @@
 
 #include "ownership/atomic_tagless_table.hpp"
 #include "stm/backend.hpp"
+#include "stm/sched_hook.hpp"
 #include "stm/slot_pool.hpp"
 #include "util/bits.hpp"
 
@@ -127,9 +128,15 @@ private:
     }
 
     void acquire_block(AtomicContext& cx, std::uint64_t block, bool for_write) {
+        scheduler_yield(for_write ? YieldPoint::kAcquireWrite
+                                  : YieldPoint::kAcquireRead);
         const AcquireResult r = for_write ? table_.acquire_write(cx.slot_, block)
                                           : table_.acquire_read(cx.slot_, block);
         if (!r.ok) {
+            if (test_faults().ignore_acquire_conflicts.load(
+                    std::memory_order_relaxed)) {
+                return;  // test-only fault: proceed without ownership
+            }
             classify_conflict(block, r.conflicting);
             throw ConflictAbort{};
         }

@@ -1,0 +1,93 @@
+// sched_hook.hpp — scheduling yield points for deterministic interleaving
+// exploration.
+//
+// The schedule-exploration harness (src/sched/) runs N logical transactions
+// under a cooperative turnstile: exactly one virtual thread executes at a
+// time, and control transfers only at *yield points*. The STM runtime and
+// its backends call `scheduler_yield(point)` at every boundary where real
+// concurrency could interleave:
+//
+//   kTxBegin  — first attempt of an atomically() call is about to start
+//   kRetry    — a conflict-aborted attempt is about to re-execute
+//   kAcquire* — a backend is about to acquire conflict metadata for a
+//               transactional access (the paper's contended operation)
+//   kCommit   — the attempt body finished; commit is about to run. The
+//               commit itself executes as ONE step (no yields inside), so
+//               the order in which commits complete is the serialization
+//               order for every backend — the property the serializability
+//               oracle replays against.
+//
+// In the real engine no hook is installed: `tls_scheduler_hook` is a
+// thread-local null pointer and `scheduler_yield` is a single predictable
+// branch — the production fast path is untouched. The harness installs a
+// hook per virtual thread; a yield may throw (the harness cancels runaway
+// runs that way), so backends treat it like any body exception.
+//
+// TestFaults deliberately breaks a backend so tests can prove the
+// serializability oracle actually detects broken executions (a harness that
+// only ever passes proves nothing). Production code never sets these.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tmb::stm::detail {
+
+enum class YieldPoint : std::uint8_t {
+    kTxBegin = 0,   ///< first attempt of an atomically() call
+    kRetry = 1,     ///< re-execution after a conflict abort
+    kAcquireRead = 2,
+    kAcquireWrite = 3,
+    kCommit = 4,    ///< commit about to run (executes as one step)
+};
+
+/// Cooperative scheduler interface; one instance per virtual thread.
+class SchedulerHook {
+public:
+    virtual ~SchedulerHook() = default;
+
+    /// Called at every yield point of the installing thread. Blocks until
+    /// the scheduler grants the next step; may throw to cancel the run.
+    virtual void yield(YieldPoint point) = 0;
+};
+
+/// The calling thread's installed hook (null in the real engine).
+inline thread_local SchedulerHook* tls_scheduler_hook = nullptr;
+
+/// Installs `hook` for the calling thread, returning the previous one so
+/// scopes can nest/restore. Pass nullptr to uninstall.
+inline SchedulerHook* install_scheduler_hook(SchedulerHook* hook) noexcept {
+    SchedulerHook* previous = tls_scheduler_hook;
+    tls_scheduler_hook = hook;
+    return previous;
+}
+
+/// The yield point the runtime and backends call. No-op (one branch on a
+/// thread-local) when no hook is installed.
+inline void scheduler_yield(YieldPoint point) {
+    if (tls_scheduler_hook != nullptr) [[unlikely]] {
+        tls_scheduler_hook->yield(point);
+    }
+}
+
+/// Test-only fault injection. Setting a flag makes the named backend
+/// *silently skip* part of its conflict protocol, producing executions that
+/// are not serializable — which the sched harness's oracle must catch.
+/// Relaxed atomics: the flags are toggled only at quiescent points in tests.
+struct TestFaults {
+    /// Table/atomic backends: a failed ownership acquire proceeds as if it
+    /// had succeeded (without recording ownership) instead of aborting —
+    /// dirty reads and racy in-place writes.
+    std::atomic<bool> ignore_acquire_conflicts{false};
+    /// TL2: commit skips read-set validation — a writer can commit having
+    /// read state that another transaction overwrote since begin().
+    std::atomic<bool> skip_tl2_validation{false};
+};
+
+/// Process-wide fault block (all flags false unless a test sets them).
+[[nodiscard]] inline TestFaults& test_faults() noexcept {
+    static TestFaults faults;
+    return faults;
+}
+
+}  // namespace tmb::stm::detail

@@ -7,6 +7,7 @@
 #include "ownership/any_table.hpp"
 #include "stm/backend.hpp"
 #include "stm/contention.hpp"
+#include "stm/sched_hook.hpp"
 #include "util/hash.hpp"
 
 namespace tmb::stm {
@@ -206,6 +207,8 @@ void Stm::run_in(detail::BodyRef body, detail::TxContext& cx,
     std::uint32_t attempts = 0;
     for (;;) {
         ++attempts;
+        detail::scheduler_yield(attempts == 1 ? detail::YieldPoint::kTxBegin
+                                              : detail::YieldPoint::kRetry);
         backend.begin(cx);
         Transaction tx(backend, cx);
         try {
@@ -227,6 +230,12 @@ void Stm::run_in(detail::BodyRef body, detail::TxContext& cx,
             throw;
         }
 
+        try {
+            detail::scheduler_yield(detail::YieldPoint::kCommit);
+        } catch (...) {
+            backend.abort(cx);  // harness cancellation: leave no metadata held
+            throw;
+        }
         if (backend.commit(cx)) {
             stats.record_commit(attempts);
             return;

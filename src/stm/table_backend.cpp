@@ -28,6 +28,7 @@
 #include "ownership/tagged_table.hpp"
 #include "ownership/tagless_table.hpp"
 #include "stm/backend.hpp"
+#include "stm/sched_hook.hpp"
 #include "stm/slot_pool.hpp"
 #include "util/bits.hpp"
 
@@ -137,10 +138,16 @@ private:
 
     void acquire_block(TableContext<Table>& cx, std::uint64_t block,
                        bool for_write) {
+        scheduler_yield(for_write ? YieldPoint::kAcquireWrite
+                                  : YieldPoint::kAcquireRead);
         const std::lock_guard<std::mutex> guard(mutex_);
         const AcquireResult r = for_write ? table_.acquire_write(cx.slot_, block)
                                           : table_.acquire_read(cx.slot_, block);
         if (!r.ok) {
+            if (test_faults().ignore_acquire_conflicts.load(
+                    std::memory_order_relaxed)) {
+                return;  // test-only fault: proceed without ownership
+            }
             classify_conflict(block, r.conflicting);
             throw ConflictAbort{};
         }
@@ -237,9 +244,14 @@ public:
         }
         const std::uint64_t block = block_of(addr);
         if (!cx.held_.contains(block)) {
+            scheduler_yield(YieldPoint::kAcquireRead);
             const std::lock_guard<std::mutex> guard(mutex_);
             const AcquireResult r = table_.acquire_read(cx.slot_, block);
             if (!r.ok) {
+                if (test_faults().ignore_acquire_conflicts.load(
+                        std::memory_order_relaxed)) {
+                    return *addr;  // test-only fault: dirty read
+                }
                 classify_conflict(block, r.conflicting);
                 throw ConflictAbort{};
             }
@@ -257,20 +269,45 @@ public:
 
     bool commit(TxContext& cx_base) override {
         auto& cx = static_cast<LazyTableContext<Table>&>(cx_base);
-        {
+        if (tls_scheduler_hook == nullptr) {
+            // Real engine: all commit-time acquires under one guard, as a
+            // single metadata operation (no per-entry lock round-trips).
             const std::lock_guard<std::mutex> guard(mutex_);
             for (const auto& [addr, value] : cx.redo_) {
                 const std::uint64_t block = block_of(addr);
                 const auto it = cx.held_.find(block);
                 if (it != cx.held_.end() && it->second == Mode::kWrite) continue;
-                const AcquireResult r = table_.acquire_write(cx.slot_, block);
-                if (!r.ok) {
-                    classify_conflict(block, r.conflicting);
+                if (!acquire_commit_block_locked(cx, block)) {
                     release_all_locked(cx);
                     return false;  // retry
                 }
-                held_blocks_[cx.slot_].insert(block);
-                cx.held_[block] = Mode::kWrite;
+            }
+        } else {
+            // Harness: each commit-time acquire is a scheduling point, so
+            // two lazy commits may interleave here. Any two that both
+            // succeed have compatible lock sets (a conflicting pair aborts
+            // one), so commit-completion order stays a valid serialization
+            // order.
+            for (const auto& [addr, value] : cx.redo_) {
+                const std::uint64_t block = block_of(addr);
+                {
+                    const auto it = cx.held_.find(block);
+                    if (it != cx.held_.end() && it->second == Mode::kWrite) {
+                        continue;
+                    }
+                }
+                try {
+                    scheduler_yield(YieldPoint::kAcquireWrite);
+                } catch (...) {
+                    const std::lock_guard<std::mutex> guard(mutex_);
+                    release_all_locked(cx);  // cancellation: clean exit
+                    throw;
+                }
+                const std::lock_guard<std::mutex> guard(mutex_);
+                if (!acquire_commit_block_locked(cx, block)) {
+                    release_all_locked(cx);
+                    return false;  // retry
+                }
             }
         }
         // Write back in program order under exclusive ownership, then drop
@@ -304,6 +341,26 @@ public:
 private:
     [[nodiscard]] std::uint64_t block_of(const std::uint64_t* addr) const noexcept {
         return reinterpret_cast<std::uintptr_t>(addr) >> block_shift_;
+    }
+
+    /// Pre: mutex_ held. Acquires write ownership of one redo entry's
+    /// block; false means a conflict (caller releases everything and the
+    /// commit retries). The test-only ignore fault reports success without
+    /// recording ownership — the write-back then races, which is the point.
+    [[nodiscard]] bool acquire_commit_block_locked(LazyTableContext<Table>& cx,
+                                                   std::uint64_t block) {
+        const AcquireResult r = table_.acquire_write(cx.slot_, block);
+        if (!r.ok) {
+            if (test_faults().ignore_acquire_conflicts.load(
+                    std::memory_order_relaxed)) {
+                return true;
+            }
+            classify_conflict(block, r.conflicting);
+            return false;
+        }
+        held_blocks_[cx.slot_].insert(block);
+        cx.held_[block] = Mode::kWrite;
+        return true;
     }
 
     /// Pre: mutex_ held.

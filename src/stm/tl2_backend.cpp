@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "stm/backend.hpp"
+#include "stm/sched_hook.hpp"
 #include "util/bits.hpp"
 #include "util/hash.hpp"
 
@@ -73,6 +74,9 @@ public:
         auto& cx = static_cast<Tl2Context&>(cx_base);
         if (const WriteEntry* w = cx.find_write(addr)) return w->value;
 
+        // Version check + data read is the interleaving-sensitive window;
+        // stores only buffer locally, so loads are TL2's scheduling points.
+        scheduler_yield(YieldPoint::kAcquireRead);
         std::atomic<std::uint64_t>& lock = lock_for(addr);
         const std::uint64_t v1 = lock.load(std::memory_order_acquire);
         if ((v1 & 1) || (v1 >> 1) > cx.rv) {
@@ -135,7 +139,8 @@ public:
 
         // Validate the read set unless we were the only clock increment
         // since begin (TL2's rv+1 == wv shortcut).
-        if (wv != cx.rv + 1) {
+        if (wv != cx.rv + 1 &&
+            !test_faults().skip_tl2_validation.load(std::memory_order_relaxed)) {
             for (std::atomic<std::uint64_t>* lock : cx.read_set) {
                 const std::uint64_t v = lock->load(std::memory_order_acquire);
                 const bool locked_by_me =

@@ -117,6 +117,11 @@ struct Codec {
 };
 
 void encode_access(Codec& codec, const Access& a, std::string& out) {
+    if (a.instr_delta == 0) {
+        // The format stores instr_delta - 1; 0 would underflow into a
+        // record every decoder rejects — fail at the write, not the read.
+        corrupt("instr_delta must be >= 1");
+    }
     const std::uint64_t delta = a.block - codec.prev;
     const std::uint64_t zz =
         zigzag_encode(static_cast<std::int64_t>(delta));

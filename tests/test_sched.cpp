@@ -1,0 +1,346 @@
+// Tests for the schedule-exploration harness (src/sched/): replay
+// determinism, the serializability oracle's ability to catch deliberately
+// broken backends, PCT coverage of the classic write-skew interleaving,
+// schedule minimization, and the differential oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "config/config.hpp"
+#include "sched/harness.hpp"
+#include "sched/schedule.hpp"
+#include "stm/sched_hook.hpp"
+
+namespace tmb::sched {
+namespace {
+
+/// Sets one test fault for the scope of a test; always cleared on exit so
+/// a failing assertion cannot poison later tests.
+struct FaultGuard {
+    explicit FaultGuard(std::atomic<bool>& flag) : flag_(flag) {
+        flag_.store(true, std::memory_order_relaxed);
+    }
+    ~FaultGuard() { flag_.store(false, std::memory_order_relaxed); }
+    std::atomic<bool>& flag_;
+};
+
+config::Config sched_spec(std::string_view spec) {
+    return config::Config::from_string(spec);
+}
+
+/// A contended all-writer workload on the tagless table with entries >=
+/// slots (no aliasing): conflicts are plentiful and all true, so
+/// broken-protocol faults surface quickly.
+HarnessConfig contended_config() {
+    HarnessConfig cfg;
+    cfg.backend = "table";
+    cfg.table = "tagless";
+    cfg.entries = 16;  // >= slots: no aliasing, conflicts are all true
+    cfg.threads = 3;
+    cfg.txs_per_thread = 3;
+    cfg.ops_per_tx = 3;
+    cfg.slots = 2;
+    cfg.write_fraction = 1.0;
+    cfg.read_only_fraction = 0.0;
+    cfg.workload_seed = 9;
+    return cfg;
+}
+
+bool commit_logs_equal(const RunResult& a, const RunResult& b) {
+    if (a.commit_log.size() != b.commit_log.size()) return false;
+    for (std::size_t i = 0; i < a.commit_log.size(); ++i) {
+        const CommitRecord& x = a.commit_log[i];
+        const CommitRecord& y = b.commit_log[i];
+        if (x.thread != y.thread || x.tx_index != y.tx_index ||
+            x.begin_commits != y.begin_commits ||
+            x.reads.size() != y.reads.size() ||
+            x.writes.size() != y.writes.size()) {
+            return false;
+        }
+        for (std::size_t r = 0; r < x.reads.size(); ++r) {
+            if (x.reads[r].slot != y.reads[r].slot ||
+                x.reads[r].value != y.reads[r].value) {
+                return false;
+            }
+        }
+        for (std::size_t w = 0; w < x.writes.size(); ++w) {
+            if (x.writes[w].slot != y.writes[w].slot ||
+                x.writes[w].value != y.writes[w].value) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Schedule primitives
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleString, Base36RoundTrip) {
+    for (std::uint32_t t = 0; t < kMaxScheduleThreads; ++t) {
+        EXPECT_EQ(char_to_thread(thread_to_char(t)), t);
+    }
+    EXPECT_THROW((void)char_to_thread('!'), std::invalid_argument);
+    EXPECT_THROW((void)char_to_thread('A'), std::invalid_argument);
+}
+
+TEST(ScheduleString, NearestRunnableWrapsDeterministically) {
+    EXPECT_EQ(nearest_runnable(0b1010, 1), 1u);
+    EXPECT_EQ(nearest_runnable(0b1010, 2), 3u);
+    EXPECT_EQ(nearest_runnable(0b0010, 3), 1u);  // wraps to the lowest
+}
+
+TEST(ScheduleRegistry, BuiltinsAndUnknown) {
+    const auto names = schedule_names();
+    for (const char* want : {"rr", "random", "pct", "replay"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
+            << want;
+    }
+    EXPECT_THROW((void)make_schedule(sched_spec("sched=bogus"), 1),
+                 std::invalid_argument);
+    // A bare schedule string implies replay.
+    EXPECT_NE(make_schedule(sched_spec("schedule=0101"), 1), nullptr);
+}
+
+TEST(HarnessConfig, ParsesAndValidates) {
+    const auto cfg = harness_config_from(sched_spec(
+        "backend=tl2 threads=4 txs=2 ops=5 slots=9 wfrac=0.5 rofrac=0.1 "
+        "mode=incr wseed=77"));
+    EXPECT_EQ(cfg.backend, "tl2");
+    EXPECT_EQ(cfg.threads, 4u);
+    EXPECT_EQ(cfg.txs_per_thread, 2u);
+    EXPECT_EQ(cfg.ops_per_tx, 5u);
+    EXPECT_EQ(cfg.slots, 9u);
+    EXPECT_TRUE(cfg.commutative);
+    EXPECT_EQ(cfg.workload_seed, 77u);
+    EXPECT_THROW((void)harness_config_from(sched_spec("mode=nonesuch")),
+                 std::invalid_argument);
+
+    HarnessConfig bad = contended_config();
+    bad.slots = kMaxSlots + 1;
+    const auto programs = generate_programs(bad);
+    auto schedule = make_schedule(sched_spec("sched=rr"), 1);
+    EXPECT_THROW((void)run_schedule(bad, programs, *schedule),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Replay determinism
+// ---------------------------------------------------------------------------
+
+TEST(SchedHarness, ReplayReproducesBitIdenticalRuns) {
+    for (const BackendPair& pair : default_backend_pairs()) {
+        HarnessConfig cfg;
+        cfg.backend = pair.backend;
+        if (!pair.table.empty()) cfg.table = pair.table;
+        cfg.commit_time_locks = pair.commit_time_locks;
+        cfg.entries = 4;  // slots > entries: tagless aliasing in play
+        cfg.slots = 8;
+        cfg.write_fraction = 0.7;
+        cfg.workload_seed = 5;
+        const auto programs = generate_programs(cfg);
+
+        const auto random1 = make_schedule(sched_spec("sched=random"), 321);
+        const RunResult original = run_schedule(cfg, programs, *random1);
+        EXPECT_FALSE(original.cancelled) << pair.label();
+        EXPECT_FALSE(original.schedule.empty()) << pair.label();
+        EXPECT_EQ(check_serializable(cfg, programs, original), std::nullopt)
+            << pair.label();
+
+        // Same seed => identical run, not just identical hash.
+        const auto random2 = make_schedule(sched_spec("sched=random"), 321);
+        const RunResult rerun = run_schedule(cfg, programs, *random2);
+        EXPECT_EQ(rerun.schedule, original.schedule) << pair.label();
+        EXPECT_EQ(rerun.state_hash, original.state_hash) << pair.label();
+
+        // Replaying the recorded pick string reproduces everything.
+        config::Config rc;
+        rc.set("schedule", original.schedule);
+        const auto replay = make_schedule(rc, 0);
+        const RunResult replayed = run_schedule(cfg, programs, *replay);
+        EXPECT_EQ(replayed.schedule, original.schedule) << pair.label();
+        EXPECT_EQ(replayed.state_hash, original.state_hash) << pair.label();
+        EXPECT_EQ(replayed.final_state, original.final_state) << pair.label();
+        EXPECT_TRUE(commit_logs_equal(replayed, original)) << pair.label();
+    }
+}
+
+TEST(SchedHarness, StepLimitCancelsAndIsReportedAsViolation) {
+    HarnessConfig cfg = contended_config();
+    cfg.step_limit = 3;  // far below the steps a full run needs
+    const auto programs = generate_programs(cfg);
+    auto schedule = make_schedule(sched_spec("sched=rr"), 1);
+    const RunResult run = run_schedule(cfg, programs, *schedule);
+    EXPECT_TRUE(run.cancelled);
+    EXPECT_EQ(run.steps, 3u);
+    const auto error = check_serializable(cfg, programs, run);
+    ASSERT_TRUE(error.has_value());
+    EXPECT_NE(error->find("step_limit"), std::string::npos) << *error;
+}
+
+// ---------------------------------------------------------------------------
+// The oracle catches deliberately broken backends
+// ---------------------------------------------------------------------------
+
+TEST(SchedOracle, CatchesTableBackendThatIgnoresConflicts) {
+    const FaultGuard fault(
+        stm::detail::test_faults().ignore_acquire_conflicts);
+    const HarnessConfig cfg = contended_config();
+    const auto result = explore(cfg, sched_spec("sched=random"), 60, 13);
+    ASSERT_FALSE(result.violations.empty())
+        << "a backend that ignores conflicts must violate serializability";
+    // Every failure carries a copy-pasteable repro line.
+    for (const Violation& v : result.violations) {
+        EXPECT_NE(v.message.find("repro:"), std::string::npos);
+        EXPECT_NE(v.repro.find("sched_explorer"), std::string::npos);
+        EXPECT_NE(v.repro.find("--schedule=" + v.schedule), std::string::npos);
+        EXPECT_NE(v.repro.find("--backend=table"), std::string::npos);
+    }
+}
+
+TEST(SchedOracle, CatchesAtomicBackendThatIgnoresConflicts) {
+    const FaultGuard fault(
+        stm::detail::test_faults().ignore_acquire_conflicts);
+    HarnessConfig cfg = contended_config();
+    cfg.backend = "atomic";
+    const auto result = explore(cfg, sched_spec("sched=random"), 60, 13);
+    EXPECT_FALSE(result.violations.empty());
+}
+
+TEST(SchedOracle, CatchesTl2ThatSkipsCommitValidation) {
+    const FaultGuard fault(stm::detail::test_faults().skip_tl2_validation);
+    HarnessConfig cfg = contended_config();
+    cfg.backend = "tl2";
+    cfg.write_fraction = 0.6;  // reads + writes: stale reads become visible
+    const auto result = explore(cfg, sched_spec("sched=random"), 200, 17);
+    EXPECT_FALSE(result.violations.empty())
+        << "TL2 without read-set validation must commit stale reads";
+}
+
+TEST(SchedOracle, FaultyScheduleMinimizesAndStillFails) {
+    const FaultGuard fault(
+        stm::detail::test_faults().ignore_acquire_conflicts);
+    const HarnessConfig cfg = contended_config();
+    const auto programs = generate_programs(cfg);
+    const auto result = explore(cfg, sched_spec("sched=random"), 60, 13);
+    ASSERT_FALSE(result.violations.empty());
+
+    const std::string& original = result.violations.front().schedule;
+    const std::string shrunk = minimize_schedule(cfg, programs, original);
+    EXPECT_LE(shrunk.size(), original.size());
+
+    config::Config rc;
+    rc.set("schedule", shrunk);
+    const auto replay = make_schedule(rc, 0);
+    const RunResult run = run_schedule(cfg, programs, *replay);
+    EXPECT_TRUE(check_serializable(cfg, programs, run).has_value())
+        << "minimized schedule must still fail";
+}
+
+TEST(SchedOracle, CleanBackendsPassEverywhere) {
+    // The miniature of the CI acceptance sweep: every pair, aliasing-heavy
+    // workload, random schedules, zero violations.
+    for (const BackendPair& pair : default_backend_pairs()) {
+        HarnessConfig cfg;
+        cfg.backend = pair.backend;
+        if (!pair.table.empty()) cfg.table = pair.table;
+        cfg.commit_time_locks = pair.commit_time_locks;
+        cfg.entries = 4;
+        cfg.slots = 8;
+        cfg.write_fraction = 0.7;
+        const auto result = explore(cfg, sched_spec("sched=random"), 100, 3);
+        EXPECT_EQ(result.runs, 100u);
+        EXPECT_TRUE(result.violations.empty())
+            << pair.label() << ": " << result.violations.front().message;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PCT coverage of the classic 2-thread write-skew interleaving
+// ---------------------------------------------------------------------------
+
+TEST(SchedPct, CoversWriteSkewWithinBoundedSchedules) {
+    // T0: r0 r1 w0; T1: r0 r1 w1 — the write-skew shape. The interesting
+    // interleaving overlaps both read phases before either write; a correct
+    // backend must then abort (2PL: the write acquire hits the other's read
+    // ownership; TL2: commit-time validation fails) and retry. PCT with one
+    // priority change must hit it within a small, fixed seed budget.
+    HarnessConfig cfg = contended_config();
+    cfg.threads = 2;
+    cfg.txs_per_thread = 1;
+    cfg.ops_per_tx = 3;
+    cfg.slots = 2;
+    std::vector<std::vector<TxProgram>> programs(2);
+    programs[0] = {TxProgram{{{0, false}, {1, false}, {0, true}}}};
+    programs[1] = {TxProgram{{{0, false}, {1, false}, {1, true}}}};
+
+    for (const std::string backend : {"table", "tl2"}) {
+        cfg.backend = backend;
+        bool covered = false;
+        for (std::uint64_t seed = 1; seed <= 64 && !covered; ++seed) {
+            const auto schedule =
+                make_schedule(sched_spec("sched=pct depth=3 steps=16"), seed);
+            const RunResult run = run_schedule(cfg, programs, *schedule);
+            EXPECT_EQ(check_serializable(cfg, programs, run), std::nullopt)
+                << backend << " seed " << seed;
+            covered = run.stats.aborts >= 1;
+        }
+        EXPECT_TRUE(covered)
+            << backend
+            << ": PCT never produced the conflicting write-skew overlap";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential oracle
+// ---------------------------------------------------------------------------
+
+TEST(SchedDifferential, BackendsAgreeAndConflictDirectionHolds) {
+    HarnessConfig cfg;
+    cfg.commutative = true;
+    cfg.entries = 4;  // aliasing: tagless must report false conflicts
+    cfg.slots = 8;
+    cfg.threads = 3;
+    cfg.txs_per_thread = 3;
+    cfg.ops_per_tx = 4;
+    cfg.write_fraction = 0.7;
+    cfg.workload_seed = 21;
+    const auto programs = generate_programs(cfg);
+    const auto pairs = default_backend_pairs();
+
+    std::uint64_t tagless_false = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        std::vector<RunResult> runs;
+        const auto verdict = run_differential(
+            cfg, programs, pairs, sched_spec("sched=random"), seed, &runs);
+        EXPECT_EQ(verdict, std::nullopt) << *verdict;
+        ASSERT_EQ(runs.size(), pairs.size());
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            if (pairs[i].table == "tagged") {
+                EXPECT_EQ(runs[i].stats.false_conflicts, 0u);
+            }
+            if (pairs[i].table == "tagless") {
+                tagless_false += runs[i].stats.false_conflicts;
+            }
+        }
+    }
+    EXPECT_GT(tagless_false, 0u)
+        << "aliased slots never produced a tagless false conflict";
+}
+
+TEST(SchedDifferential, RequiresCommutativeWorkload) {
+    HarnessConfig cfg = contended_config();  // mode=acc
+    const auto programs = generate_programs(cfg);
+    EXPECT_THROW((void)run_differential(cfg, programs,
+                                        default_backend_pairs(),
+                                        sched_spec("sched=random"), 1),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tmb::sched

@@ -328,6 +328,100 @@ TEST(BinaryIo, RejectsPayloadLengthMismatch) {
     expect_read_throws(header + std::string("\x00\x01\x02\x20\x20", 5));
 }
 
+TEST(BinaryIo, TruncationOnExactBlockAndVarintBoundaries) {
+    // Two streams with >127 records per block, so both the record-count and
+    // the payload-length varints of a block header are multi-byte — cuts
+    // can land exactly *between* varints, not just inside one.
+    const MultiThreadTrace trace = random_trace(71, 2, 200);
+    std::ostringstream os(std::ios::binary);
+    std::size_t header_end = 0;
+    std::size_t block0_end = 0;
+    {
+        BinaryTraceWriter writer(os, 2);
+        header_end = os.str().size();  // magic + thread-count varint
+        writer.write_chunk(0, trace.streams[0]);
+        block0_end = os.str().size();
+        writer.write_chunk(1, trace.streams[1]);
+    }
+    const std::string blob = os.str();
+    ASSERT_EQ(header_end, 9u);
+    ASSERT_LT(block0_end, blob.size());
+
+    // Clean EOF exactly at a block boundary is a legal, shorter trace (a
+    // boundary cut is indistinguishable from a file with fewer blocks).
+    {
+        std::istringstream is(blob.substr(0, block0_end));
+        const MultiThreadTrace prefix = read_binary(is);
+        ASSERT_EQ(prefix.streams.size(), 2u);
+        EXPECT_EQ(prefix.streams[0], trace.streams[0]);
+        EXPECT_TRUE(prefix.streams[1].empty());
+    }
+
+    // Any cut inside the next block header must throw — including cuts
+    // landing exactly on the boundary between two of its varints:
+    //   +1  after the stream-id varint (varint boundary)
+    //   +2  inside the 2-byte record-count varint
+    //   +3  after the record count (varint boundary)
+    //   +4  inside the 2-byte payload-length varint
+    for (const std::size_t extra :
+         {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4}}) {
+        expect_read_throws(blob.substr(0, block0_end + extra));
+    }
+
+    // A payload cut is a declared-length mismatch, never a silent prefix.
+    expect_read_throws(blob.substr(0, blob.size() - 1));
+}
+
+TEST(BinaryIo, WriterRejectsZeroInstrDelta) {
+    // instr_delta is stored as instr_delta - 1: a zero would underflow into
+    // a record every decoder rejects, so the *writer* must fail fast.
+    std::ostringstream os(std::ios::binary);
+    BinaryTraceWriter writer(os, 1);
+    const Access bad{42, true, 0};
+    EXPECT_THROW(writer.write_chunk(0, std::span<const Access>(&bad, 1)),
+                 std::runtime_error);
+}
+
+TEST(ConflictFilter, StreamCountLimitBoundaries) {
+    // One shared written block (a true conflict touching every stream) plus
+    // one private block per stream.
+    const auto make = [](std::size_t streams) {
+        MultiThreadTrace t;
+        t.streams.resize(streams);
+        for (std::size_t i = 0; i < streams; ++i) {
+            t.streams[i].push_back(Access{1000, true, 1});
+            t.streams[i].push_back(Access{2000 + i, false, 1});
+        }
+        return t;
+    };
+
+    // One below and exactly at the 64-stream mask limit: the masks must
+    // still see every stream (bit 63 included), so the shared block is
+    // classified as a conflict in all of them.
+    for (const std::size_t n : {std::size_t{63}, std::size_t{64}}) {
+        MultiThreadTrace t = make(n);
+        EXPECT_TRUE(has_true_conflicts(t)) << n << " streams";
+        const auto stats = remove_true_conflicts(t);
+        EXPECT_EQ(stats.blocks_removed, 1u) << n << " streams";
+        EXPECT_EQ(stats.accesses_before - stats.accesses_after, n);
+        EXPECT_FALSE(has_true_conflicts(t));
+        for (const auto& s : t.streams) EXPECT_EQ(s.size(), 1u);
+    }
+
+    // One above: every entry point rejects loudly instead of wrapping a
+    // stream onto someone else's mask bit.
+    MultiThreadTrace t65 = make(65);
+    EXPECT_THROW((void)has_true_conflicts(t65), std::invalid_argument);
+    EXPECT_THROW((void)remove_true_conflicts(t65), std::invalid_argument);
+
+    TrueConflictScanner scanner;
+    const Access a{7, true, 1};
+    scanner.add(63, std::span<const Access>(&a, 1));  // last valid stream
+    EXPECT_FALSE(scanner.has_true_conflicts());
+    EXPECT_THROW(scanner.add(64, std::span<const Access>(&a, 1)),
+                 std::invalid_argument);
+}
+
 TEST(BinaryIo, StreamReaderRejectsCorruptFiles) {
     TempFile file("corrupt_stream");
     {

@@ -1,0 +1,176 @@
+// sched_explorer — deterministic schedule exploration over the STM
+// backends, with a serializability oracle and a differential oracle.
+//
+// Explore (default): run N schedules per backend×table pair, oracle-check
+// every run, and print a copy-pasteable repro line for every failure.
+//
+//   sched_explorer --schedules=100000 --seed=7
+//   sched_explorer --backend=table --table=tagless --schedules=5000
+//   sched_explorer --sched=pct --depth=3 --schedules=2000
+//
+// Replay: re-run one recorded schedule string and report its state hash —
+// the line a failing CI run prints is directly runnable:
+//
+//   sched_explorer --backend=tl2 --threads=3 ... --schedule=0120211
+//   sched_explorer ... --schedule=0120211 --minimize
+//
+// Differential: replay the same schedule seeds across every pair and
+// require identical final state (commutative workload) plus the paper's
+// false-conflict direction (tagged = 0 ≤ tagless):
+//
+//   sched_explorer --diff --schedules=200
+//
+// Exit codes: 0 = all runs serializable; 1 = violations (repro lines on
+// stdout, also appended to --out=<file> when given); 2 = config error.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "config/config.hpp"
+#include "sched/harness.hpp"
+#include "sched/schedule.hpp"
+
+namespace {
+
+using tmb::sched::BackendPair;
+using tmb::sched::HarnessConfig;
+
+/// The pairs to sweep: the explicit --backend/--table selection when given,
+/// every built-in pair otherwise.
+std::vector<BackendPair> selected_pairs(const tmb::config::Config& cli) {
+    if (!cli.has("backend") && !cli.has("table")) {
+        return tmb::sched::default_backend_pairs();
+    }
+    BackendPair pair;
+    pair.backend = cli.get("backend", "table");
+    if (pair.backend == "table") pair.table = cli.get("table", "tagless");
+    pair.commit_time_locks = cli.get_bool("commit_time_locks", false);
+    return {pair};
+}
+
+void report(std::ostream& os, const std::vector<tmb::sched::Violation>& found,
+            std::ofstream* out_file) {
+    for (const auto& v : found) {
+        os << "VIOLATION: " << v.message << '\n';
+        if (out_file && out_file->is_open()) *out_file << v.repro << '\n';
+    }
+}
+
+int explorer_main(int argc, char** argv) {
+    const auto cli = tmb::config::Config::from_args(argc, argv);
+
+    const std::uint64_t schedules = cli.get_u64("schedules", 1000);
+    const std::uint64_t seed = cli.get_u64("seed", 1);
+    const bool diff = cli.get_bool("diff", false);
+    const bool minimize = cli.get_bool("minimize", false);
+    const std::string replay = cli.get("schedule", "");
+    const std::string out_path = cli.get("out", "");
+
+    // Schedule-policy keys consumed by make_schedule inside the harness.
+    tmb::config::Config sched_cfg;
+    sched_cfg.set("sched", cli.get("sched", "random"));
+    sched_cfg.set("depth", std::to_string(cli.get_u64("depth", 3)));
+    sched_cfg.set("steps", std::to_string(cli.get_u64("steps", 256)));
+
+    // Workload / STM keys. Differential mode needs commutative writes.
+    HarnessConfig base = tmb::sched::harness_config_from(cli);
+    if (diff && !cli.has("mode")) base.commutative = true;
+    tmb::config::reject_unknown(cli);
+
+    std::ofstream out_file;
+    if (!out_path.empty()) out_file.open(out_path, std::ios::app);
+
+    // --- replay mode ------------------------------------------------------
+    if (!replay.empty()) {
+        const auto programs = tmb::sched::generate_programs(base);
+        tmb::config::Config rc;
+        rc.set("sched", "replay");
+        rc.set("schedule", replay);
+        const auto schedule = tmb::sched::make_schedule(rc, seed);
+        const auto run = tmb::sched::run_schedule(base, programs, *schedule);
+        std::cout << "replayed " << run.steps << " steps, "
+                  << run.commit_log.size() << " commits, state hash 0x"
+                  << std::hex << run.state_hash << std::dec << '\n';
+        const auto error = tmb::sched::check_serializable(base, programs, run);
+        if (!error) {
+            std::cout << "oracle: serializable\n";
+            return 0;
+        }
+        tmb::sched::Violation v;
+        v.schedule = run.schedule;
+        v.repro = tmb::sched::repro_line(base, run.schedule);
+        v.message = *error + "\n  repro: " + v.repro;
+        report(std::cout, {v}, &out_file);
+        if (minimize) {
+            const auto shrunk =
+                tmb::sched::minimize_schedule(base, programs, replay);
+            std::cout << "minimized " << replay.size() << " -> "
+                      << shrunk.size() << " picks\n  repro: "
+                      << tmb::sched::repro_line(base, shrunk) << '\n';
+        }
+        return 1;
+    }
+
+    const std::vector<BackendPair> pairs = selected_pairs(cli);
+    std::size_t total_violations = 0;
+
+    // --- differential mode ------------------------------------------------
+    if (diff) {
+        const auto programs = tmb::sched::generate_programs(base);
+        for (std::uint64_t n = 0; n < schedules; ++n) {
+            const std::uint64_t round_seed = seed + n;
+            if (const auto error = tmb::sched::run_differential(
+                    base, programs, pairs, sched_cfg, round_seed)) {
+                ++total_violations;
+                std::cout << "DIFF VIOLATION (round " << n << "): " << *error
+                          << '\n';
+                if (out_file.is_open()) {
+                    out_file << "# diff round " << n << ": " << *error << '\n';
+                }
+            }
+        }
+        std::cout << "differential: " << schedules << " rounds x "
+                  << pairs.size() << " pairs, " << total_violations
+                  << " violations\n";
+        return total_violations ? 1 : 0;
+    }
+
+    // --- explore mode -----------------------------------------------------
+    for (const BackendPair& pair : pairs) {
+        HarnessConfig cfg = base;
+        cfg.backend = pair.backend;
+        if (!pair.table.empty()) cfg.table = pair.table;
+        cfg.commit_time_locks = pair.commit_time_locks;
+
+        const auto result =
+            tmb::sched::explore(cfg, sched_cfg, schedules, seed);
+        total_violations += result.violations.size();
+        std::cout << pair.label() << ": " << result.runs << " schedules, "
+                  << result.stats.commits << " commits, "
+                  << result.stats.aborts << " aborts, "
+                  << result.stats.false_conflicts << " false conflicts, "
+                  << result.violations.size() << " violations\n";
+        report(std::cout, result.violations, &out_file);
+        if (minimize) {
+            const auto programs = tmb::sched::generate_programs(cfg);
+            for (const auto& v : result.violations) {
+                const auto shrunk = tmb::sched::minimize_schedule(
+                    cfg, programs, v.schedule);
+                std::cout << "  minimized " << v.schedule.size() << " -> "
+                          << shrunk.size() << " picks\n  repro: "
+                          << tmb::sched::repro_line(cfg, shrunk) << '\n';
+            }
+        }
+    }
+    std::cout << (total_violations == 0
+                      ? "sched_explorer: all schedules serializable\n"
+                      : "sched_explorer: VIOLATIONS above\n");
+    return total_violations ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tmb::config::guarded_main(explorer_main, argc, argv);
+}
