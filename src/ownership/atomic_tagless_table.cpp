@@ -7,13 +7,15 @@
 namespace tmb::ownership {
 
 AtomicTaglessTable::AtomicTaglessTable(TableConfig config)
-    : config_(config), entries_(config.entries) {
+    : config_(config),
+      hasher_(config.hash, config.entries),
+      entries_(config.entries) {
     if (config_.entries == 0) throw std::invalid_argument("table must have entries");
     for (auto& e : entries_) e.store(kFreeWord, std::memory_order_relaxed);
 }
 
 std::uint64_t AtomicTaglessTable::index_of(std::uint64_t block) const noexcept {
-    return util::hash_block(config_.hash, block, config_.entries);
+    return hasher_(block);
 }
 
 namespace {

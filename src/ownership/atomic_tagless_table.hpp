@@ -98,6 +98,7 @@ private:
     };
 
     TableConfig config_;
+    util::BlockHasher hasher_;
     std::vector<std::atomic<std::uint64_t>> entries_;
     std::array<CounterShard, kMaxTx> counter_shards_;
 };

@@ -7,19 +7,25 @@
 
 namespace tmb::ownership {
 
-TaggedTable::TaggedTable(TableConfig config) : config_(config) {
+TaggedTable::TaggedTable(TableConfig config)
+    : config_(config), hasher_(config.hash, config.entries) {
     if (config_.entries == 0) throw std::invalid_argument("table must have entries");
     slots_.resize(config_.entries);
 }
 
 std::uint64_t TaggedTable::index_of(std::uint64_t block) const noexcept {
-    return util::hash_block(config_.hash, block, config_.entries);
+    return hasher_(block);
 }
 
 Mode TaggedTable::mode_of_block(std::uint64_t block) const noexcept {
     const Slot& slot = slots_[index_of(block)];
-    for (const Record& r : slot) {
-        if (r.block == block) return r.mode;
+    if (slot.first.mode != Mode::kFree && slot.first.block == block) {
+        return slot.first.mode;
+    }
+    if (slot.overflow) {
+        for (const Record& r : *slot.overflow) {
+            if (r.block == block) return r.mode;
+        }
     }
     return Mode::kFree;
 }
@@ -33,22 +39,50 @@ unsigned TaggedTable::tag_bits(unsigned address_bits,
 }
 
 TaggedTable::Record* TaggedTable::find(Slot& slot, std::uint64_t block) {
-    for (std::size_t i = 0; i < slot.size(); ++i) {
-        ++probe_steps_;
-        if (slot[i].block == block) {
-            if (i > 0) ++alias_traversals_;
-            return &slot[i];
+    if (slot.first.mode == Mode::kFree) return nullptr;  // empty slot
+    ++probe_steps_;
+    if (slot.first.block == block) return &slot.first;
+    if (slot.overflow) {
+        for (Record& r : *slot.overflow) {
+            ++probe_steps_;
+            if (r.block == block) {
+                ++alias_traversals_;
+                return &r;
+            }
         }
     }
-    if (!slot.empty()) ++alias_traversals_;
+    ++alias_traversals_;  // non-empty slot, no matching record
     return nullptr;
 }
 
 TaggedTable::Record& TaggedTable::find_or_create(Slot& slot, std::uint64_t block) {
     if (Record* r = find(slot, block)) return *r;
-    slot.push_back(Record{.block = block});
     ++live_records_;
-    return slot.back();
+    if (slot.first.mode == Mode::kFree) {
+        slot.first = Record{.block = block};
+        return slot.first;
+    }
+    if (!slot.overflow) slot.overflow = std::make_unique<std::vector<Record>>();
+    slot.overflow->push_back(Record{.block = block});
+    return slot.overflow->back();
+}
+
+/// Unlinks a freed record. Chained records swap-remove (order within a
+/// chain is not observable); a freed inline record promotes the chain tail
+/// so the "overflow implies inline live" invariant holds. Buffers persist.
+void TaggedTable::remove(Slot& slot, Record& record) {
+    --live_records_;
+    if (&record == &slot.first) {
+        if (slot.overflow && !slot.overflow->empty()) {
+            slot.first = slot.overflow->back();
+            slot.overflow->pop_back();
+        } else {
+            slot.first = Record{};
+        }
+        return;
+    }
+    record = slot.overflow->back();
+    slot.overflow->pop_back();
 }
 
 AcquireResult TaggedTable::acquire_read(TxId tx, std::uint64_t block) {
@@ -103,38 +137,45 @@ AcquireResult TaggedTable::acquire_write(TxId tx, std::uint64_t block) {
 void TaggedTable::release(TxId tx, std::uint64_t block, Mode /*mode*/) {
     ++counters_.releases;
     Slot& slot = slots_[index_of(block)];
-    for (std::size_t i = 0; i < slot.size(); ++i) {
-        Record& r = slot[i];
-        if (r.block != block) continue;
-        bool now_free = false;
-        if (r.mode == Mode::kRead) {
-            r.sharers &= ~tx_bit(tx);
-            if (r.sharers == 0) now_free = true;
-        } else if (r.mode == Mode::kWrite && r.writer == tx) {
-            now_free = true;
+    Record* r = nullptr;
+    if (slot.first.mode != Mode::kFree && slot.first.block == block) {
+        r = &slot.first;
+    } else if (slot.overflow) {
+        for (Record& cand : *slot.overflow) {
+            if (cand.block == block) {
+                r = &cand;
+                break;
+            }
         }
-        if (now_free) {
-            slot.erase(slot.begin() + static_cast<std::ptrdiff_t>(i));
-            --live_records_;
-        }
-        return;
     }
+    if (r == nullptr) return;  // tolerated: release of an unknown block
+    bool now_free = false;
+    if (r->mode == Mode::kRead) {
+        r->sharers &= ~tx_bit(tx);
+        if (r->sharers == 0) now_free = true;
+    } else if (r->mode == Mode::kWrite && r->writer == tx) {
+        now_free = true;
+    }
+    if (now_free) remove(slot, *r);
 }
 
 std::uint64_t TaggedTable::chained_slots() const noexcept {
     std::uint64_t n = 0;
-    for (const auto& s : slots_) n += s.size() >= 2 ? 1u : 0u;
+    for (const auto& s : slots_) n += s.live() >= 2 ? 1u : 0u;
     return n;
 }
 
 util::Histogram TaggedTable::chain_length_histogram() const {
     util::Histogram h(32);
-    for (const auto& s : slots_) h.add(s.size());
+    for (const auto& s : slots_) h.add(s.live());
     return h;
 }
 
 void TaggedTable::clear() {
-    for (auto& s : slots_) s.clear();
+    for (auto& s : slots_) {
+        s.first = Record{};
+        if (s.overflow) s.overflow->clear();  // buffer retained
+    }
     live_records_ = 0;
 }
 

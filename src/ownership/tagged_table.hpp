@@ -10,9 +10,17 @@
 // 64-byte blocks and a 4096-entry table) — is reported by `tag_bits()`; the
 // in-memory representation keeps the full block address for simplicity,
 // which changes no observable behaviour.
+//
+// Storage mirrors Fig. 7's record-or-pointer union: each slot holds its
+// first record INLINE (§5: "the overwhelming majority of entries store 0 or
+// 1 records", so the common acquire touches exactly one cache line and
+// allocates nothing) and spills chained records into a lazily allocated
+// overflow vector whose capacity is retained after release — steady-state
+// acquire/release cycles are allocation-free even under chaining.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ownership/ownership.hpp"
@@ -82,14 +90,27 @@ private:
         TxId writer = 0;
         std::uint64_t sharers = 0;
     };
-    /// A slot's records; size 0 = free slot, size 1 = inline record,
-    /// size >= 2 = chained. Models Fig. 7's record-or-pointer union.
-    using Slot = std::vector<Record>;
+    /// One first-level entry: the first record inline (live iff its mode is
+    /// not kFree), chained records in `overflow` (allocated on first chain,
+    /// buffer kept across releases). Invariant: overflow is non-empty only
+    /// while the inline record is live (release promotes a chained record
+    /// into a freed inline slot).
+    struct Slot {
+        Record first;
+        std::unique_ptr<std::vector<Record>> overflow;
+
+        [[nodiscard]] std::uint64_t live() const noexcept {
+            return (first.mode != Mode::kFree ? 1u : 0u) +
+                   (overflow ? overflow->size() : 0u);
+        }
+    };
 
     Record* find(Slot& slot, std::uint64_t block);
     Record& find_or_create(Slot& slot, std::uint64_t block);
+    void remove(Slot& slot, Record& record);
 
     TableConfig config_;
+    util::BlockHasher hasher_;
     std::vector<Slot> slots_;
     TableCounters counters_;
     std::uint64_t live_records_ = 0;

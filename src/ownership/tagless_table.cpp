@@ -5,13 +5,14 @@
 
 namespace tmb::ownership {
 
-TaglessTable::TaglessTable(TableConfig config) : config_(config) {
+TaglessTable::TaglessTable(TableConfig config)
+    : config_(config), hasher_(config.hash, config.entries) {
     if (config_.entries == 0) throw std::invalid_argument("table must have entries");
     entries_.resize(config_.entries);
 }
 
 std::uint64_t TaglessTable::index_of(std::uint64_t block) const noexcept {
-    return util::hash_block(config_.hash, block, config_.entries);
+    return hasher_(block);
 }
 
 AcquireResult TaglessTable::acquire_read(TxId tx, std::uint64_t block) {

@@ -73,6 +73,7 @@ private:
     };
 
     TableConfig config_;
+    util::BlockHasher hasher_;
     std::vector<Entry> entries_;
     TableCounters counters_;
     std::uint64_t occupied_ = 0;

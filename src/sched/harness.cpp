@@ -178,6 +178,7 @@ HarnessConfig harness_config_from(const config::Config& cfg) {
     out.entries = cfg.get_u64("entries", out.entries);
     out.commit_time_locks =
         cfg.get_bool("commit_time_locks", out.commit_time_locks);
+    out.clock = cfg.get("clock", out.clock);
     out.threads = cfg.get_u32("threads", out.threads);
     out.txs_per_thread = cfg.get_u32("txs", out.txs_per_thread);
     out.ops_per_tx = cfg.get_u32("ops", out.ops_per_tx);
@@ -210,6 +211,7 @@ config::Config stm_spec(const HarnessConfig& cfg) {
     out.set("hash", "shift-mask");
     out.set("contention", "none");
     if (cfg.commit_time_locks) out.set("commit_time_locks", "1");
+    if (!cfg.clock.empty()) out.set("clock", cfg.clock);
     return out;
 }
 
@@ -217,6 +219,7 @@ std::string repro_flags(const HarnessConfig& cfg) {
     std::string out = "--backend=" + cfg.backend;
     if (cfg.backend == "table") out += " --table=" + cfg.table;
     if (cfg.commit_time_locks) out += " --commit_time_locks=1";
+    if (!cfg.clock.empty()) out += " --clock=" + cfg.clock;
     out += " --entries=" + std::to_string(cfg.entries);
     out += " --threads=" + std::to_string(cfg.threads);
     out += " --txs=" + std::to_string(cfg.txs_per_thread);
@@ -287,6 +290,11 @@ RunResult run_schedule(const HarnessConfig& cfg,
     }
 
     RunResult result;
+    // Capacity retention: the commit log's final size is known up front,
+    // and each record's read/write logs are bounded by the program length —
+    // reserve once instead of growing on the hot turnstile path.
+    result.commit_log.reserve(std::size_t{cfg.threads} * cfg.txs_per_thread);
+    result.schedule.reserve(256);
     Turnstile ts(cfg.threads);
 
     std::vector<std::thread> workers;
@@ -302,6 +310,8 @@ RunResult run_schedule(const HarnessConfig& cfg,
                 for (std::uint32_t k = 0; k < cfg.txs_per_thread; ++k) {
                     const TxProgram& prog = programs[t][k];
                     CommitRecord rec;
+                    rec.reads.reserve(prog.ops.size());
+                    rec.writes.reserve(prog.ops.size());
                     // The body re-executes per attempt; only the successful
                     // attempt's records survive (cleared on entry).
                     exec.atomically([&](stm::Transaction& tx) {

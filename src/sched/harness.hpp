@@ -59,6 +59,7 @@ struct HarnessConfig {
     std::string table = "tagless";  ///< organization, table backend only
     std::uint64_t entries = 16;     ///< ownership-table slots (small ⇒ aliasing)
     bool commit_time_locks = false;
+    std::string clock;              ///< tl2 clock scheme (gv1|gv5; "" = engine default)
     // --- workload shape ---
     std::uint32_t threads = 3;         ///< virtual threads (≤ 36)
     std::uint32_t txs_per_thread = 3;  ///< transactions each runs, in order
@@ -78,7 +79,7 @@ struct HarnessConfig {
     std::uint64_t step_limit = 1u << 20;
 };
 
-/// Parses harness keys: backend, table, entries, commit_time_locks,
+/// Parses harness keys: backend, table, entries, commit_time_locks, clock,
 /// threads, txs, ops, slots, wfrac, rofrac, mode (acc|incr), wseed,
 /// step_limit.
 [[nodiscard]] HarnessConfig harness_config_from(const config::Config& cfg);

@@ -16,14 +16,13 @@
 
 #include <array>
 #include <mutex>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "ownership/atomic_tagless_table.hpp"
 #include "stm/backend.hpp"
 #include "stm/sched_hook.hpp"
 #include "stm/slot_pool.hpp"
+#include "stm/txlocal.hpp"
 #include "util/bits.hpp"
 
 namespace tmb::stm::detail {
@@ -50,14 +49,17 @@ public:
 
     AtomicBackend& backend_;
     TxId slot_;
-    std::unordered_map<std::uint64_t, Mode> modes_;
+    /// Allocation-free tx-local structures (stm/txlocal.hpp): the mode
+    /// cache clears in O(1) per attempt and the undo log keeps capacity, so
+    /// a steady-state transaction never touches the heap.
+    SmallMap<std::uint64_t, Mode> modes_;
     std::vector<UndoEntry> undo_;
 };
 
 /// Per-slot footprint record, for classification and leak-free teardown.
 struct alignas(64) SlotFootprint {
     std::mutex mutex;
-    std::unordered_set<std::uint64_t> blocks;
+    SmallSet<std::uint64_t> blocks;
 };
 
 class AtomicBackend final : public Backend {
@@ -99,8 +101,8 @@ public:
                std::uint64_t value) override {
         auto& cx = static_cast<AtomicContext&>(cx_base);
         const std::uint64_t block = block_of(addr);
-        const auto it = cx.modes_.find(block);
-        if (it == cx.modes_.end() || it->second != Mode::kWrite) {
+        const Mode* held = cx.modes_.find(block);
+        if (held == nullptr || *held != Mode::kWrite) {
             acquire_block(cx, block, /*for_write=*/true);
         }
         cx.undo_.push_back({addr, *addr});
@@ -145,7 +147,7 @@ private:
             const std::lock_guard<std::mutex> guard(fp.mutex);
             fp.blocks.insert(block);
         }
-        cx.modes_[block] = for_write ? Mode::kWrite : Mode::kRead;
+        cx.modes_.put(block, for_write ? Mode::kWrite : Mode::kRead);
     }
 
     void classify_conflict(std::uint64_t block, std::uint64_t conflicting) {
@@ -165,9 +167,9 @@ private:
     }
 
     void release_all(AtomicContext& cx) {
-        for (const auto& [block, mode] : cx.modes_) {
+        cx.modes_.for_each([&](std::uint64_t block, Mode mode) {
             table_.release(cx.slot_, block, mode);
-        }
+        });
         {
             SlotFootprint& fp = footprints_[cx.slot_];
             const std::lock_guard<std::mutex> guard(fp.mutex);

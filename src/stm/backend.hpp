@@ -31,6 +31,14 @@ using SharedStats = Instrumentation;
 class TxContext {
 public:
     virtual ~TxContext() = default;
+
+    /// Folds any statistics accumulated locally in this context into the
+    /// backend's shared Instrumentation block. Hot paths accumulate plain
+    /// per-context counters and the runtime flushes when a context retires
+    /// (Executor destruction, context-pool return), so per-access and
+    /// per-commit paths never touch a shared counter. Counters routed this
+    /// way are exact at quiescent points.
+    virtual void flush_stats() noexcept {}
 };
 
 /// Metadata-organization-specific transactional engine.

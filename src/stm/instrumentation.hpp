@@ -27,6 +27,16 @@ struct Instrumentation {
     /// conflict (tagless only; tagged tables never report one).
     std::atomic<std::uint64_t> true_conflicts{0};
     std::atomic<std::uint64_t> false_conflicts{0};
+    /// TL2 only: read-set entries recorded (post-dedup — one per *unique*
+    /// stripe lock read) and lock words examined by commit-time validation
+    /// plus read-version extension. With the dedup filter in place,
+    /// validation work per commit equals the unique-stripe count, not the
+    /// load count; tests assert exactly that. Backends accumulate these as
+    /// plain counters in the TxContext and flush when the context retires
+    /// (TxContext::flush_stats), so no hot path touches a shared counter;
+    /// exact at quiescent points.
+    std::atomic<std::uint64_t> tl2_read_set_entries{0};
+    std::atomic<std::uint64_t> tl2_validation_checks{0};
 
     /// Attempts-per-committed-transaction histogram: bucket i (1-based)
     /// counts transactions that committed on attempt i; the last bucket

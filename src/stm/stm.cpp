@@ -1,6 +1,8 @@
 #include "stm/stm.hpp"
 
 #include <atomic>
+#include <limits>
+#include <mutex>
 #include <stdexcept>
 
 #include "config/registry.hpp"
@@ -61,6 +63,10 @@ BackendRegistry& backend_registry() {
     out.explicit_retries = in.explicit_retries.load(std::memory_order_relaxed);
     out.true_conflicts = in.true_conflicts.load(std::memory_order_relaxed);
     out.false_conflicts = in.false_conflicts.load(std::memory_order_relaxed);
+    out.tl2_read_set_entries =
+        in.tl2_read_set_entries.load(std::memory_order_relaxed);
+    out.tl2_validation_checks =
+        in.tl2_validation_checks.load(std::memory_order_relaxed);
     out.attempts_per_commit = in.attempts_histogram();
     return out;
 }
@@ -107,6 +113,21 @@ BackendKind backend_kind_from_string(std::string_view name) {
 
 std::vector<std::string> backend_names() { return backend_registry().names(); }
 
+std::string_view to_string(Tl2Clock clock) noexcept {
+    switch (clock) {
+        case Tl2Clock::kGv1: return "gv1";
+        case Tl2Clock::kGv5: return "gv5";
+    }
+    return "unknown";
+}
+
+Tl2Clock tl2_clock_from_string(std::string_view name) {
+    if (name == "gv1") return Tl2Clock::kGv1;
+    if (name == "gv5") return Tl2Clock::kGv5;
+    throw std::invalid_argument("unknown TL2 clock scheme '" +
+                                std::string(name) + "' (known: gv1, gv5)");
+}
+
 StmConfig stm_config_from(const config::Config& cfg) {
     StmConfig out;
     // `backend=` names the engine; `backend=table` (implied whenever only
@@ -135,6 +156,8 @@ StmConfig stm_config_from(const config::Config& cfg) {
         cfg.get("hash", util::to_string(out.table.hash)));
     out.block_bytes = cfg.get_u32("block_bytes", out.block_bytes);
     out.tl2_locks = cfg.get_u64("tl2_locks", out.tl2_locks);
+    out.tl2_clock = tl2_clock_from_string(
+        cfg.get("clock", std::string(to_string(out.tl2_clock))));
     out.commit_time_locks =
         cfg.get_bool("commit_time_locks", out.commit_time_locks);
     out.max_attempts = cfg.get_u32("max_attempts", out.max_attempts);
@@ -171,12 +194,54 @@ public:
         // registered at runtime is selectable exactly like the built-ins.
         backend_ = backend_registry().create(registry_key(config_.backend),
                                              config::Config{}, config_, stats_);
+        // Contexts carry allocation-free tx-local structures (txlocal.hpp)
+        // that are cheap to reuse but not to construct; pool them for the
+        // convenience Stm::atomically path. Only backends without a slot
+        // cap participate: a pooled table-backend context would pin its
+        // TxId slot and could starve Executors of slots.
+        pool_contexts_ = backend_->max_live_contexts() ==
+                         std::numeric_limits<std::uint32_t>::max();
+        // Full capacity up front: release_context's push_back must not
+        // throw (it runs inside a scope guard, possibly mid-unwind).
+        if (pool_contexts_) context_pool_.reserve(kMaxPooledContexts);
+    }
+
+    [[nodiscard]] std::unique_ptr<detail::TxContext> acquire_context() {
+        if (pool_contexts_) {
+            const std::lock_guard<std::mutex> guard(pool_mutex_);
+            if (!context_pool_.empty()) {
+                auto cx = std::move(context_pool_.back());
+                context_pool_.pop_back();
+                return cx;
+            }
+        }
+        return backend_->make_context();
+    }
+
+    void release_context(std::unique_ptr<detail::TxContext> cx) {
+        // A retiring context folds its locally accumulated counters into
+        // the shared block (destruction flushes too; pooling would not).
+        cx->flush_stats();
+        if (pool_contexts_) {
+            const std::lock_guard<std::mutex> guard(pool_mutex_);
+            if (context_pool_.size() < kMaxPooledContexts) {
+                context_pool_.push_back(std::move(cx));
+                return;
+            }
+        }
+        // Destroyed here (table backends: releases the TxId slot).
     }
 
     StmConfig config_;
     detail::SharedStats stats_;
     std::unique_ptr<detail::Backend> backend_;
     std::atomic<std::uint64_t> cm_seed_{0x5eedc0ffee123457ULL};
+
+private:
+    static constexpr std::size_t kMaxPooledContexts = 64;
+    bool pool_contexts_ = false;
+    std::mutex pool_mutex_;
+    std::vector<std::unique_ptr<detail::TxContext>> context_pool_;
 };
 
 Stm::Stm(StmConfig config) : impl_(std::make_unique<Impl>(std::move(config))) {}
@@ -193,7 +258,15 @@ StmStats Stm::stats() const noexcept {
 const StmConfig& Stm::config() const noexcept { return impl_->config_; }
 
 void Stm::run(detail::BodyRef body) {
-    const auto cx = impl_->backend_->make_context();
+    auto cx = impl_->acquire_context();
+    // Return the context to the pool on every exit path (including
+    // TooMuchContention and user exceptions, where abort() already rolled
+    // the transaction back and the context is quiescent).
+    struct Return {
+        Impl* impl;
+        std::unique_ptr<detail::TxContext>* cx;
+        ~Return() { impl->release_context(std::move(*cx)); }
+    } ret{impl_.get(), &cx};
     run_in(body, *cx, impl_->stats_,
            impl_->cm_seed_.fetch_add(0x9e3779b97f4a7c15ULL,
                                      std::memory_order_relaxed));

@@ -74,6 +74,23 @@ enum class BackendKind { kTaglessTable, kTaglessAtomic, kTaggedTable, kTl2 };
 /// registered in config::Registry<detail::Backend, ...> appear here too.
 [[nodiscard]] std::vector<std::string> backend_names();
 
+/// TL2 global-version-clock scheme (tl2 backend only).
+///
+///   kGv1 — classic TL2: every writer commit performs fetch_add on the
+///          global clock; simple, but the clock cache line is the hottest
+///          contended word in the system.
+///   kGv5 — a writer whose commit-time clock still equals its read version
+///          validates its read set and, when clean, publishes rv+1 WITHOUT
+///          touching the clock. Stripe versions may then run one ahead of
+///          the clock; a load observing such a version advances the clock
+///          (fetch_max, conflict path only) and revalidates its read set at
+///          the new version instead of aborting. Commits that see a moved
+///          clock fall back to fetch_add, bounding the lag to one.
+enum class Tl2Clock { kGv1, kGv5 };
+
+[[nodiscard]] std::string_view to_string(Tl2Clock clock) noexcept;
+[[nodiscard]] Tl2Clock tl2_clock_from_string(std::string_view name);
+
 /// Runtime configuration.
 struct StmConfig {
     BackendKind backend = BackendKind::kTaggedTable;
@@ -85,6 +102,9 @@ struct StmConfig {
     std::uint32_t block_bytes = 64;
     /// Number of versioned locks (TL2 backend). Power of two.
     std::uint64_t tl2_locks = 1u << 20;
+    /// Global-clock scheme (TL2 backend). kGv5 removes the per-commit
+    /// fetch_add from uncontended writer commits; see Tl2Clock.
+    Tl2Clock tl2_clock = Tl2Clock::kGv5;
     /// Table backends only: acquire WRITE ownership at commit time (lazy /
     /// commit-time locking with a redo buffer) instead of at first write
     /// (eager / encounter-time locking with an undo log). Read ownership is
@@ -107,6 +127,7 @@ struct StmConfig {
 ///   hash              shift-mask | multiplicative | mix64
 ///   block_bytes       conflict-tracking granularity (default 64)
 ///   tl2_locks         versioned-lock count for tl2 (default 1<<20)
+///   clock             gv1 | gv5 (TL2 global-clock scheme, default gv5)
 ///   commit_time_locks eager (false, default) vs lazy write locking
 ///   max_attempts      TooMuchContention threshold (default 0 = forever)
 ///   contention        backoff | yield | none
@@ -123,6 +144,15 @@ struct StmStats {
     /// conflict (tagless only; tagged tables never report one).
     std::uint64_t true_conflicts = 0;
     std::uint64_t false_conflicts = 0;
+    /// TL2 only: unique stripe locks recorded into read sets (dedup'd — a
+    /// re-read of a stripe adds nothing) and lock words examined by
+    /// commit-time validation / read-version extension. Validation work per
+    /// transaction equals the unique-stripe count, not the load count.
+    /// Accumulated per context and flushed when the context retires
+    /// (Executor destruction / end of an Stm::atomically call): exact at
+    /// quiescent points, possibly stale while executors are live.
+    std::uint64_t tl2_read_set_entries = 0;
+    std::uint64_t tl2_validation_checks = 0;
     /// Attempts-per-committed-transaction distribution (bucket = attempt
     /// count, 1 = first-try commit); the user-visible retry cost of the
     /// conflicts — false ones included — that the paper models.
@@ -149,6 +179,8 @@ struct StmStats {
         explicit_retries += other.explicit_retries;
         true_conflicts += other.true_conflicts;
         false_conflicts += other.false_conflicts;
+        tl2_read_set_entries += other.tl2_read_set_entries;
+        tl2_validation_checks += other.tl2_validation_checks;
         attempts_per_commit.merge(other.attempts_per_commit);
     }
 };

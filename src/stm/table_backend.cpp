@@ -17,12 +17,15 @@
 // outside the lock, made safe by the two-phase-locking invariant. The
 // single lock keeps the *organization's* behaviour (the object of study)
 // free of lock-splitting artifacts.
+//
+// Per-transaction state is allocation-free (stm/txlocal.hpp): the block →
+// mode cache and the per-slot held-block footprints are SmallMap/SmallSet
+// (inline storage, O(1) epoch clear), and the undo/redo logs are vectors
+// that keep their capacity across retries and transactions. A steady-state
+// transaction run through an Executor performs zero heap allocations.
 
 #include <array>
 #include <mutex>
-#include <thread>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "ownership/tagged_table.hpp"
@@ -30,6 +33,7 @@
 #include "stm/backend.hpp"
 #include "stm/sched_hook.hpp"
 #include "stm/slot_pool.hpp"
+#include "stm/txlocal.hpp"
 #include "util/bits.hpp"
 
 namespace tmb::stm::detail {
@@ -45,6 +49,11 @@ struct UndoEntry {
     std::uint64_t old_value;
 };
 
+/// Block → strongest-mode map of one transaction (the local cache avoiding
+/// table trips) and the per-slot footprint sets share this shape.
+using BlockModes = SmallMap<std::uint64_t, Mode>;
+using BlockSet = SmallSet<std::uint64_t>;
+
 template <typename Table>
 class TableBackend;
 
@@ -57,8 +66,7 @@ public:
 
     TableBackend<Table>& backend_;
     TxId slot_;
-    /// Block -> strongest mode acquired (local cache avoiding table trips).
-    std::unordered_map<std::uint64_t, Mode> modes_;
+    BlockModes modes_;
     std::vector<UndoEntry> undo_;
 };
 
@@ -94,8 +102,8 @@ public:
                std::uint64_t value) override {
         auto& cx = static_cast<TableContext<Table>&>(cx_base);
         const std::uint64_t block = block_of(addr);
-        const auto it = cx.modes_.find(block);
-        if (it == cx.modes_.end() || it->second != Mode::kWrite) {
+        const Mode* held = cx.modes_.find(block);
+        if (held == nullptr || *held != Mode::kWrite) {
             acquire_block(cx, block, /*for_write=*/true);
         }
         cx.undo_.push_back({addr, *addr});
@@ -152,7 +160,7 @@ private:
             throw ConflictAbort{};
         }
         held_blocks_[cx.slot_].insert(block);
-        cx.modes_[block] = for_write ? Mode::kWrite : Mode::kRead;
+        cx.modes_.put(block, for_write ? Mode::kWrite : Mode::kRead);
     }
 
     /// Pre: mutex_ held.
@@ -172,9 +180,9 @@ private:
 
     void release_all(TableContext<Table>& cx) {
         const std::lock_guard<std::mutex> guard(mutex_);
-        for (const auto& [block, mode] : cx.modes_) {
+        cx.modes_.for_each([&](std::uint64_t block, Mode mode) {
             table_.release(cx.slot_, block, mode);
-        }
+        });
         held_blocks_[cx.slot_].clear();
         cx.modes_.clear();
         cx.undo_.clear();
@@ -184,7 +192,7 @@ private:
     unsigned block_shift_;
     mutable std::mutex mutex_;
     Table table_;
-    std::array<std::unordered_set<std::uint64_t>, ownership::kMaxTx> held_blocks_;
+    std::array<BlockSet, ownership::kMaxTx> held_blocks_;
     SlotPool slots_;
 };
 
@@ -213,8 +221,10 @@ public:
 
     LazyTableBackend<Table>& backend_;
     TxId slot_;
-    std::unordered_map<std::uint64_t, Mode> held_;   ///< blocks owned (reads + commit-time writes)
-    std::vector<std::pair<std::uint64_t*, std::uint64_t>> redo_;  ///< program order
+    BlockModes held_;  ///< blocks owned (reads + commit-time writes)
+    /// Redo buffer: one entry per address in first-write order (rewrites
+    /// update in place), with the shared scan-then-index lookup.
+    WriteLog redo_;
 };
 
 template <typename Table>
@@ -238,9 +248,9 @@ public:
 
     std::uint64_t load(TxContext& cx_base, const std::uint64_t* addr) override {
         auto& cx = static_cast<LazyTableContext<Table>&>(cx_base);
-        // Read-your-own-write from the redo buffer (newest entry wins).
-        for (auto it = cx.redo_.rbegin(); it != cx.redo_.rend(); ++it) {
-            if (it->first == addr) return it->second;
+        // Read-your-own-write from the redo buffer.
+        if (const WriteLog::Entry* entry = cx.redo_.find(addr)) {
+            return entry->value;
         }
         const std::uint64_t block = block_of(addr);
         if (!cx.held_.contains(block)) {
@@ -256,7 +266,7 @@ public:
                 throw ConflictAbort{};
             }
             held_blocks_[cx.slot_].insert(block);
-            cx.held_[block] = Mode::kRead;
+            cx.held_.put(block, Mode::kRead);
         }
         return *addr;  // safe: >= read ownership until transaction end
     }
@@ -264,7 +274,12 @@ public:
     void store(TxContext& cx_base, std::uint64_t* addr,
                std::uint64_t value) override {
         auto& cx = static_cast<LazyTableContext<Table>&>(cx_base);
-        cx.redo_.push_back({addr, value});  // ownership deferred to commit
+        // Ownership deferred to commit.
+        if (WriteLog::Entry* entry = cx.redo_.find(addr)) {
+            entry->value = value;
+            return;
+        }
+        cx.redo_.push(addr, value);
     }
 
     bool commit(TxContext& cx_base) override {
@@ -273,10 +288,10 @@ public:
             // Real engine: all commit-time acquires under one guard, as a
             // single metadata operation (no per-entry lock round-trips).
             const std::lock_guard<std::mutex> guard(mutex_);
-            for (const auto& [addr, value] : cx.redo_) {
-                const std::uint64_t block = block_of(addr);
-                const auto it = cx.held_.find(block);
-                if (it != cx.held_.end() && it->second == Mode::kWrite) continue;
+            for (const WriteLog::Entry& entry : cx.redo_.entries()) {
+                const std::uint64_t block = block_of(entry.addr);
+                const Mode* held = cx.held_.find(block);
+                if (held != nullptr && *held == Mode::kWrite) continue;
                 if (!acquire_commit_block_locked(cx, block)) {
                     release_all_locked(cx);
                     return false;  // retry
@@ -288,13 +303,11 @@ public:
             // succeed have compatible lock sets (a conflicting pair aborts
             // one), so commit-completion order stays a valid serialization
             // order.
-            for (const auto& [addr, value] : cx.redo_) {
-                const std::uint64_t block = block_of(addr);
+            for (const WriteLog::Entry& entry : cx.redo_.entries()) {
+                const std::uint64_t block = block_of(entry.addr);
                 {
-                    const auto it = cx.held_.find(block);
-                    if (it != cx.held_.end() && it->second == Mode::kWrite) {
-                        continue;
-                    }
+                    const Mode* held = cx.held_.find(block);
+                    if (held != nullptr && *held == Mode::kWrite) continue;
                 }
                 try {
                     scheduler_yield(YieldPoint::kAcquireWrite);
@@ -310,9 +323,11 @@ public:
                 }
             }
         }
-        // Write back in program order under exclusive ownership, then drop
-        // everything.
-        for (const auto& [addr, value] : cx.redo_) *addr = value;
+        // Write back under exclusive ownership (one entry per address, each
+        // holding its final value), then drop everything.
+        for (const WriteLog::Entry& entry : cx.redo_.entries()) {
+            *entry.addr = entry.value;
+        }
         const std::lock_guard<std::mutex> guard(mutex_);
         release_all_locked(cx);
         return true;
@@ -359,7 +374,7 @@ private:
             return false;
         }
         held_blocks_[cx.slot_].insert(block);
-        cx.held_[block] = Mode::kWrite;
+        cx.held_.put(block, Mode::kWrite);
         return true;
     }
 
@@ -380,9 +395,9 @@ private:
 
     /// Pre: mutex_ held.
     void release_all_locked(LazyTableContext<Table>& cx) {
-        for (const auto& [block, mode] : cx.held_) {
+        cx.held_.for_each([&](std::uint64_t block, Mode mode) {
             table_.release(cx.slot_, block, mode);
-        }
+        });
         held_blocks_[cx.slot_].clear();
         cx.held_.clear();
         cx.redo_.clear();
@@ -392,7 +407,7 @@ private:
     unsigned block_shift_;
     mutable std::mutex mutex_;
     Table table_;
-    std::array<std::unordered_set<std::uint64_t>, ownership::kMaxTx> held_blocks_;
+    std::array<BlockSet, ownership::kMaxTx> held_blocks_;
     SlotPool slots_;
 };
 

@@ -34,34 +34,24 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
     return x ^ (x >> 31);
 }
 
+// The formulas live in BlockHasher::operator() (hash.hpp) — the hot-path
+// form the ownership tables use; these free functions are thin one-shot
+// wrappers so there is exactly one implementation to test and evolve.
+
 std::uint64_t hash_shift_mask(std::uint64_t block, std::uint64_t n) noexcept {
-    // For power-of-two N this is block mod N; consecutive blocks map to
-    // consecutive entries, exactly the behaviour discussed in the paper's §4.
-    return is_pow2(n) ? (block & (n - 1)) : (block % n);
+    return BlockHasher(HashKind::kShiftMask, n)(block);
 }
 
 std::uint64_t hash_multiplicative(std::uint64_t block, std::uint64_t n) noexcept {
-    // Knuth multiplicative hashing with the 64-bit golden-ratio constant.
-    const std::uint64_t mixed = block * 0x9e3779b97f4a7c15ULL;
-    if (is_pow2(n)) {
-        const unsigned bits = log2_pow2(n);
-        return bits == 0 ? 0 : (mixed >> (64 - bits));
-    }
-    return mixed % n;
+    return BlockHasher(HashKind::kMultiplicative, n)(block);
 }
 
 std::uint64_t hash_mix64(std::uint64_t block, std::uint64_t n) noexcept {
-    const std::uint64_t mixed = mix64(block);
-    return is_pow2(n) ? (mixed & (n - 1)) : (mixed % n);
+    return BlockHasher(HashKind::kMix64, n)(block);
 }
 
 std::uint64_t hash_block(HashKind kind, std::uint64_t block, std::uint64_t n) noexcept {
-    switch (kind) {
-        case HashKind::kShiftMask: return hash_shift_mask(block, n);
-        case HashKind::kMultiplicative: return hash_multiplicative(block, n);
-        case HashKind::kMix64: return hash_mix64(block, n);
-    }
-    return 0;
+    return BlockHasher(kind, n)(block);
 }
 
 }  // namespace tmb::util

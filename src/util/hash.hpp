@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "util/bits.hpp"
+
 namespace tmb::util {
 
 /// Hash family selector, usable as a runtime knob in benches and tests.
@@ -42,5 +44,44 @@ enum class HashKind {
 /// The raw 64-bit avalanche mixer underlying kMix64 (also useful as a
 /// general-purpose integer hash in tests).
 [[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Precomputed block → index hasher for one table shape. `hash_block`
+/// redoes the power-of-two test (and, failing it, a 64-bit divide) on every
+/// call; ownership tables sit on the STM's per-access fast path, so they
+/// resolve the shape once at construction and the per-access cost collapses
+/// to mix + mask for power-of-two tables.
+class BlockHasher {
+public:
+    BlockHasher() noexcept : BlockHasher(HashKind::kMix64, 1) {}
+    BlockHasher(HashKind kind, std::uint64_t n) noexcept
+        : kind_(kind),
+          n_(n),
+          pow2_(is_pow2(n)),
+          mask_(n - 1),
+          mult_shift_(pow2_ && n > 1 ? 64 - log2_pow2(n) : 64) {}
+
+    [[nodiscard]] std::uint64_t operator()(std::uint64_t block) const noexcept {
+        switch (kind_) {
+            case HashKind::kShiftMask:
+                return pow2_ ? (block & mask_) : (block % n_);
+            case HashKind::kMultiplicative: {
+                const std::uint64_t mixed = block * 0x9e3779b97f4a7c15ULL;
+                if (!pow2_) return mixed % n_;
+                return mult_shift_ == 64 ? 0 : (mixed >> mult_shift_);
+            }
+            case HashKind::kMix64:
+                break;
+        }
+        const std::uint64_t mixed = mix64(block);
+        return pow2_ ? (mixed & mask_) : (mixed % n_);
+    }
+
+private:
+    HashKind kind_;
+    std::uint64_t n_;
+    bool pow2_;
+    std::uint64_t mask_;
+    unsigned mult_shift_;
+};
 
 }  // namespace tmb::util
