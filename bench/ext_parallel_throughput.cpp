@@ -54,7 +54,8 @@ int bench_main(int argc, char** argv) {
               << " ops/thread=" << cfg.get("ops", "") << "\n\n";
 
     TablePrinter t({"threads", "ops", "commits/s", "abort rate",
-                    "mean attempts", "false conflicts", "elapsed s"});
+                    "mean attempts", "false conflicts", "clock cas fails",
+                    "policy switches", "elapsed s"});
     for (const std::uint32_t threads : points) {
         cfg.set("threads", std::to_string(threads));
         tmb::exec::ParallelRunner engine(cfg);
@@ -64,6 +65,8 @@ int bench_main(int argc, char** argv) {
                    TablePrinter::fmt(r.stats.abort_rate(), 4),
                    TablePrinter::fmt(r.stats.mean_attempts(), 3),
                    std::to_string(r.stats.false_conflicts),
+                   std::to_string(r.stats.clock_cas_failures),
+                   std::to_string(r.stats.policy_switches),
                    TablePrinter::fmt(r.elapsed_seconds, 3)});
     }
     runner.emit("parallel_throughput", t);

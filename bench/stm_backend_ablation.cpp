@@ -89,6 +89,12 @@ void run_disjoint_workload(benchmark::State& state, const std::string& spec) {
             static_cast<double>(stats.true_conflicts);
         state.counters["abort_rate"] = stats.abort_rate();
         state.counters["mean_attempts"] = stats.mean_attempts();
+        state.counters["clock_cas_failures"] =
+            static_cast<double>(stats.clock_cas_failures);
+        state.counters["policy_switches"] =
+            static_cast<double>(stats.policy_switches);
+        state.counters["table_resizes"] =
+            static_cast<double>(stats.table_resizes);
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             kThreads * kTxPerThread);
@@ -100,6 +106,22 @@ void BM_Tl2_DisjointThreads(benchmark::State& state) {
 }
 
 BENCHMARK(BM_Tl2_DisjointThreads)->ArgName("entries")->Arg(0)->UseRealTime();
+
+/// The adaptive runtime on the same workload, starting from the small
+/// tagless table the entries arg names: the auto policy reads the false-
+/// conflict rate and grows (or re-tags) the table online, so the shrinking-
+/// table degradation the static tagless rows show should flatten out here.
+void BM_Adaptive_DisjointThreads(benchmark::State& state) {
+    run_disjoint_workload(state,
+                          "backend=adaptive engine=table table=tagless "
+                          "policy=auto epoch=128 max_entries=65536");
+}
+
+BENCHMARK(BM_Adaptive_DisjointThreads)
+    ->ArgName("entries")
+    ->Arg(256)
+    ->Arg(4096)
+    ->UseRealTime();
 
 /// Single-thread transaction overhead: the raw cost of the metadata
 /// organization with no contention at all. `spec` selects the backend by
@@ -135,12 +157,21 @@ void BM_TaglessLazy_SingleThread(benchmark::State& state) {
 void BM_TaggedLazy_SingleThread(benchmark::State& state) {
     run_single_thread(state, "table=tagged entries=64k commit_time_locks=1");
 }
+/// Forwarding cost of the adaptive wrapper with the policy disabled: the
+/// delta against BM_Tagless_SingleThread is the per-access price of the
+/// epoch layer (one indirection + in-flight bookkeeping).
+void BM_AdaptiveOff_SingleThread(benchmark::State& state) {
+    run_single_thread(state,
+                      "backend=adaptive engine=table table=tagless "
+                      "entries=64k policy=off");
+}
 
 BENCHMARK(BM_Tagless_SingleThread);
 BENCHMARK(BM_Tagged_SingleThread);
 BENCHMARK(BM_Tl2_SingleThread);
 BENCHMARK(BM_TaglessLazy_SingleThread);
 BENCHMARK(BM_TaggedLazy_SingleThread);
+BENCHMARK(BM_AdaptiveOff_SingleThread);
 
 }  // namespace
 

@@ -148,6 +148,11 @@ ParallelResult ParallelRunner::run() {
     result.stats.true_conflicts += after.true_conflicts - before.true_conflicts;
     result.stats.false_conflicts +=
         after.false_conflicts - before.false_conflicts;
+    result.stats.clock_cas_failures +=
+        after.clock_cas_failures - before.clock_cas_failures;
+    result.stats.policy_switches +=
+        after.policy_switches - before.policy_switches;
+    result.stats.table_resizes += after.table_resizes - before.table_resizes;
 
     lifetime_ops_ += result.ops;
     workload_->verify(lifetime_ops_);

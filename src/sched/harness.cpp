@@ -179,6 +179,10 @@ HarnessConfig harness_config_from(const config::Config& cfg) {
     out.commit_time_locks =
         cfg.get_bool("commit_time_locks", out.commit_time_locks);
     out.clock = cfg.get("clock", out.clock);
+    out.engine = cfg.get("engine", out.engine);
+    out.policy = cfg.get("policy", out.policy);
+    out.epoch = cfg.get_u64("epoch", out.epoch);
+    out.max_entries = cfg.get_u64("max_entries", out.max_entries);
     out.threads = cfg.get_u32("threads", out.threads);
     out.txs_per_thread = cfg.get_u32("txs", out.txs_per_thread);
     out.ops_per_tx = cfg.get_u32("ops", out.ops_per_tx);
@@ -202,7 +206,17 @@ HarnessConfig harness_config_from(const config::Config& cfg) {
 config::Config stm_spec(const HarnessConfig& cfg) {
     config::Config out;
     out.set("backend", cfg.backend);
-    if (cfg.backend == "table") out.set("table", cfg.table);
+    if (cfg.backend == "table" || cfg.backend == "adaptive") {
+        out.set("table", cfg.table);
+    }
+    if (cfg.backend == "adaptive") {
+        if (!cfg.engine.empty()) out.set("engine", cfg.engine);
+        if (!cfg.policy.empty()) out.set("policy", cfg.policy);
+        if (cfg.epoch != 0) out.set("epoch", std::to_string(cfg.epoch));
+        if (cfg.max_entries != 0) {
+            out.set("max_entries", std::to_string(cfg.max_entries));
+        }
+    }
     out.set("entries", std::to_string(cfg.entries));
     out.set("block_bytes", "64");
     // Determinism pins: shift-mask makes ownership-table aliasing a pure
@@ -217,7 +231,17 @@ config::Config stm_spec(const HarnessConfig& cfg) {
 
 std::string repro_flags(const HarnessConfig& cfg) {
     std::string out = "--backend=" + cfg.backend;
-    if (cfg.backend == "table") out += " --table=" + cfg.table;
+    if (cfg.backend == "table" || cfg.backend == "adaptive") {
+        out += " --table=" + cfg.table;
+    }
+    if (cfg.backend == "adaptive") {
+        if (!cfg.engine.empty()) out += " --engine=" + cfg.engine;
+        if (!cfg.policy.empty()) out += " --policy=" + cfg.policy;
+        if (cfg.epoch != 0) out += " --epoch=" + std::to_string(cfg.epoch);
+        if (cfg.max_entries != 0) {
+            out += " --max_entries=" + std::to_string(cfg.max_entries);
+        }
+    }
     if (cfg.commit_time_locks) out += " --commit_time_locks=1";
     if (!cfg.clock.empty()) out += " --clock=" + cfg.clock;
     out += " --entries=" + std::to_string(cfg.entries);
@@ -272,12 +296,18 @@ std::vector<std::vector<TxProgram>> generate_programs(
 RunResult run_schedule(const HarnessConfig& cfg,
                        const std::vector<std::vector<TxProgram>>& programs,
                        Schedule& schedule) {
+    const auto tm = stm::Stm::create(stm_spec(cfg));
+    return run_schedule(cfg, programs, schedule, *tm);
+}
+
+RunResult run_schedule(const HarnessConfig& cfg,
+                       const std::vector<std::vector<TxProgram>>& programs,
+                       Schedule& schedule, stm::Stm& tm) {
     if (programs.size() != cfg.threads) {
         throw std::invalid_argument(
             "sched harness: programs/threads mismatch");
     }
-    const auto tm = stm::Stm::create(stm_spec(cfg));
-    validate(cfg, *tm);
+    validate(cfg, tm);
 
     std::fill(arena(), arena() + std::size_t{kMaxSlots} * 8, 0);
 
@@ -286,7 +316,7 @@ RunResult run_schedule(const HarnessConfig& cfg,
     std::vector<std::unique_ptr<stm::Executor>> executors;
     executors.reserve(cfg.threads);
     for (std::uint32_t t = 0; t < cfg.threads; ++t) {
-        executors.push_back(tm->make_executor());
+        executors.push_back(tm.make_executor());
     }
 
     RunResult result;
@@ -412,13 +442,13 @@ RunResult run_schedule(const HarnessConfig& cfg,
     }
     result.state_hash = h;
 
-    result.stats = tm->stats();  // conflict classification (instance block)
+    result.stats = tm.stats();  // conflict classification (instance block)
     for (const auto& exec : executors) {
         result.stats.merge(exec->stats());  // commits/aborts (shards)
     }
 
     if (!result.cancelled) {
-        if (const std::uint64_t held = tm->occupied_metadata_entries()) {
+        if (const std::uint64_t held = tm.occupied_metadata_entries()) {
             throw std::runtime_error(
                 "sched harness: ownership table not quiescent after run: " +
                 std::to_string(held) + " entries still held");

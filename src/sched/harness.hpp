@@ -48,18 +48,27 @@
 
 namespace tmb::sched {
 
-/// Largest shared-array size (one 64-byte block per slot in the arena).
-inline constexpr std::uint32_t kMaxSlots = 64;
+/// Largest shared-array size (one 64-byte block per slot in the arena — a
+/// 256 KiB process-static array). Raised from 64 so scheduled runs can
+/// express footprints whose birthday term (C-1)W²/2N meaningfully spans
+/// table sizes (slot count must exceed the tables under test for aliasing
+/// to exist at all).
+inline constexpr std::uint32_t kMaxSlots = 4096;
 
 /// One exploration subject: workload shape + STM selection. Parsed from the
 /// same `--key=value` vocabulary as every other driver.
 struct HarnessConfig {
     // --- STM selection (forwarded to stm::Stm::create) ---
-    std::string backend = "table";  ///< tl2 | table | atomic
-    std::string table = "tagless";  ///< organization, table backend only
+    std::string backend = "table";  ///< tl2 | table | atomic | adaptive
+    std::string table = "tagless";  ///< organization, table/adaptive backends
     std::uint64_t entries = 16;     ///< ownership-table slots (small ⇒ aliasing)
     bool commit_time_locks = false;
     std::string clock;              ///< tl2 clock scheme (gv1|gv5; "" = engine default)
+    // --- adaptive backend only (epoch_ms stays 0: determinism) ---
+    std::string engine;             ///< wrapped engine ("" = engine default)
+    std::string policy;             ///< off | auto | cycle ("" = engine default)
+    std::uint64_t epoch = 0;        ///< commits per epoch (0 = engine default)
+    std::uint64_t max_entries = 0;  ///< resize growth cap (0 = engine default)
     // --- workload shape ---
     std::uint32_t threads = 3;         ///< virtual threads (≤ 36)
     std::uint32_t txs_per_thread = 3;  ///< transactions each runs, in order
@@ -80,8 +89,8 @@ struct HarnessConfig {
 };
 
 /// Parses harness keys: backend, table, entries, commit_time_locks, clock,
-/// threads, txs, ops, slots, wfrac, rofrac, mode (acc|incr), wseed,
-/// step_limit.
+/// engine, policy, epoch, max_entries, threads, txs, ops, slots, wfrac,
+/// rofrac, mode (acc|incr), wseed, step_limit.
 [[nodiscard]] HarnessConfig harness_config_from(const config::Config& cfg);
 
 /// The Config handed to stm::Stm::create for this harness config —
@@ -153,6 +162,19 @@ struct RunResult {
 [[nodiscard]] RunResult run_schedule(
     const HarnessConfig& cfg,
     const std::vector<std::vector<TxProgram>>& programs, Schedule& schedule);
+
+/// Same, over a caller-owned Stm — the engine's state (ownership metadata
+/// must be quiescent, but an adaptive backend's mounted engine shape and
+/// cumulative instance counters persist) carries across calls. This is how
+/// the phase-change experiments measure the adaptive runtime *across* runs:
+/// the shape it adapted to in one run is the shape the next run starts on.
+/// `cfg.txs_per_thread` must equal each thread's program count, and
+/// `result.stats`'s instance-block counters are engine-lifetime totals, not
+/// per-run deltas.
+[[nodiscard]] RunResult run_schedule(
+    const HarnessConfig& cfg,
+    const std::vector<std::vector<TxProgram>>& programs, Schedule& schedule,
+    stm::Stm& tm);
 
 /// The serializability oracle: nullopt when the run is equivalent to the
 /// serial execution of its commit log in commit order; otherwise a

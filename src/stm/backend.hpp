@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "stm/instrumentation.hpp"
 #include "stm/stm.hpp"
@@ -82,6 +83,12 @@ public:
         const noexcept {
         return 0;
     }
+
+    /// Human-readable description of the engine's current shape; "" means
+    /// "nothing beyond StmConfig::backend" (the runtime substitutes the
+    /// kind name). The adaptive backend overrides this with the live
+    /// epoch's engine description.
+    [[nodiscard]] virtual std::string describe() const { return ""; }
 };
 
 [[nodiscard]] std::unique_ptr<Backend> make_tl2_backend(const StmConfig& config,
@@ -90,5 +97,9 @@ public:
                                                           SharedStats& stats);
 [[nodiscard]] std::unique_ptr<Backend> make_atomic_backend(const StmConfig& config,
                                                            SharedStats& stats);
+/// The epoch-based policy layer (src/adapt/adaptive_stm.cpp); wraps one of
+/// the engines above per StmConfig::adapt.
+[[nodiscard]] std::unique_ptr<Backend> make_adaptive_backend(
+    const StmConfig& config, SharedStats& stats);
 
 }  // namespace tmb::stm::detail

@@ -37,6 +37,15 @@ struct Instrumentation {
     /// exact at quiescent points.
     std::atomic<std::uint64_t> tl2_read_set_entries{0};
     std::atomic<std::uint64_t> tl2_validation_checks{0};
+    /// TL2 only: failed CAS iterations while advancing the global version
+    /// clock (the gv5 conflict path and failed gv1-style publishes). The
+    /// clock cache line is the hottest contended word in classic TL2; this
+    /// counter is the adaptive layer's signal for gv5 vs gv1 selection.
+    std::atomic<std::uint64_t> clock_cas_failures{0};
+    /// Adaptive backend only: completed engine swaps (any strategy change)
+    /// and the subset that changed the ownership-table entry count.
+    std::atomic<std::uint64_t> policy_switches{0};
+    std::atomic<std::uint64_t> table_resizes{0};
 
     /// Attempts-per-committed-transaction histogram: bucket i (1-based)
     /// counts transactions that committed on attempt i; the last bucket

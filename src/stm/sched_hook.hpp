@@ -39,6 +39,11 @@ enum class YieldPoint : std::uint8_t {
     kAcquireRead = 2,
     kAcquireWrite = 3,
     kCommit = 4,    ///< commit about to run (executes as one step)
+    /// The adaptive backend is about to quiesce-and-swap its wrapped
+    /// engine (no transaction in flight). Emitted from the *begin* path
+    /// only — never between a commit and its completion — so the
+    /// commit-order serializability argument above is unaffected.
+    kPolicySwitch = 5,
 };
 
 /// Cooperative scheduler interface; one instance per virtual thread.

@@ -37,6 +37,10 @@ BackendRegistry& backend_registry() {
                            detail::SharedStats& s) {
             return detail::make_atomic_backend(c, s);
         });
+        r.add_default("adaptive", [](const config::Config&, const StmConfig& c,
+                             detail::SharedStats& s) {
+            return detail::make_adaptive_backend(c, s);
+        });
         return true;
     }();
     (void)bootstrapped;
@@ -50,6 +54,7 @@ BackendRegistry& backend_registry() {
         case BackendKind::kTaglessAtomic: return "atomic";
         case BackendKind::kTaglessTable:
         case BackendKind::kTaggedTable: return "table";
+        case BackendKind::kAdaptive: return "adaptive";
     }
     return "table";
 }
@@ -67,6 +72,10 @@ BackendRegistry& backend_registry() {
         in.tl2_read_set_entries.load(std::memory_order_relaxed);
     out.tl2_validation_checks =
         in.tl2_validation_checks.load(std::memory_order_relaxed);
+    out.clock_cas_failures =
+        in.clock_cas_failures.load(std::memory_order_relaxed);
+    out.policy_switches = in.policy_switches.load(std::memory_order_relaxed);
+    out.table_resizes = in.table_resizes.load(std::memory_order_relaxed);
     out.attempts_per_commit = in.attempts_histogram();
     return out;
 }
@@ -90,6 +99,7 @@ std::string_view to_string(BackendKind kind) noexcept {
         case BackendKind::kTaglessAtomic: return "tagless-atomic";
         case BackendKind::kTaggedTable: return "tagged-table";
         case BackendKind::kTl2: return "tl2";
+        case BackendKind::kAdaptive: return "adaptive";
     }
     return "unknown";
 }
@@ -106,9 +116,10 @@ BackendKind backend_kind_from_string(std::string_view name) {
     if (name == "tagged" || name == "tagged-table") {
         return BackendKind::kTaggedTable;
     }
+    if (name == "adaptive") return BackendKind::kAdaptive;
     throw std::invalid_argument(
         "unknown STM backend '" + std::string(name) +
-        "' (known: tl2, table, atomic, tagless, tagged)");
+        "' (known: tl2, table, atomic, tagless, tagged, adaptive)");
 }
 
 std::vector<std::string> backend_names() { return backend_registry().names(); }
@@ -135,21 +146,51 @@ StmConfig stm_config_from(const config::Config& cfg) {
     // `--table=tagless` vs `--table=tagged` is a pure runtime switch.
     const std::string backend =
         cfg.get("backend", cfg.has("table") ? "table" : "tagged");
-    if (backend == "table") {
-        switch (ownership::table_kind_from_string(cfg.get("table", "tagless"))) {
-            case ownership::TableKind::kTagless:
-                out.backend = BackendKind::kTaglessTable;
-                break;
-            case ownership::TableKind::kTagged:
-                out.backend = BackendKind::kTaggedTable;
-                break;
-            case ownership::TableKind::kAtomicTagless:
-                out.backend = BackendKind::kTaglessAtomic;
-                break;
+    // Resolves the {engine name, table=} pair to a concrete kind — shared
+    // by the static path and the adaptive path's `engine=` key.
+    const auto concrete_kind = [&cfg](const std::string& engine) {
+        if (engine == "table") {
+            switch (ownership::table_kind_from_string(
+                cfg.get("table", "tagless"))) {
+                case ownership::TableKind::kTagless:
+                    return BackendKind::kTaglessTable;
+                case ownership::TableKind::kTagged:
+                    return BackendKind::kTaggedTable;
+                case ownership::TableKind::kAtomicTagless:
+                    return BackendKind::kTaglessAtomic;
+            }
         }
-    } else {
-        out.backend = backend_kind_from_string(backend);
+        const BackendKind kind = backend_kind_from_string(engine);
+        if (kind == BackendKind::kAdaptive) {
+            throw std::invalid_argument(
+                "adaptive engine= must name a concrete engine "
+                "(table, tagless, tagged, atomic, tl2)");
+        }
         (void)cfg.get("table", "");  // engine pinned; consume a stray table=
+        return kind;
+    };
+    if (backend == "adaptive") {
+        out.backend = BackendKind::kAdaptive;
+        out.adapt.engine = concrete_kind(cfg.get("engine", "table"));
+        out.adapt.policy = cfg.get("policy", out.adapt.policy);
+        if (out.adapt.policy != "off" && out.adapt.policy != "auto" &&
+            out.adapt.policy != "cycle") {
+            throw std::invalid_argument("unknown adaptive policy '" +
+                                        out.adapt.policy +
+                                        "' (known: off, auto, cycle)");
+        }
+        out.adapt.epoch_commits =
+            cfg.get_u64("epoch", out.adapt.epoch_commits);
+        out.adapt.epoch_ms = cfg.get_u32("epoch_ms", out.adapt.epoch_ms);
+        out.adapt.max_entries =
+            cfg.get_u64("max_entries", out.adapt.max_entries);
+    } else {
+        out.backend = concrete_kind(backend);
+        (void)cfg.get("engine", "");  // adaptive-only keys; consume strays
+        (void)cfg.get("policy", "");
+        (void)cfg.get_u64("epoch", 0);
+        (void)cfg.get_u32("epoch_ms", 0);
+        (void)cfg.get_u64("max_entries", 0);
     }
     out.table.entries = cfg.get_u64("entries", out.table.entries);
     out.table.hash = util::hash_kind_from_string(
@@ -256,6 +297,14 @@ StmStats Stm::stats() const noexcept {
 }
 
 const StmConfig& Stm::config() const noexcept { return impl_->config_; }
+
+std::string Stm::backend_description() const {
+    std::string described = impl_->backend_->describe();
+    if (described.empty()) {
+        described = std::string(to_string(impl_->config_.backend));
+    }
+    return described;
+}
 
 void Stm::run(detail::BodyRef body) {
     auto cx = impl_->acquire_context();

@@ -36,6 +36,7 @@
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <string_view>
 #include <type_traits>
 #include <utility>
@@ -59,7 +60,16 @@ namespace tmb::stm {
 ///   kTaggedTable    — Fig. 7 tagged/chaining organization (no false
 ///                     conflicts), global metadata lock.
 ///   kTl2            — TL2-style versioned locks + global version clock.
-enum class BackendKind { kTaglessTable, kTaglessAtomic, kTaggedTable, kTl2 };
+///   kAdaptive       — epoch-based policy layer (src/adapt/) wrapping one
+///                     of the concrete engines above, re-tuning table
+///                     organization / size / acquisition / clock online.
+enum class BackendKind {
+    kTaglessTable,
+    kTaglessAtomic,
+    kTaggedTable,
+    kTl2,
+    kAdaptive,
+};
 
 [[nodiscard]] std::string_view to_string(BackendKind kind) noexcept;
 
@@ -91,6 +101,27 @@ enum class Tl2Clock { kGv1, kGv5 };
 [[nodiscard]] std::string_view to_string(Tl2Clock clock) noexcept;
 [[nodiscard]] Tl2Clock tl2_clock_from_string(std::string_view name);
 
+/// Adaptive-backend policy knobs (backend = kAdaptive only). Defined here
+/// rather than in src/adapt/ so StmConfig stays a single value type; the
+/// policy semantics live in adapt/policy.hpp.
+struct AdaptConfig {
+    /// Initial wrapped engine; the policy mutates organization/size/clock
+    /// within this engine's family (table↔tagged, gv1↔gv5), never across
+    /// families, so capacity guarantees given at construction keep holding.
+    BackendKind engine = BackendKind::kTaglessTable;
+    /// off (never switch) | auto (threshold rules + birthday model) |
+    /// cycle (deterministic rotation through the family's shapes — the
+    /// test/fuzz mode that forces every transition).
+    std::string policy = "auto";
+    /// Re-evaluate after this many commits in the current epoch...
+    std::uint64_t epoch_commits = 4096;
+    /// ...or after this many milliseconds (0 = commit-count only; wall
+    /// clock breaks schedule replay, so the sched harness leaves this 0).
+    std::uint32_t epoch_ms = 0;
+    /// Growth cap for birthday-model table resizes.
+    std::uint64_t max_entries = std::uint64_t{1} << 22;
+};
+
 /// Runtime configuration.
 struct StmConfig {
     BackendKind backend = BackendKind::kTaggedTable;
@@ -116,6 +147,8 @@ struct StmConfig {
     /// Abort an atomically() call with TooMuchContention after this many
     /// consecutive failed attempts (0 = retry forever).
     std::uint32_t max_attempts = 0;
+    /// Policy layer (backend = kAdaptive only).
+    AdaptConfig adapt{};
 };
 
 /// Parses an StmConfig from string key/values. Keys:
@@ -131,6 +164,14 @@ struct StmConfig {
 ///   commit_time_locks eager (false, default) vs lazy write locking
 ///   max_attempts      TooMuchContention threshold (default 0 = forever)
 ///   contention        backoff | yield | none
+///
+/// backend=adaptive adds:
+///   engine       initial wrapped engine: table (organization from `table`,
+///                default) | tl2 | atomic
+///   policy       off | auto | cycle (default auto)
+///   epoch        commits per policy epoch (default 4096)
+///   epoch_ms     wall-clock epoch bound in ms (default 0 = disabled)
+///   max_entries  table growth cap for birthday-model resizes (default 4m)
 [[nodiscard]] StmConfig stm_config_from(const config::Config& cfg);
 
 /// Counters exposed by Stm::stats(). Snapshot semantics; monotonic.
@@ -153,6 +194,13 @@ struct StmStats {
     /// quiescent points, possibly stale while executors are live.
     std::uint64_t tl2_read_set_entries = 0;
     std::uint64_t tl2_validation_checks = 0;
+    /// TL2 only: failed CAS iterations advancing the global version clock
+    /// (see Instrumentation::clock_cas_failures).
+    std::uint64_t clock_cas_failures = 0;
+    /// Adaptive backend only: completed engine swaps, and the subset that
+    /// changed the ownership-table entry count.
+    std::uint64_t policy_switches = 0;
+    std::uint64_t table_resizes = 0;
     /// Attempts-per-committed-transaction distribution (bucket = attempt
     /// count, 1 = first-try commit); the user-visible retry cost of the
     /// conflicts — false ones included — that the paper models.
@@ -181,6 +229,9 @@ struct StmStats {
         false_conflicts += other.false_conflicts;
         tl2_read_set_entries += other.tl2_read_set_entries;
         tl2_validation_checks += other.tl2_validation_checks;
+        clock_cas_failures += other.clock_cas_failures;
+        policy_switches += other.policy_switches;
+        table_resizes += other.table_resizes;
         attempts_per_commit.merge(other.attempts_per_commit);
     }
 };
@@ -397,6 +448,12 @@ public:
     /// executors' own shards — merge() them in for an engine-wide view.
     [[nodiscard]] StmStats stats() const noexcept;
     [[nodiscard]] const StmConfig& config() const noexcept;
+
+    /// Human-readable description of the *current* engine shape. Static
+    /// backends describe their configuration; the adaptive backend reports
+    /// the live epoch's engine (organization, entries, acquisition, clock),
+    /// which changes as the policy switches.
+    [[nodiscard]] std::string backend_description() const;
 
 private:
     friend class Executor;

@@ -206,6 +206,10 @@ private:
         while (cur < version &&
                !clock_.compare_exchange_weak(cur, version,
                                              std::memory_order_acq_rel)) {
+            // Each failed iteration is one more writer racing us for the
+            // clock cache line — the contention signal the adaptive layer
+            // watches to fall back from gv5 to gv1.
+            stats_.clock_cas_failures.fetch_add(1, std::memory_order_relaxed);
         }
     }
 

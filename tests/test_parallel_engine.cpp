@@ -242,11 +242,12 @@ TEST(Executor, ReturnsValuesLikeAtomically) {
 
 TEST(Workloads, RegistryListsBuiltins) {
     const auto names = exec::workload_names();
-    ASSERT_EQ(names.size(), 4u);
+    ASSERT_EQ(names.size(), 5u);
     EXPECT_EQ(names[0], "counters");
     EXPECT_EQ(names[1], "zipf");
     EXPECT_EQ(names[2], "bank");
     EXPECT_EQ(names[3], "replay");
+    EXPECT_EQ(names[4], "phases");
     EXPECT_THROW((void)exec::make_workload(cfg("workload=nonesuch")),
                  std::invalid_argument);
 }

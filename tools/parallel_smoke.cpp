@@ -24,13 +24,23 @@ int smoke_main(int argc, char** argv) {
     const std::uint64_t seed = cli.get_u64("seed", 1);
     tmb::config::reject_unknown(cli);
 
-    const std::vector<std::string> backends{"tl2", "table", "atomic"};
+    const std::vector<std::string> backends{"tl2", "table", "atomic",
+                                            "adaptive"};
     bool all_ok = true;
 
     for (const std::string& backend : backends) {
         for (const std::string& workload : tmb::exec::workload_names()) {
             tmb::config::Config cfg;
             cfg.set("backend", backend);
+            if (backend == "adaptive") {
+                // Start the wrapper on a deliberately small tagless table
+                // with short epochs: the smoke then exercises live swaps
+                // (resize or tagged bail-out) under every workload.
+                cfg.set("engine", "table");
+                cfg.set("policy", "auto");
+                cfg.set("epoch", "256");
+                cfg.set("max_entries", "65536");
+            }
             cfg.set("workload", workload);
             cfg.set("threads", std::to_string(threads));
             cfg.set("ops", std::to_string(ops));

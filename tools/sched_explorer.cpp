@@ -44,7 +44,9 @@ std::vector<BackendPair> selected_pairs(const tmb::config::Config& cli) {
     }
     BackendPair pair;
     pair.backend = cli.get("backend", "table");
-    if (pair.backend == "table") pair.table = cli.get("table", "tagless");
+    if (pair.backend == "table" || pair.backend == "adaptive") {
+        pair.table = cli.get("table", "tagless");
+    }
     pair.commit_time_locks = cli.get_bool("commit_time_locks", false);
     return {pair};
 }
@@ -90,8 +92,11 @@ int explorer_main(int argc, char** argv) {
         const auto schedule = tmb::sched::make_schedule(rc, seed);
         const auto run = tmb::sched::run_schedule(base, programs, *schedule);
         std::cout << "replayed " << run.steps << " steps, "
-                  << run.commit_log.size() << " commits, state hash 0x"
-                  << std::hex << run.state_hash << std::dec << '\n';
+                  << run.commit_log.size() << " commits, "
+                  << run.stats.policy_switches << " policy switches, "
+                  << run.stats.clock_cas_failures
+                  << " clock CAS failures, state hash 0x" << std::hex
+                  << run.state_hash << std::dec << '\n';
         const auto error = tmb::sched::check_serializable(base, programs, run);
         if (!error) {
             std::cout << "oracle: serializable\n";
@@ -150,7 +155,10 @@ int explorer_main(int argc, char** argv) {
                   << result.stats.commits << " commits, "
                   << result.stats.aborts << " aborts, "
                   << result.stats.false_conflicts << " false conflicts, "
-                  << result.violations.size() << " violations\n";
+                  << result.stats.policy_switches << " policy switches, "
+                  << result.stats.clock_cas_failures
+                  << " clock CAS failures, " << result.violations.size()
+                  << " violations\n";
         report(std::cout, result.violations, &out_file);
         if (minimize) {
             const auto programs = tmb::sched::generate_programs(cfg);
