@@ -1,200 +1,73 @@
 // kmeans — parallel k-means clustering with transactional accumulators.
 //
-// Build & run:   ./build/examples/kmeans [threads] [points] [clusters]
+// Build & run:   ./build/examples/kmeans [threads] [ops-per-thread]
 //
-// The classic TM-benchmark pattern: worker threads assign points to the
-// nearest centroid and accumulate per-cluster sums atomically. Each
-// accumulation is one transaction over three transactional variables (sum_x,
-// sum_y, count) of the chosen cluster — a tiny, hot critical section where
-// lock-free accuracy matters. Fixed-point arithmetic keeps values within
-// TVar's 8-byte word.
-//
-// Correctness check: the sums accumulated transactionally must equal a
-// sequential recomputation, every iteration, on every backend.
-#include <cmath>
+// This is a thin driver over the registry workload `kmeans`
+// (exec::make_workload): worker threads assign points to the nearest
+// centroid, accumulating per-cluster counts and coordinate sums in
+// transactional hash maps; periodic recenter transactions fold the
+// accumulators into the centroids and erase the rows. The accumulator maps
+// are therefore rebuilt continuously through tx_alloc/tx_free — the
+// allocation-churn pattern the runtime's epoch reclamation exists for. The
+// engine (exec::ParallelRunner) verifies the conservation invariant (live +
+// absorbed assignments == assign ops) after the run; a violation throws.
 #include <iostream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "config/config.hpp"
-#include "stm/stm.hpp"
-#include "util/rng.hpp"
+#include "exec/parallel_runner.hpp"
 #include "util/table_printer.hpp"
-
-namespace {
-
-using namespace tmb::stm;
-
-constexpr long kFixed = 1000;  // fixed-point scale
-
-struct Point {
-    double x, y;
-};
-
-struct ClusterAcc {
-    TVar<long> sum_x{0};
-    TVar<long> sum_y{0};
-    TVar<long> count{0};
-};
-
-struct RunResult {
-    double inertia = 0.0;
-    bool sums_exact = true;
-    StmStats stats;
-    double millis = 0.0;
-};
-
-RunResult run(const std::string& backend, int threads, std::size_t n_points,
-              int k) {
-    // Deterministic synthetic data: k true centers plus noise.
-    tmb::util::Xoshiro256 rng{4242};
-    std::vector<Point> points(n_points);
-    for (auto& p : points) {
-        const auto c = static_cast<double>(rng.below(static_cast<std::uint64_t>(k)));
-        p.x = c * 10.0 + rng.uniform01();
-        p.y = c * -7.0 + rng.uniform01();
-    }
-
-    const auto tm_owner = Stm::create(
-        tmb::config::Config::from_string("backend=" + backend));
-    Stm& tm = *tm_owner;
-    std::vector<ClusterAcc> acc(static_cast<std::size_t>(k));
-    std::vector<Point> centroids(static_cast<std::size_t>(k));
-    for (int c = 0; c < k; ++c) {
-        centroids[static_cast<std::size_t>(c)] = {static_cast<double>(c) * 10.0 + 0.5,
-                                                  static_cast<double>(c) * -7.0 + 0.5};
-    }
-
-    RunResult result;
-    const auto start = std::chrono::steady_clock::now();
-
-    std::vector<int> assignment(n_points, 0);
-    for (int iter = 0; iter < 5; ++iter) {
-        for (auto& a : acc) {
-            tm.atomically([&](Transaction& tx) {
-                a.sum_x.write(tx, 0);
-                a.sum_y.write(tx, 0);
-                a.count.write(tx, 0);
-            });
-        }
-
-        // Parallel assignment + transactional accumulation.
-        std::vector<std::thread> workers;
-        const std::size_t chunk = (n_points + static_cast<std::size_t>(threads) - 1) /
-                                  static_cast<std::size_t>(threads);
-        for (int t = 0; t < threads; ++t) {
-            workers.emplace_back([&, t] {
-                const std::size_t begin = static_cast<std::size_t>(t) * chunk;
-                const std::size_t end = std::min(n_points, begin + chunk);
-                for (std::size_t i = begin; i < end; ++i) {
-                    int best = 0;
-                    double best_d = 1e300;
-                    for (int c = 0; c < k; ++c) {
-                        const auto& ct = centroids[static_cast<std::size_t>(c)];
-                        const double dx = points[i].x - ct.x;
-                        const double dy = points[i].y - ct.y;
-                        const double d = dx * dx + dy * dy;
-                        if (d < best_d) {
-                            best_d = d;
-                            best = c;
-                        }
-                    }
-                    assignment[i] = best;
-                    auto& a = acc[static_cast<std::size_t>(best)];
-                    const auto fx = static_cast<long>(points[i].x * kFixed);
-                    const auto fy = static_cast<long>(points[i].y * kFixed);
-                    tm.atomically([&](Transaction& tx) {
-                        a.sum_x.write(tx, a.sum_x.read(tx) + fx);
-                        a.sum_y.write(tx, a.sum_y.read(tx) + fy);
-                        a.count.write(tx, a.count.read(tx) + 1);
-                    });
-                }
-            });
-        }
-        for (auto& w : workers) w.join();
-
-        // Verify the transactional sums against a sequential recomputation.
-        std::vector<long> check_x(static_cast<std::size_t>(k), 0);
-        std::vector<long> check_y(static_cast<std::size_t>(k), 0);
-        std::vector<long> check_n(static_cast<std::size_t>(k), 0);
-        for (std::size_t i = 0; i < n_points; ++i) {
-            const auto c = static_cast<std::size_t>(assignment[i]);
-            check_x[c] += static_cast<long>(points[i].x * kFixed);
-            check_y[c] += static_cast<long>(points[i].y * kFixed);
-            ++check_n[c];
-        }
-        for (int c = 0; c < k; ++c) {
-            auto& a = acc[static_cast<std::size_t>(c)];
-            if (a.sum_x.unsafe_read() != check_x[static_cast<std::size_t>(c)] ||
-                a.sum_y.unsafe_read() != check_y[static_cast<std::size_t>(c)] ||
-                a.count.unsafe_read() != check_n[static_cast<std::size_t>(c)]) {
-                result.sums_exact = false;
-            }
-        }
-
-        // Centroid update (sequential; cheap).
-        for (int c = 0; c < k; ++c) {
-            auto& a = acc[static_cast<std::size_t>(c)];
-            const long n = a.count.unsafe_read();
-            if (n > 0) {
-                centroids[static_cast<std::size_t>(c)] = {
-                    static_cast<double>(a.sum_x.unsafe_read()) / kFixed /
-                        static_cast<double>(n),
-                    static_cast<double>(a.sum_y.unsafe_read()) / kFixed /
-                        static_cast<double>(n)};
-            }
-        }
-    }
-
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-    for (std::size_t i = 0; i < n_points; ++i) {
-        const auto& ct = centroids[static_cast<std::size_t>(assignment[i])];
-        const double dx = points[i].x - ct.x;
-        const double dy = points[i].y - ct.y;
-        result.inertia += dx * dx + dy * dy;
-    }
-    result.stats = tm.stats();
-    result.millis = std::chrono::duration<double, std::milli>(elapsed).count();
-    return result;
-}
-
-}  // namespace
 
 int example_main(int argc, char** argv) {
     const auto cli = tmb::config::Config::from_args(argc, argv);
     const auto& pos = cli.positional();
-    const int threads = static_cast<int>(
-        cli.get_u64("threads", pos.size() > 0 ? std::stoul(pos[0]) : 4));
-    const std::size_t n_points = static_cast<std::size_t>(
-        cli.get_u64("points", pos.size() > 1 ? std::stoul(pos[1]) : 4000));
-    const int k = static_cast<int>(
-        cli.get_u64("k", pos.size() > 2 ? std::stoul(pos[2]) : 8));
+    const auto threads =
+        cli.get_u64("threads", pos.size() > 0 ? std::stoul(pos[0]) : 4);
+    const auto ops =
+        cli.get_u64("ops", pos.size() > 1 ? std::stoul(pos[1]) : 4000);
+    const auto clusters = cli.get_u64("clusters", 8);
+    const auto recenter_every = cli.get_u64("recenter_every", 64);
+    const auto space = cli.get_u64("space", 1024);
+    const auto seed = cli.get_u64("seed", 0x5eedULL);
     std::vector<std::string> backends;
     if (const auto pinned = cli.get_optional("backend")) {
         backends.push_back(*pinned);
     } else {
-        backends = {"tagless", "atomic_tagless", "tagged", "tl2"};
+        backends = {"tagless", "atomic_tagless", "tagged", "tl2", "adaptive"};
     }
     tmb::config::reject_unknown(cli);
 
-    std::cout << "kmeans: " << threads << " threads, " << n_points
-              << " points, k=" << k << ", 5 iterations\n\n";
+    std::cout << "kmeans: " << threads << " threads x " << ops
+              << " ops, k=" << clusters << ", recenter every ~"
+              << recenter_every << " ops\n\n";
 
-    tmb::util::TablePrinter t({"backend", "sums exact", "inertia", "commits",
-                               "aborts", "ms"});
+    tmb::util::TablePrinter t({"backend", "commits", "aborts", "tx allocs",
+                               "tx frees", "reclaimed", "commits/s"});
     for (const std::string& backend : backends) {
-        const auto r = run(backend, threads, n_points, k);
-        t.add_row({backend, r.sums_exact ? "yes" : "NO!",
-                   tmb::util::TablePrinter::fmt(r.inertia, 1),
-                   std::to_string(r.stats.commits),
+        const auto cfg = tmb::config::Config::from_string(
+            "workload=kmeans backend=" + backend +
+            " entries=16384 threads=" + std::to_string(threads) +
+            " ops=" + std::to_string(ops) +
+            " clusters=" + std::to_string(clusters) +
+            " recenter_every=" + std::to_string(recenter_every) +
+            " space=" + std::to_string(space) +
+            " seed=" + std::to_string(seed));
+        tmb::exec::ParallelRunner runner(cfg);
+        const auto r = runner.run();  // throws if the invariant is violated
+        const auto reclaim = runner.stm().reclaim_stats();
+        t.add_row({backend, std::to_string(r.stats.commits),
                    std::to_string(r.stats.aborts),
-                   tmb::util::TablePrinter::fmt(r.millis, 1)});
+                   std::to_string(reclaim.tx_allocs),
+                   std::to_string(reclaim.tx_frees),
+                   std::to_string(reclaim.reclaimed),
+                   tmb::util::TablePrinter::fmt(r.commits_per_second(), 0)});
     }
     t.render(std::cout);
-    std::cout << "\nhot per-cluster accumulators are the contended case: "
-                 "aborts show up under real\nparallelism, and the per-backend "
-                 "inertia must agree (same fixed-point arithmetic).\n";
+    std::cout << "\nhot per-cluster accumulator rows are the contended case; "
+                 "recenter transactions\nerase them (tx_free) and assignments "
+                 "re-insert them (tx_alloc), so the maps are\nrebuilt "
+                 "continuously without leaking or freeing under a reader.\n";
     return 0;
 }
 

@@ -41,12 +41,15 @@ using Clock = std::chrono::steady_clock;
 /// the registry) keeps construction allocation-minimal and cannot recurse
 /// into the adaptive entry.
 [[nodiscard]] std::unique_ptr<Backend> build_engine(const StmConfig& cfg,
-                                                    SharedStats& stats) {
+                                                    SharedStats& stats,
+                                                    ReclaimDomain& reclaim) {
     switch (cfg.backend) {
-        case BackendKind::kTl2: return make_tl2_backend(cfg, stats);
-        case BackendKind::kTaglessAtomic: return make_atomic_backend(cfg, stats);
+        case BackendKind::kTl2: return make_tl2_backend(cfg, stats, reclaim);
+        case BackendKind::kTaglessAtomic:
+            return make_atomic_backend(cfg, stats, reclaim);
         case BackendKind::kTaglessTable:
-        case BackendKind::kTaggedTable: return make_table_backend(cfg, stats);
+        case BackendKind::kTaggedTable:
+            return make_table_backend(cfg, stats, reclaim);
         case BackendKind::kAdaptive: break;
     }
     throw std::logic_error("adaptive: inner engine must be concrete");
@@ -94,15 +97,17 @@ public:
 
 class AdaptiveBackend final : public Backend {
 public:
-    AdaptiveBackend(const StmConfig& config, SharedStats& stats)
+    AdaptiveBackend(const StmConfig& config, SharedStats& stats,
+                    ReclaimDomain& reclaim)
         : outer_(config),
           policy_(adapt::policy_config_from(config.adapt)),
-          stats_(stats) {
+          stats_(stats),
+          reclaim_(reclaim) {
         initial_ = config;
         initial_.backend = config.adapt.engine;
         auto first = std::make_shared<EngineEpoch>();
         first->cfg = initial_;
-        first->engine = build_engine(initial_, stats_);
+        first->engine = build_engine(initial_, stats_, reclaim_);
         capacity_ = first->engine->max_live_contexts();
         epoch_ = std::move(first);
         published_seq_.store(0, std::memory_order_release);
@@ -331,10 +336,16 @@ private:
                 "adaptive: engine swap with " + std::to_string(held) +
                 " metadata entries still held (lost release?)");
         }
+        // Quiescence also means no epoch pin is held (pins live strictly
+        // between begin and commit/abort), so every retired block can be
+        // released before the old engine goes away — a zombie reader that
+        // observed a since-freed pointer through the old engine's metadata
+        // no longer exists.
+        reclaim_.drain_all();
         auto next = std::make_shared<EngineEpoch>();
         next->seq = old.seq + 1;
         next->cfg = pending_cfg_;
-        next->engine = build_engine(pending_cfg_, stats_);
+        next->engine = build_engine(pending_cfg_, stats_, reclaim_);
         next->base_true = stats_.true_conflicts.load(std::memory_order_relaxed);
         next->base_false =
             stats_.false_conflicts.load(std::memory_order_relaxed);
@@ -353,6 +364,7 @@ private:
     StmConfig initial_;  ///< concrete home shape (outer_ with adapt.engine)
     adapt::PolicyConfig policy_;
     SharedStats& stats_;
+    ReclaimDomain& reclaim_;
     std::uint32_t capacity_ = 0;
 
     mutable std::mutex mutex_;
@@ -371,8 +383,9 @@ AdaptCx::~AdaptCx() {
 }  // namespace
 
 std::unique_ptr<Backend> make_adaptive_backend(const StmConfig& config,
-                                               SharedStats& stats) {
-    return std::make_unique<AdaptiveBackend>(config, stats);
+                                               SharedStats& stats,
+                                               ReclaimDomain& reclaim) {
+    return std::make_unique<AdaptiveBackend>(config, stats, reclaim);
 }
 
 }  // namespace tmb::stm::detail

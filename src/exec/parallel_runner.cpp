@@ -54,6 +54,9 @@ ParallelRunner::ParallelRunner(ParallelConfig config,
             "' backend's capacity of " + std::to_string(cap) +
             " concurrently live transactions");
     }
+    // Container-backed workloads build their transactional state here —
+    // once, before any engine thread exists.
+    workload_->prepare(*stm_);
 }
 
 ParallelResult ParallelRunner::run() {
@@ -155,9 +158,18 @@ ParallelResult ParallelRunner::run() {
     result.stats.table_resizes += after.table_resizes - before.table_resizes;
 
     lifetime_ops_ += result.ops;
+    // Quiescent now (all threads joined, all executors destroyed): release
+    // every retired block — nothing can still hold one — then check that
+    // the allocation ledger balances and the ownership table is empty.
+    stm_->reclaim_drain();
+    const stm::ReclaimStats reclaim = stm_->reclaim_stats();
+    if (reclaim.pending_blocks() != 0) {
+        throw std::runtime_error(
+            "reclamation not quiescent after join: " +
+            std::to_string(reclaim.pending_blocks()) +
+            " retired blocks still pending after a full drain");
+    }
     workload_->verify(lifetime_ops_);
-    // Quiescent now (all threads joined, all executors destroyed): any
-    // remaining ownership-table occupancy is a lost release.
     if (const std::uint64_t held = stm_->occupied_metadata_entries()) {
         throw std::runtime_error(
             "ownership table not quiescent after join: " +

@@ -1,11 +1,15 @@
 #include "exec/workload.hpp"
 
+#include <array>
 #include <atomic>
+#include <cstdlib>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 
+#include "stm/thashmap.hpp"
 #include "trace/source.hpp"
 #include "trace/zipf.hpp"
 #include "util/hash.hpp"
@@ -350,6 +354,302 @@ private:
     std::size_t next_stream_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// vacation — STAMP-style reservation system over transactional hash maps
+// ---------------------------------------------------------------------------
+
+/// Three resource classes (cars / flights / rooms), each with an
+/// availability table (resource id -> free capacity) and a booking table
+/// (customer id -> active bookings in that class). Operations:
+///
+///   reserve (45%) — an itinerary of `queries` (class, resource) picks for
+///       one customer: each pick with free capacity is decremented and
+///       booked (booking rows are inserted on first booking — tx_alloc).
+///   cancel (45%)  — the same customer releases up to `queries` bookings;
+///       a booking row that reaches zero is erased (tx_free), and the
+///       capacity is returned to a random resource of the class.
+///   update (10%)  — STAMP's table maintenance: one availability row is
+///       erased and re-inserted with its value, churning a node through
+///       the tx_free/tx_alloc pipeline without changing state.
+///
+/// Conservation invariant, per class: sum of free capacity plus sum of
+/// active bookings equals rows * kCapacity — any lost or doubled update,
+/// and any node dropped or resurrected by broken reclamation, breaks it.
+class VacationWorkload final : public Workload {
+public:
+    static constexpr std::uint32_t kClasses = 3;
+    static constexpr long kCapacity = 16;
+    static constexpr std::uint32_t kMaxQueries = 8;
+
+    VacationWorkload(std::uint64_t rows, std::uint64_t customers,
+                     std::uint32_t queries)
+        : rows_(rows), customers_(customers), queries_(queries) {
+        if (rows == 0) throw std::invalid_argument("vacation rows must be > 0");
+        if (customers == 0) {
+            throw std::invalid_argument("vacation customers must be > 0");
+        }
+        if (queries == 0 || queries > kMaxQueries) {
+            throw std::invalid_argument("vacation queries must be in [1, " +
+                                        std::to_string(kMaxQueries) + "]");
+        }
+    }
+
+    std::string_view name() const noexcept override { return "vacation"; }
+
+    void prepare(stm::Stm& stm) override {
+        for (std::uint32_t c = 0; c < kClasses; ++c) {
+            avail_[c] = std::make_unique<Table>(stm, rows_ * 2);
+            booked_[c] = std::make_unique<Table>(stm, customers_ * 2);
+            for (std::uint64_t id = 0; id < rows_; ++id) {
+                avail_[c]->put(static_cast<long>(id), kCapacity);
+            }
+        }
+    }
+
+    void op(stm::Executor& exec, util::Xoshiro256& rng) override {
+        if (!avail_[0]) {
+            throw std::logic_error("vacation: op() before prepare()");
+        }
+        // Operands are drawn before the transaction so a retry re-runs the
+        // same logical operation.
+        const std::uint64_t kind = rng.below(100);
+        const long customer = static_cast<long>(rng.below(customers_));
+        std::uint32_t cls[kMaxQueries];
+        long res[kMaxQueries];
+        for (std::uint32_t i = 0; i < queries_; ++i) {
+            cls[i] = static_cast<std::uint32_t>(rng.below(kClasses));
+            res[i] = static_cast<long>(rng.below(rows_));
+        }
+        if (kind < 45) {
+            exec.atomically([&](stm::Transaction& tx) {
+                for (std::uint32_t i = 0; i < queries_; ++i) {
+                    Table& avail = *avail_[cls[i]];
+                    const auto free = avail.get_in(tx, res[i]);
+                    if (free && *free > 0) {
+                        avail.add_in(tx, res[i], -1);
+                        booked_[cls[i]]->add_in(tx, customer, 1);
+                    }
+                }
+            });
+        } else if (kind < 90) {
+            exec.atomically([&](stm::Transaction& tx) {
+                for (std::uint32_t i = 0; i < queries_; ++i) {
+                    Table& booked = *booked_[cls[i]];
+                    const auto active = booked.get_in(tx, customer);
+                    if (active && *active > 0) {
+                        if (*active == 1) {
+                            booked.erase_in(tx, customer);
+                        } else {
+                            booked.add_in(tx, customer, -1);
+                        }
+                        avail_[cls[i]]->add_in(tx, res[i], 1);
+                    }
+                }
+            });
+        } else {
+            exec.atomically([&](stm::Transaction& tx) {
+                Table& avail = *avail_[cls[0]];
+                const auto value = avail.get_in(tx, res[0]);
+                if (value) {
+                    avail.erase_in(tx, res[0]);
+                    avail.put_in(tx, res[0], *value);
+                }
+            });
+        }
+    }
+
+    void verify(std::uint64_t /*committed_ops*/) const override {
+        for (std::uint32_t c = 0; c < kClasses; ++c) {
+            long total = 0;
+            bool negative = false;
+            avail_[c]->unsafe_for_each([&](long, long v) {
+                total += v;
+                negative |= v < 0;
+            });
+            booked_[c]->unsafe_for_each([&](long, long v) {
+                total += v;
+                negative |= v < 0;
+            });
+            const long expected = static_cast<long>(rows_) * kCapacity;
+            if (negative || total != expected) {
+                throw std::runtime_error(
+                    "vacation invariant violated in class " +
+                    std::to_string(c) + ": available + booked " +
+                    std::to_string(total) + " != capacity " +
+                    std::to_string(expected) +
+                    (negative ? " (negative entry)" : ""));
+            }
+        }
+    }
+
+    std::uint64_t state_hash() const override {
+        std::uint64_t h = 0;
+        for (std::uint32_t c = 0; c < kClasses; ++c) {
+            const std::uint64_t tag = (c + 1) * 0x100000000ULL;
+            avail_[c]->unsafe_for_each([&](long k, long v) {
+                h += slot_digest(tag + static_cast<std::uint64_t>(k),
+                                 static_cast<std::uint64_t>(v));
+            });
+            booked_[c]->unsafe_for_each([&](long k, long v) {
+                h += slot_digest(tag * 7 + static_cast<std::uint64_t>(k),
+                                 static_cast<std::uint64_t>(v));
+            });
+        }
+        return h;
+    }
+
+private:
+    using Table = stm::THashMap<long, long>;
+
+    std::uint64_t rows_;
+    std::uint64_t customers_;
+    std::uint32_t queries_;
+    std::array<std::unique_ptr<Table>, kClasses> avail_;
+    std::array<std::unique_ptr<Table>, kClasses> booked_;
+};
+
+// ---------------------------------------------------------------------------
+// kmeans — STAMP-style clustering kernel with accumulator-rebuild churn
+// ---------------------------------------------------------------------------
+
+/// Points (drawn per op from the thread's RNG) are assigned to the nearest
+/// of k centroids; each assignment bumps the cluster's count and coordinate
+/// sum in transactional maps (rows appear via tx_alloc). A periodic
+/// recenter transaction folds every cluster's accumulators into its
+/// centroid, moves them into the absorbed totals, and erases the rows
+/// (tx_free) — so the maps are rebuilt from scratch continuously.
+///
+/// Invariant: live accumulator totals plus absorbed totals equal the
+/// committed assignment count / coordinate sum.
+class KmeansWorkload final : public Workload {
+public:
+    static constexpr std::uint32_t kMaxClusters = 32;
+
+    KmeansWorkload(std::uint32_t clusters, std::uint32_t recenter_every,
+                   std::uint64_t space)
+        : k_(clusters),
+          recenter_every_(recenter_every),
+          space_(space),
+          centroids_(clusters == 0 ? 1 : clusters) {
+        if (clusters == 0 || clusters > kMaxClusters) {
+            throw std::invalid_argument("kmeans clusters must be in [1, " +
+                                        std::to_string(kMaxClusters) + "]");
+        }
+        if (recenter_every == 0) {
+            throw std::invalid_argument("kmeans recenter_every must be > 0");
+        }
+        if (space == 0) throw std::invalid_argument("kmeans space must be > 0");
+        for (std::uint32_t c = 0; c < k_; ++c) {
+            // Spread initial centroids evenly over the coordinate space.
+            centroids_[c].unsafe_write(static_cast<long>(
+                (2 * static_cast<std::uint64_t>(c) + 1) * space_ / (2 * k_)));
+        }
+    }
+
+    std::string_view name() const noexcept override { return "kmeans"; }
+
+    void prepare(stm::Stm& stm) override {
+        counts_ = std::make_unique<Table>(stm, k_ * 2);
+        sums_ = std::make_unique<Table>(stm, k_ * 2);
+    }
+
+    void op(stm::Executor& exec, util::Xoshiro256& rng) override {
+        if (!counts_) throw std::logic_error("kmeans: op() before prepare()");
+        const bool recenter = rng.below(recenter_every_) == 0;
+        const long point = static_cast<long>(rng.below(space_));
+        if (recenter) {
+            exec.atomically([&](stm::Transaction& tx) {
+                for (std::uint32_t c = 0; c < k_; ++c) {
+                    const long key = static_cast<long>(c);
+                    const auto count = counts_->get_in(tx, key);
+                    if (!count) continue;
+                    const long sum = sums_->get_in(tx, key).value_or(0);
+                    centroids_[c].write(tx, sum / *count);
+                    counts_->erase_in(tx, key);
+                    sums_->erase_in(tx, key);
+                    absorbed_count_.write(tx, absorbed_count_.read(tx) + *count);
+                    absorbed_sum_.write(tx, absorbed_sum_.read(tx) + sum);
+                }
+            });
+            return;
+        }
+        exec.atomically([&](stm::Transaction& tx) {
+            std::uint32_t nearest = 0;
+            long best = std::numeric_limits<long>::max();
+            for (std::uint32_t c = 0; c < k_; ++c) {
+                const long d = std::labs(centroids_[c].read(tx) - point);
+                if (d < best) {
+                    best = d;
+                    nearest = c;
+                }
+            }
+            counts_->add_in(tx, static_cast<long>(nearest), 1);
+            sums_->add_in(tx, static_cast<long>(nearest), point);
+        });
+        // Published only after the commit, so aborted attempts never count.
+        assigns_.fetch_add(1, std::memory_order_relaxed);
+        point_sum_.fetch_add(static_cast<std::uint64_t>(point),
+                             std::memory_order_relaxed);
+    }
+
+    void verify(std::uint64_t /*committed_ops*/) const override {
+        long live_count = 0;
+        long live_sum = 0;
+        counts_->unsafe_for_each([&](long, long v) { live_count += v; });
+        sums_->unsafe_for_each([&](long, long v) { live_sum += v; });
+        const long total_count =
+            live_count + absorbed_count_.unsafe_read();
+        const long total_sum = live_sum + absorbed_sum_.unsafe_read();
+        const auto expected_count =
+            static_cast<long>(assigns_.load(std::memory_order_relaxed));
+        const auto expected_sum =
+            static_cast<long>(point_sum_.load(std::memory_order_relaxed));
+        if (total_count != expected_count || total_sum != expected_sum) {
+            throw std::runtime_error(
+                "kmeans invariant violated: assignments " +
+                std::to_string(total_count) + "/" +
+                std::to_string(expected_count) + ", coordinate sum " +
+                std::to_string(total_sum) + "/" +
+                std::to_string(expected_sum));
+        }
+    }
+
+    std::uint64_t state_hash() const override {
+        std::uint64_t h = 0;
+        counts_->unsafe_for_each([&](long k, long v) {
+            h += slot_digest(static_cast<std::uint64_t>(k) + 1,
+                             static_cast<std::uint64_t>(v));
+        });
+        sums_->unsafe_for_each([&](long k, long v) {
+            h += slot_digest(static_cast<std::uint64_t>(k) + 1000,
+                             static_cast<std::uint64_t>(v));
+        });
+        for (std::uint32_t c = 0; c < k_; ++c) {
+            h += slot_digest(c + 2000, static_cast<std::uint64_t>(
+                                           centroids_[c].unsafe_read()));
+        }
+        h += slot_digest(3000, static_cast<std::uint64_t>(
+                                   absorbed_count_.unsafe_read()));
+        h += slot_digest(3001,
+                         static_cast<std::uint64_t>(absorbed_sum_.unsafe_read()));
+        return h;
+    }
+
+private:
+    using Table = stm::THashMap<long, long>;
+
+    std::uint32_t k_;
+    std::uint32_t recenter_every_;
+    std::uint64_t space_;
+    std::vector<stm::TVar<long>> centroids_;
+    stm::TVar<long> absorbed_count_{0};
+    stm::TVar<long> absorbed_sum_{0};
+    std::unique_ptr<Table> counts_;
+    std::unique_ptr<Table> sums_;
+    std::atomic<std::uint64_t> assigns_{0};
+    std::atomic<std::uint64_t> point_sum_{0};
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -512,6 +812,16 @@ WorkloadRegistry& registry() {
                 cfg.get_u64("phase_ops", 0), cfg.get_u32("yield_every", 0));
             w->set_phase(cfg.get_u32("phase", 0));
             return w;
+        });
+        r.add_default("vacation", [](const config::Config& cfg) {
+            return std::make_unique<VacationWorkload>(
+                cfg.get_u64("rows", 128), cfg.get_u64("customers", 64),
+                cfg.get_u32("queries", 2));
+        });
+        r.add_default("kmeans", [](const config::Config& cfg) {
+            return std::make_unique<KmeansWorkload>(
+                cfg.get_u32("clusters", 8), cfg.get_u32("recenter_every", 64),
+                cfg.get_u64("space", 1024));
         });
         return true;
     }();

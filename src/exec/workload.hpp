@@ -28,6 +28,20 @@
 //                 low-contention phase, a Zipf hot-spot phase, and a
 //                 large-footprint scan phase. No single static engine shape
 //                 is right for all three.
+//   "vacation"  — STAMP-style travel reservation system over THashMaps:
+//                 three resource classes (cars/flights/rooms) with
+//                 per-resource availability and per-customer booking
+//                 tables. Reservations, cancellations and table updates
+//                 insert and erase map nodes through tx_alloc/tx_free, so
+//                 the workload exercises the runtime's speculative
+//                 allocation and epoch reclamation under contention.
+//                 Invariant: per class, available + booked == capacity.
+//   "kmeans"    — STAMP-style clustering kernel: points are assigned to the
+//                 nearest centroid (cluster accumulator maps grow via
+//                 tx_alloc), and periodic recenter transactions absorb the
+//                 accumulators into the centroids and erase the rows
+//                 (tx_free) — a rebuild-heavy allocation churn pattern.
+//                 Invariant: live + absorbed assignments == assign ops.
 //
 // Every workload carries a checkable invariant (`verify`) and an
 // order-independent `state_hash` so the engine's stress and determinism
@@ -59,6 +73,13 @@ public:
     virtual ~Workload() = default;
 
     [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+    /// One-time binding to the runtime that will execute the workload,
+    /// before any thread runs op(). Workloads built on the transactional
+    /// containers create and populate them here (containers need the Stm
+    /// at construction); array-based workloads ignore it. ParallelRunner
+    /// calls this once from its constructor.
+    virtual void prepare(stm::Stm& stm) { (void)stm; }
 
     /// Executes one operation: exactly one committed transaction (the
     /// engine counts ops and equates them with commits). `rng` is the
@@ -142,7 +163,8 @@ using WorkloadRegistry = config::Registry<Workload>;
 [[nodiscard]] std::vector<std::string> workload_names();
 
 /// Creates a workload from a Config. Keys:
-///   workload  counters | zipf | bank | replay | phases (default "counters")
+///   workload  counters | zipf | bank | replay | phases | vacation | kmeans
+///             (default "counters")
 ///   slots     counter/zipf/replay/phases array size (default 65536;
 ///             accepts "64k")
 ///   tx_size   transactional accesses per operation (default 4; replay
@@ -157,6 +179,12 @@ using WorkloadRegistry = config::Registry<Workload>;
 ///             (trace::make_trace_source; `threads` doubles as the
 ///             generator stream count, so each engine thread replays its
 ///             own stream)
+///   rows, customers, queries   vacation: resources per class (default
+///             128), customer count (default 64), itinerary size per
+///             operation (default 2, up to 8)
+///   clusters, recenter_every, space   kmeans: centroid count (default 8,
+///             up to 32), mean ops between recenter transactions (default
+///             64), point coordinate space (default 1024)
 [[nodiscard]] std::unique_ptr<Workload> make_workload(const config::Config& cfg);
 
 }  // namespace tmb::exec

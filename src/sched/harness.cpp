@@ -8,8 +8,10 @@
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <unordered_set>
 
 #include "stm/sched_hook.hpp"
+#include "stm/txalloc.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
 
@@ -40,6 +42,70 @@ std::uint64_t* arena() {
 [[nodiscard]] std::uint64_t* slot_addr(std::uint32_t slot) {
     return arena() + std::size_t{slot} * 8;  // 64-byte stride: 1 block/slot
 }
+
+/// The dyn-mode indirection target: each slot's arena word holds one of
+/// these as a bit-cast pointer, and every write replaces the node
+/// (tx_alloc + tx_free) rather than the value. Reads dereference the node
+/// *transactionally* — exactly the access a doomed reader performs on a
+/// stale pointer, which epoch reclamation must keep mapped.
+struct DynNode {
+    explicit DynNode(std::uint64_t v) noexcept : value_word(v) {}
+    std::uint64_t value_word;
+};
+
+/// The lifetime oracle's ledger. While installed it vetoes *every* release
+/// (on_reclaim returns false) and takes ownership of the block instead:
+/// released nodes therefore stay mapped with their contents intact, so a
+/// worker that touches one — the bug epoch reclamation exists to prevent —
+/// reads defined memory, re-checks the ledger, and records a violation
+/// instead of committing undefined behavior (and instead of tripping ASan
+/// in the deliberately-broken eager_reclaim fault tests). Because nothing
+/// is handed back to the heap until release_all() at end of run, addresses
+/// are never recycled mid-run and the ledger can never go stale. No
+/// locking: the turnstile admits one OS thread at a time, and the main
+/// thread only touches the tracker before workers start / after they join.
+class LifetimeTracker final : public stm::detail::ReclaimObserver {
+public:
+    ~LifetimeTracker() override { release_all(); }
+
+    void on_alloc(void* ptr) noexcept override {
+        if (released_.count(ptr) != 0) {
+            // Impossible while we own every released block — the heap
+            // cannot hand one out again. Seeing it means the ledger broke.
+            record("allocator returned a block the lifetime oracle holds");
+        }
+    }
+
+    [[nodiscard]] bool on_reclaim(void* ptr) noexcept override {
+        if (!released_.insert(ptr).second) {
+            record("reclaimer released one block twice");
+        }
+        return false;  // the tracker owns it now; freed in release_all()
+    }
+
+    [[nodiscard]] bool released(const void* ptr) const {
+        return released_.count(const_cast<void*>(ptr)) != 0;
+    }
+
+    /// Hands the impounded blocks back to the heap. End of run only (all
+    /// transactions finished, ledger checks done).
+    void release_all() noexcept {
+        for (void* ptr : released_) delete static_cast<DynNode*>(ptr);
+        released_.clear();
+    }
+
+    void record(std::string message) noexcept {
+        if (!first_error_) first_error_ = std::move(message);
+    }
+
+    [[nodiscard]] const std::optional<std::string>& first_error() const {
+        return first_error_;
+    }
+
+private:
+    std::unordered_set<void*> released_;
+    std::optional<std::string> first_error_;
+};
 
 /// Per-transaction seed: the accumulator's starting point, and the basis of
 /// the commutative mode's write deltas.
@@ -192,11 +258,18 @@ HarnessConfig harness_config_from(const config::Config& cfg) {
     const std::string mode = cfg.get("mode", out.commutative ? "incr" : "acc");
     if (mode == "incr") {
         out.commutative = true;
+        out.dynamic = false;
     } else if (mode == "acc") {
         out.commutative = false;
+        out.dynamic = false;
+    } else if (mode == "dyn") {
+        // Node-replacing writes are order-sensitive (acc value rule), so
+        // dyn is never commutative — the differential oracle excludes it.
+        out.commutative = false;
+        out.dynamic = true;
     } else {
         throw std::invalid_argument("sched harness: unknown mode '" + mode +
-                                    "' (known: acc, incr)");
+                                    "' (known: acc, incr, dyn)");
     }
     out.workload_seed = cfg.get_u64("wseed", out.workload_seed);
     out.step_limit = cfg.get_u64("step_limit", out.step_limit);
@@ -251,7 +324,8 @@ std::string repro_flags(const HarnessConfig& cfg) {
     out += " --slots=" + std::to_string(cfg.slots);
     out += " --wfrac=" + format_double(cfg.write_fraction);
     out += " --rofrac=" + format_double(cfg.read_only_fraction);
-    out += std::string(" --mode=") + (cfg.commutative ? "incr" : "acc");
+    out += std::string(" --mode=") +
+           (cfg.dynamic ? "dyn" : (cfg.commutative ? "incr" : "acc"));
     out += " --wseed=" + std::to_string(cfg.workload_seed);
     return out;
 }
@@ -311,6 +385,30 @@ RunResult run_schedule(const HarnessConfig& cfg,
 
     std::fill(arena(), arena() + std::size_t{kMaxSlots} * 8, 0);
 
+    // Dyn mode: arm the lifetime oracle on the runtime's reclaim domain,
+    // then seed every slot with a tx_alloc'd node holding 0 (the serial
+    // replay's initial state). The snapshot of the allocation ledger makes
+    // the end-of-run balance check a per-run delta, so a caller-owned Stm
+    // can host many dyn runs in sequence.
+    LifetimeTracker tracker;
+    const stm::ReclaimStats reclaim_before = tm.reclaim_stats();
+    struct ObserverGuard {
+        stm::Stm* tm = nullptr;
+        ~ObserverGuard() {
+            if (tm) tm->reclaim_domain().set_observer(nullptr);
+        }
+    } observer_guard;
+    if (cfg.dynamic) {
+        tm.reclaim_domain().set_observer(&tracker);
+        observer_guard.tm = &tm;
+        for (std::uint32_t s = 0; s < cfg.slots; ++s) {
+            tm.atomically([&](stm::Transaction& tx) {
+                DynNode* node = tx.tx_alloc<DynNode>(0);
+                tx.store(slot_addr(s), std::bit_cast<std::uint64_t>(node));
+            });
+        }
+    }
+
     // Executors are created sequentially here so virtual thread t always
     // binds table TxId t — part of the determinism contract.
     std::vector<std::unique_ptr<stm::Executor>> executors;
@@ -348,10 +446,60 @@ RunResult run_schedule(const HarnessConfig& cfg,
                         rec.reads.clear();
                         rec.writes.clear();
                         rec.begin_commits = result.commit_log.size();
+                        // Dyn: nodes this attempt already tx_free'd. Broken
+                        // reclamation can recycle one address into two
+                        // slots; freeing it twice must become a reported
+                        // violation, not a logic_error out of record_free.
+                        std::vector<DynNode*> freed;
                         std::uint64_t acc = tx_seed(cfg, t, k);
                         for (std::size_t i = 0; i < prog.ops.size(); ++i) {
                             const TxOp& op = prog.ops[i];
-                            const std::uint64_t v = tx.load(slot_addr(op.slot));
+                            std::uint64_t v = 0;
+                            DynNode* node = nullptr;
+                            bool node_ok = false;
+                            if (cfg.dynamic) {
+                                node = std::bit_cast<DynNode*>(
+                                    tx.load(slot_addr(op.slot)));
+                                // The lifetime oracle: dereferencing a
+                                // released block is the failure epoch
+                                // reclamation exists to prevent — report it
+                                // and read 0 instead of touching freed
+                                // memory (doomed readers included).
+                                const auto uar = [&] {
+                                    tracker.record(
+                                        "use-after-reclaim: thread " +
+                                        std::to_string(t) +
+                                        " touched the released node of "
+                                        "slot " +
+                                        std::to_string(op.slot));
+                                };
+                                if (node == nullptr) {
+                                    tracker.record(
+                                        "thread " + std::to_string(t) +
+                                        " read a null node from slot " +
+                                        std::to_string(op.slot));
+                                } else if (tracker.released(node)) {
+                                    uar();
+                                } else {
+                                    node_ok = true;
+                                    // The load yields before it reads, so
+                                    // the node can be released while this
+                                    // attempt is parked holding the
+                                    // pointer: re-check after it returns,
+                                    // and on the abort path a doomed
+                                    // reader takes when its snapshot
+                                    // validation fails.
+                                    try {
+                                        v = tx.load(&node->value_word);
+                                    } catch (...) {
+                                        if (tracker.released(node)) uar();
+                                        throw;
+                                    }
+                                    if (tracker.released(node)) uar();
+                                }
+                            } else {
+                                v = tx.load(slot_addr(op.slot));
+                            }
                             rec.reads.push_back({op.slot, v});
                             acc = util::mix64(acc ^ v);
                             if (op.is_write) {
@@ -359,7 +507,24 @@ RunResult run_schedule(const HarnessConfig& cfg,
                                     cfg.commutative
                                         ? v + op_delta(cfg, t, k, i)
                                         : util::mix64(acc);
-                                tx.store(slot_addr(op.slot), nv);
+                                if (cfg.dynamic) {
+                                    DynNode* fresh = tx.tx_alloc<DynNode>(nv);
+                                    tx.store(
+                                        slot_addr(op.slot),
+                                        std::bit_cast<std::uint64_t>(fresh));
+                                    if (node_ok &&
+                                        std::find(freed.begin(), freed.end(),
+                                                  node) != freed.end()) {
+                                        tracker.record(
+                                            "one node reached two slots — "
+                                            "second tx_free averted");
+                                    } else if (node_ok) {
+                                        tx.tx_free(node);
+                                        freed.push_back(node);
+                                    }
+                                } else {
+                                    tx.store(slot_addr(op.slot), nv);
+                                }
                                 rec.writes.push_back({op.slot, nv});
                             }
                         }
@@ -436,7 +601,19 @@ RunResult run_schedule(const HarnessConfig& cfg,
     result.final_state.resize(cfg.slots);
     std::uint64_t h = 0x5eedc0de ^ cfg.slots;
     for (std::uint32_t s = 0; s < cfg.slots; ++s) {
-        result.final_state[s] = *slot_addr(s);
+        if (cfg.dynamic) {
+            // Quiescent: plain reads through the committed node pointers.
+            auto* node = std::bit_cast<DynNode*>(*slot_addr(s));
+            if (node == nullptr || tracker.released(node)) {
+                tracker.record("slot " + std::to_string(s) + " holds a " +
+                               (node == nullptr ? "null" : "released") +
+                               " node at quiescence");
+            } else {
+                result.final_state[s] = node->value_word;
+            }
+        } else {
+            result.final_state[s] = *slot_addr(s);
+        }
         h = util::mix64(h ^ (result.final_state[s] +
                              s * 0x9e3779b97f4a7c15ULL));
     }
@@ -445,6 +622,40 @@ RunResult run_schedule(const HarnessConfig& cfg,
     result.stats = tm.stats();  // conflict classification (instance block)
     for (const auto& exec : executors) {
         result.stats.merge(exec->stats());  // commits/aborts (shards)
+    }
+
+    if (cfg.dynamic) {
+        // Free the surviving nodes through the runtime so the allocation
+        // ledger must balance: after a full drain any remaining pending
+        // block or live-count delta is a reclaimer bug, and it becomes the
+        // run's lifetime verdict alongside anything the workers recorded.
+        for (std::uint32_t s = 0; s < cfg.slots; ++s) {
+            tm.atomically([&](stm::Transaction& tx) {
+                auto* node =
+                    std::bit_cast<DynNode*>(tx.load(slot_addr(s)));
+                if (node != nullptr && !tracker.released(node)) {
+                    tx.tx_free(node);
+                }
+                tx.store(slot_addr(s), 0);
+            });
+        }
+        tm.reclaim_drain();
+        const stm::ReclaimStats reclaim_after = tm.reclaim_stats();
+        if (reclaim_after.pending_blocks() != 0) {
+            tracker.record(
+                std::to_string(reclaim_after.pending_blocks()) +
+                " retired blocks still pending after a full drain");
+        } else if (reclaim_after.live_blocks() !=
+                   reclaim_before.live_blocks()) {
+            tracker.record(
+                "allocation ledger unbalanced at end of run: " +
+                std::to_string(reclaim_after.live_blocks()) +
+                " live blocks vs " +
+                std::to_string(reclaim_before.live_blocks()) +
+                " before it — leaked or over-released nodes");
+        }
+        result.lifetime_error = tracker.first_error();
+        tracker.release_all();  // hand the impounded blocks back
     }
 
     if (!result.cancelled) {
@@ -468,6 +679,9 @@ std::optional<std::string> check_serializable(
     const auto describe = [&](std::uint32_t t, std::uint32_t k) {
         return "thread " + std::to_string(t) + " tx " + std::to_string(k);
     };
+    if (run.lifetime_error) {
+        return "lifetime oracle: " + *run.lifetime_error;
+    }
     if (run.cancelled) {
         return "run cancelled after " + std::to_string(run.steps) +
                " steps (step_limit " + std::to_string(cfg.step_limit) +

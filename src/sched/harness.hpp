@@ -30,6 +30,16 @@
 //     commits between backends) plus the paper's conflict-count direction:
 //     tagged tables report zero false conflicts, tagless at least as many.
 //
+// Mode `dyn` widens the first oracle with a *lifetime* check: each slot
+// holds a pointer to a heap node allocated with tx_alloc and replaced (new
+// node in, old node tx_free'd) on every write, and the runtime yields at
+// its alloc/free/reclaim points too. A ReclaimObserver tracks every block
+// the reclaimer releases; a virtual thread dereferencing a released node —
+// legal for a doomed reader under correct epoch reclamation, fatal under a
+// broken one — or the reclaimer releasing a block twice is reported in
+// RunResult::lifetime_error instead of being undefined behavior, and
+// check_serializable reports it before anything else.
+//
 // Determinism notes: the shared words live in a process-static 64-byte-
 // aligned arena and the harness pins hash=shift-mask, so which slots alias
 // in the ownership table depends only on slot *distances* — recorded
@@ -82,6 +92,13 @@ struct HarnessConfig {
     /// transaction has read, making the final state maximally sensitive to
     /// serialization errors — preferred for the serializability oracle.
     bool commutative = false;
+    /// Dynamic-memory mode ("dyn"): every slot holds a tx_alloc'd heap node
+    /// and writes replace the node (tx_alloc + tx_free) instead of the
+    /// value, driving the allocator's speculative-rollback and epoch-
+    /// reclamation machinery through every explored interleaving. Values
+    /// follow the acc rule (non-commutative), and run_schedule additionally
+    /// arms the lifetime oracle (RunResult::lifetime_error).
+    bool dynamic = false;
     std::uint64_t workload_seed = 1;
     /// Scheduler steps before the run is cancelled (livelocked replays
     /// under a mismatched config would otherwise never terminate).
@@ -90,7 +107,7 @@ struct HarnessConfig {
 
 /// Parses harness keys: backend, table, entries, commit_time_locks, clock,
 /// engine, policy, epoch, max_entries, threads, txs, ops, slots, wfrac,
-/// rofrac, mode (acc|incr), wseed, step_limit.
+/// rofrac, mode (acc|incr|dyn), wseed, step_limit.
 [[nodiscard]] HarnessConfig harness_config_from(const config::Config& cfg);
 
 /// The Config handed to stm::Stm::create for this harness config —
@@ -155,6 +172,10 @@ struct RunResult {
     std::vector<std::uint64_t> final_state;  ///< slot values at quiescence
     std::vector<CommitRecord> commit_log;    ///< commit order
     stm::StmStats stats;
+    /// Lifetime-oracle verdict (dyn mode only): a use of a reclaimed block,
+    /// a double reclamation, or an unbalanced allocation ledger at the end
+    /// of the run. nullopt when clean (always nullopt outside dyn mode).
+    std::optional<std::string> lifetime_error;
 };
 
 /// Runs `programs` under `schedule` over a fresh Stm built from `cfg`.
@@ -179,7 +200,8 @@ struct RunResult {
 /// The serializability oracle: nullopt when the run is equivalent to the
 /// serial execution of its commit log in commit order; otherwise a
 /// description of the first divergence. A cancelled run is reported as a
-/// violation (step_limit exhausted).
+/// violation (step_limit exhausted), and a dyn-mode lifetime violation
+/// (run.lifetime_error) is reported before any serializability analysis.
 [[nodiscard]] std::optional<std::string> check_serializable(
     const HarnessConfig& cfg,
     const std::vector<std::vector<TxProgram>>& programs, const RunResult& run);

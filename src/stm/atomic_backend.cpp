@@ -191,7 +191,8 @@ AtomicContext::~AtomicContext() { backend_.release_slot(slot_); }
 }  // namespace
 
 std::unique_ptr<Backend> make_atomic_backend(const StmConfig& config,
-                                             SharedStats& stats) {
+                                             SharedStats& stats,
+                                             ReclaimDomain& /*reclaim*/) {
     return std::make_unique<AtomicBackend>(config, stats);
 }
 

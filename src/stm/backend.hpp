@@ -21,6 +21,7 @@
 
 #include "stm/instrumentation.hpp"
 #include "stm/stm.hpp"
+#include "stm/txalloc.hpp"
 
 namespace tmb::stm::detail {
 
@@ -31,7 +32,7 @@ using SharedStats = Instrumentation;
 /// Per-transaction state; concrete type owned by the backend.
 class TxContext {
 public:
-    virtual ~TxContext() = default;
+    virtual ~TxContext();
 
     /// Folds any statistics accumulated locally in this context into the
     /// backend's shared Instrumentation block. Hot paths accumulate plain
@@ -40,6 +41,22 @@ public:
     /// per-commit paths never touch a shared counter. Counters routed this
     /// way are exact at quiescent points.
     virtual void flush_stats() noexcept {}
+
+    /// Binds this context to the runtime's reclamation domain: registers
+    /// an epoch pin slot and enables tx_alloc/tx_free (txalloc.hpp). The
+    /// runtime binds every context it hands to a Transaction; the adaptive
+    /// wrapper's *inner* contexts stay unbound (only the outer context is
+    /// ever visible to the attempt loop).
+    void bind_reclaim(ReclaimDomain& domain) {
+        reclaim_domain = &domain;
+        reclaim_slot = domain.register_slot();
+    }
+
+    /// Transactional-allocation state (txalloc.hpp), applied by the
+    /// runtime's attempt loop: rollback on abort, retire on commit.
+    TxMemLog mem;
+    ReclaimDomain* reclaim_domain = nullptr;
+    ReclaimSlot* reclaim_slot = nullptr;
 };
 
 /// Metadata-organization-specific transactional engine.
@@ -91,15 +108,19 @@ public:
     [[nodiscard]] virtual std::string describe() const { return ""; }
 };
 
+// Every factory receives the runtime's reclamation domain. The concrete
+// engines ignore it (the attempt loop applies TxMemLogs centrally); the
+// adaptive wrapper drains it before retiring a swapped-out engine.
 [[nodiscard]] std::unique_ptr<Backend> make_tl2_backend(const StmConfig& config,
-                                                        SharedStats& stats);
-[[nodiscard]] std::unique_ptr<Backend> make_table_backend(const StmConfig& config,
-                                                          SharedStats& stats);
-[[nodiscard]] std::unique_ptr<Backend> make_atomic_backend(const StmConfig& config,
-                                                           SharedStats& stats);
+                                                        SharedStats& stats,
+                                                        ReclaimDomain& reclaim);
+[[nodiscard]] std::unique_ptr<Backend> make_table_backend(
+    const StmConfig& config, SharedStats& stats, ReclaimDomain& reclaim);
+[[nodiscard]] std::unique_ptr<Backend> make_atomic_backend(
+    const StmConfig& config, SharedStats& stats, ReclaimDomain& reclaim);
 /// The epoch-based policy layer (src/adapt/adaptive_stm.cpp); wraps one of
 /// the engines above per StmConfig::adapt.
 [[nodiscard]] std::unique_ptr<Backend> make_adaptive_backend(
-    const StmConfig& config, SharedStats& stats);
+    const StmConfig& config, SharedStats& stats, ReclaimDomain& reclaim);
 
 }  // namespace tmb::stm::detail

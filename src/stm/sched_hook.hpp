@@ -44,6 +44,14 @@ enum class YieldPoint : std::uint8_t {
     /// only — never between a commit and its completion — so the
     /// commit-order serializability argument above is unaffected.
     kPolicySwitch = 5,
+    /// Transactional memory management (txalloc.hpp). kAlloc / kFree fire
+    /// inside the attempt body (before the allocation / the deferred-free
+    /// record); kReclaim fires in ReclaimDomain::poll, which the runtime
+    /// calls only *before* an attempt loop starts — never between a commit
+    /// and its completion — keeping the commit-order argument intact.
+    kAlloc = 6,
+    kFree = 7,
+    kReclaim = 8,
 };
 
 /// Cooperative scheduler interface; one instance per virtual thread.
@@ -87,6 +95,10 @@ struct TestFaults {
     /// TL2: commit skips read-set validation — a writer can commit having
     /// read state that another transaction overwrote since begin().
     std::atomic<bool> skip_tl2_validation{false};
+    /// txalloc: committed tx_free releases the block immediately instead of
+    /// retiring it into the epoch pipeline — doomed readers then touch
+    /// freed memory, which the harness's lifetime oracle must catch.
+    std::atomic<bool> eager_reclaim{false};
 };
 
 /// Process-wide fault block (all flags false unless a test sets them).

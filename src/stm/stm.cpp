@@ -20,26 +20,27 @@ namespace {
 /// the conflict-detection metadata lives in StmConfig (`table` backends
 /// cover both tagless and tagged ownership tables).
 using BackendRegistry =
-    config::Registry<detail::Backend, const StmConfig&, detail::SharedStats&>;
+    config::Registry<detail::Backend, const StmConfig&, detail::SharedStats&,
+                     detail::ReclaimDomain&>;
 
 BackendRegistry& backend_registry() {
     static const bool bootstrapped = [] {
         auto& r = BackendRegistry::instance();
         r.add_default("tl2", [](const config::Config&, const StmConfig& c,
-                        detail::SharedStats& s) {
-            return detail::make_tl2_backend(c, s);
+                        detail::SharedStats& s, detail::ReclaimDomain& d) {
+            return detail::make_tl2_backend(c, s, d);
         });
         r.add_default("table", [](const config::Config&, const StmConfig& c,
-                          detail::SharedStats& s) {
-            return detail::make_table_backend(c, s);
+                          detail::SharedStats& s, detail::ReclaimDomain& d) {
+            return detail::make_table_backend(c, s, d);
         });
         r.add_default("atomic", [](const config::Config&, const StmConfig& c,
-                           detail::SharedStats& s) {
-            return detail::make_atomic_backend(c, s);
+                           detail::SharedStats& s, detail::ReclaimDomain& d) {
+            return detail::make_atomic_backend(c, s, d);
         });
         r.add_default("adaptive", [](const config::Config&, const StmConfig& c,
-                             detail::SharedStats& s) {
-            return detail::make_adaptive_backend(c, s);
+                             detail::SharedStats& s, detail::ReclaimDomain& d) {
+            return detail::make_adaptive_backend(c, s, d);
         });
         return true;
     }();
@@ -234,7 +235,8 @@ public:
         // All construction funnels through the registry, so an engine
         // registered at runtime is selectable exactly like the built-ins.
         backend_ = backend_registry().create(registry_key(config_.backend),
-                                             config::Config{}, config_, stats_);
+                                             config::Config{}, config_, stats_,
+                                             reclaim_);
         // Contexts carry allocation-free tx-local structures (txlocal.hpp)
         // that are cheap to reuse but not to construct; pool them for the
         // convenience Stm::atomically path. Only backends without a slot
@@ -247,6 +249,14 @@ public:
         if (pool_contexts_) context_pool_.reserve(kMaxPooledContexts);
     }
 
+    /// Every context handed to the attempt loop is bound to the reclaim
+    /// domain (epoch pin slot + tx_alloc support) exactly once, here.
+    [[nodiscard]] std::unique_ptr<detail::TxContext> new_context() {
+        auto cx = backend_->make_context();
+        cx->bind_reclaim(reclaim_);
+        return cx;
+    }
+
     [[nodiscard]] std::unique_ptr<detail::TxContext> acquire_context() {
         if (pool_contexts_) {
             const std::lock_guard<std::mutex> guard(pool_mutex_);
@@ -256,7 +266,7 @@ public:
                 return cx;
             }
         }
-        return backend_->make_context();
+        return new_context();
     }
 
     void release_context(std::unique_ptr<detail::TxContext> cx) {
@@ -275,6 +285,10 @@ public:
 
     StmConfig config_;
     detail::SharedStats stats_;
+    // Declared before backend_ (and the pool below): contexts unregister
+    // their pin slots and the adaptive wrapper drains retired blocks, so
+    // the domain must be destroyed after both.
+    detail::ReclaimDomain reclaim_;
     std::unique_ptr<detail::Backend> backend_;
     std::atomic<std::uint64_t> cm_seed_{0x5eedc0ffee123457ULL};
 
@@ -324,7 +338,13 @@ void Stm::run(detail::BodyRef body) {
 void Stm::run_in(detail::BodyRef body, detail::TxContext& cx,
                  detail::Instrumentation& stats, std::uint64_t cm_seed) {
     detail::Backend& backend = *impl_->backend_;
+    detail::ReclaimDomain& reclaim = impl_->reclaim_;
     ContentionManager cm(impl_->config_.contention, cm_seed);
+
+    // Executor-quiescent point: between this context's transactions nothing
+    // is pinned here, so retired blocks can advance toward release. O(1)
+    // when no tx_free is outstanding.
+    reclaim.poll();
 
     std::uint32_t attempts = 0;
     for (;;) {
@@ -332,11 +352,16 @@ void Stm::run_in(detail::BodyRef body, detail::TxContext& cx,
         detail::scheduler_yield(attempts == 1 ? detail::YieldPoint::kTxBegin
                                               : detail::YieldPoint::kRetry);
         backend.begin(cx);
+        // Pinned after begin (an adaptive begin may park waiting for a
+        // swap; nothing is held while parked) and before the body's first
+        // load — the window in which retired pointers could be observed.
+        const detail::PinGuard pin(reclaim, cx.reclaim_slot);
         Transaction tx(backend, cx);
         try {
             body.invoke(body.object, tx);
         } catch (const detail::ConflictAbort& conflict) {
             backend.abort(cx);
+            reclaim.rollback(cx.mem);
             auto& counter = conflict.user_requested ? stats.explicit_retries
                                                     : stats.aborts;
             counter.fetch_add(1, std::memory_order_relaxed);
@@ -348,7 +373,10 @@ void Stm::run_in(detail::BodyRef body, detail::TxContext& cx,
             continue;
         } catch (...) {
             // User exception: roll back and propagate (failure atomicity).
+            // The backend rolls shared words back first, so a speculative
+            // block is unreachable before rollback() frees it.
             backend.abort(cx);
+            reclaim.rollback(cx.mem);
             throw;
         }
 
@@ -356,12 +384,15 @@ void Stm::run_in(detail::BodyRef body, detail::TxContext& cx,
             detail::scheduler_yield(detail::YieldPoint::kCommit);
         } catch (...) {
             backend.abort(cx);  // harness cancellation: leave no metadata held
+            reclaim.rollback(cx.mem);
             throw;
         }
         if (backend.commit(cx)) {
+            reclaim.commit(cx.mem);
             stats.record_commit(attempts);
             return;
         }
+        reclaim.rollback(cx.mem);
         stats.aborts.fetch_add(1, std::memory_order_relaxed);
         if (impl_->config_.max_attempts != 0 &&
             attempts >= impl_->config_.max_attempts) {
@@ -383,13 +414,23 @@ std::uint64_t Stm::occupied_metadata_entries() const noexcept {
     return impl_->backend_->occupied_metadata_entries();
 }
 
+ReclaimStats Stm::reclaim_stats() const noexcept {
+    return impl_->reclaim_.stats();
+}
+
+void Stm::reclaim_drain() noexcept { impl_->reclaim_.drain_all(); }
+
+detail::ReclaimDomain& Stm::reclaim_domain() noexcept {
+    return impl_->reclaim_;
+}
+
 // ---------------------------------------------------------------------------
 // Executor
 // ---------------------------------------------------------------------------
 
 Executor::Executor(Stm& stm)
     : stm_(stm),
-      cx_(stm.impl_->backend_->make_context()),
+      cx_(stm.impl_->new_context()),
       cm_seed_(stm.impl_->cm_seed_.fetch_add(0x9e3779b97f4a7c15ULL,
                                              std::memory_order_relaxed)) {}
 

@@ -46,6 +46,7 @@
 #include "ownership/ownership.hpp"
 #include "stm/contention.hpp"
 #include "stm/instrumentation.hpp"
+#include "stm/txalloc.hpp"
 #include "util/histogram.hpp"
 
 namespace tmb::stm {
@@ -286,10 +287,41 @@ public:
     /// precondition does not hold yet). Counted in StmStats::explicit_retries.
     [[noreturn]] void retry();
 
+    /// Transactionally allocates a T. If the attempt aborts (conflict,
+    /// retry(), failed commit, or an escaping exception), the object is
+    /// destroyed and freed automatically; it survives only when the attempt
+    /// commits. The object is private to this transaction until the store
+    /// that publishes its address commits, so initializing it with
+    /// TVar::unsafe_write before that store is safe.
+    template <typename T, typename... Args>
+    [[nodiscard]] T* tx_alloc(Args&&... args) {
+        alloc_hook();
+        T* ptr = new T(std::forward<Args>(args)...);
+        record_alloc(ptr, [](void* p) noexcept { delete static_cast<T*>(p); });
+        return ptr;
+    }
+
+    /// Transactionally frees `ptr` (a block obtained from tx_alloc, in this
+    /// or an earlier committed transaction). The free is deferred: nothing
+    /// happens unless the attempt commits, and even then the memory is only
+    /// *retired* — epoch-based reclamation releases it once no concurrent
+    /// (possibly doomed) reader can still hold the pointer. Freeing a block
+    /// twice in one transaction throws std::logic_error; tx_free(nullptr)
+    /// is a no-op.
+    template <typename T>
+    void tx_free(T* ptr) {
+        record_free(ptr, [](void* p) noexcept { delete static_cast<T*>(p); });
+    }
+
 private:
     friend class Stm;
     Transaction(detail::Backend& backend, detail::TxContext& cx)
         : backend_(backend), cx_(cx) {}
+
+    // txalloc.cpp: yield + log-capacity hook, then the nothrow record.
+    void alloc_hook();
+    void record_alloc(void* ptr, void (*deleter)(void*)) noexcept;
+    void record_free(void* ptr, void (*deleter)(void*));
 
     detail::Backend& backend_;
     detail::TxContext& cx_;
@@ -448,6 +480,19 @@ public:
     /// executors' own shards — merge() them in for an engine-wide view.
     [[nodiscard]] StmStats stats() const noexcept;
     [[nodiscard]] const StmConfig& config() const noexcept;
+
+    /// Transactional-allocation counters (tx_alloc/tx_free/reclamation);
+    /// exact at quiescent points, like occupied_metadata_entries().
+    [[nodiscard]] ReclaimStats reclaim_stats() const noexcept;
+
+    /// Releases every retired-but-unreclaimed block immediately. Quiescent
+    /// points only (no transaction in flight) — the runner and tests call
+    /// this after joining worker threads; the destructor drains implicitly.
+    void reclaim_drain() noexcept;
+
+    /// The instance's reclamation domain — harness/test hook (observer
+    /// installation); not part of the stable API.
+    [[nodiscard]] detail::ReclaimDomain& reclaim_domain() noexcept;
 
     /// Human-readable description of the *current* engine shape. Static
     /// backends describe their configuration; the adaptive backend reports

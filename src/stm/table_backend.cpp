@@ -419,7 +419,8 @@ LazyTableContext<Table>::~LazyTableContext() {
 }  // namespace
 
 std::unique_ptr<Backend> make_table_backend(const StmConfig& config,
-                                            SharedStats& stats) {
+                                            SharedStats& stats,
+                                            ReclaimDomain& /*reclaim*/) {
     const bool tagless = config.backend == BackendKind::kTaglessTable;
     if (config.commit_time_locks) {
         if (tagless) {

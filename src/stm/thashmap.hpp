@@ -6,12 +6,15 @@
 // organization is under study — a workload with naturally skewed block
 // reuse.
 //
-// Reclamation follows TList: erased nodes are retired, reclaimed at
-// destruction or via reclaim_retired() at a quiescent point.
+// Node lifetime is managed by the runtime (stm/txalloc.hpp): inserts use
+// Transaction::tx_alloc, so a node allocated on an attempt that aborts is
+// freed automatically; erases use tx_free, so the unlink and the free
+// commit atomically and the backing memory is epoch-reclaimed only after
+// every transaction that could still hold the pointer (doomed optimistic
+// readers included) has finished.
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -37,6 +40,8 @@ public:
     THashMap(const THashMap&) = delete;
     THashMap& operator=(const THashMap&) = delete;
 
+    /// Frees the nodes still *linked in*. Nodes whose erase committed are
+    /// owned by the Stm's reclamation domain and released there.
     ~THashMap() {
         for (auto* head : heads_) {
             Node* n = head->unsafe_read();
@@ -47,95 +52,31 @@ public:
             }
             delete head;
         }
-        reclaim_retired();
     }
 
     /// Inserts or updates; returns true if the key was newly inserted.
     bool put(Key key, Value value) {
-        Node* spare = nullptr;  // reused across retries; published at most once
-        const bool inserted = stm_.atomically([&](Transaction& tx) {
-            TVar<Node*>& head = bucket(key);
-            for (Node* cur = head.read(tx); cur != nullptr;
-                 cur = cur->next.read(tx)) {
-                if (cur->key == key) {
-                    cur->value.write(tx, value);
-                    return false;
-                }
-            }
-            if (spare == nullptr) spare = new Node{key, TVar<Value>{}, TVar<Node*>{}};
-            spare->value.unsafe_write(value);  // pre-publication init
-            spare->next.unsafe_write(head.read(tx));
-            head.write(tx, spare);
-            return true;
-        });
-        if (!inserted) delete spare;
-        return inserted;
+        return stm_.atomically(
+            [&](Transaction& tx) { return put_in(tx, key, value); });
     }
 
     [[nodiscard]] std::optional<Value> get(Key key) {
-        return stm_.atomically([&](Transaction& tx) -> std::optional<Value> {
-            for (Node* cur = bucket(key).read(tx); cur != nullptr;
-                 cur = cur->next.read(tx)) {
-                if (cur->key == key) return cur->value.read(tx);
-            }
-            return std::nullopt;
-        });
+        return stm_.atomically(
+            [&](Transaction& tx) { return get_in(tx, key); });
     }
 
     /// Removes `key`; returns false if absent.
     bool erase(Key key) {
-        Node* victim = nullptr;
-        const bool removed = stm_.atomically([&](Transaction& tx) {
-            victim = nullptr;
-            TVar<Node*>& head = bucket(key);
-            Node* cur = head.read(tx);
-            TVar<Node*>* prev_link = &head;
-            while (cur != nullptr) {
-                Node* next = cur->next.read(tx);
-                if (cur->key == key) {
-                    prev_link->write(tx, next);
-                    victim = cur;
-                    return true;
-                }
-                prev_link = &cur->next;
-                cur = next;
-            }
-            return false;
-        });
-        if (removed && victim != nullptr) {
-            const std::lock_guard<std::mutex> guard(retired_mutex_);
-            retired_.push_back(victim);
-        }
-        return removed;
+        return stm_.atomically(
+            [&](Transaction& tx) { return erase_in(tx, key); });
     }
 
     /// Adds `delta` to the value at `key` (inserting `delta` if absent);
     /// returns the new value. A read-modify-write that exercises
     /// upgrade-in-place in the table backends.
     Value add(Key key, Value delta) {
-        Node* spare = nullptr;
-        bool published = false;
-        const Value result = stm_.atomically([&](Transaction& tx) {
-            published = false;
-            TVar<Node*>& head = bucket(key);
-            for (Node* cur = head.read(tx); cur != nullptr;
-                 cur = cur->next.read(tx)) {
-                if (cur->key == key) {
-                    const Value updated =
-                        static_cast<Value>(cur->value.read(tx) + delta);
-                    cur->value.write(tx, updated);
-                    return updated;
-                }
-            }
-            if (spare == nullptr) spare = new Node{key, TVar<Value>{}, TVar<Node*>{}};
-            spare->value.unsafe_write(delta);
-            spare->next.unsafe_write(head.read(tx));
-            head.write(tx, spare);
-            published = true;
-            return delta;
-        });
-        if (!published) delete spare;
-        return result;
+        return stm_.atomically(
+            [&](Transaction& tx) { return add_in(tx, key, delta); });
     }
 
     /// Entry count via a full transactional traversal (consistent snapshot).
@@ -163,31 +104,76 @@ public:
         return std::nullopt;
     }
 
-    /// Composable add. Requires the key to already exist (pre-populate the
-    /// map) so that no allocation can leak if the caller's enclosing
-    /// transaction aborts for good; returns the new value.
-    Value add_in(Transaction& tx, Key key, Value delta) {
-        for (Node* cur = bucket(key).read(tx); cur != nullptr;
+    /// Composable insert-or-update; true if the key was newly inserted.
+    bool put_in(Transaction& tx, Key key, Value value) {
+        TVar<Node*>& head = bucket(key);
+        for (Node* cur = head.read(tx); cur != nullptr;
              cur = cur->next.read(tx)) {
             if (cur->key == key) {
-                const Value updated = static_cast<Value>(cur->value.read(tx) + delta);
+                cur->value.write(tx, value);
+                return false;
+            }
+        }
+        // tx_alloc: rolled back (freed) automatically if this attempt — or
+        // the caller's enclosing transaction — ultimately aborts.
+        Node* fresh = tx.tx_alloc<Node>(key, value, head.read(tx));
+        head.write(tx, fresh);
+        return true;
+    }
+
+    /// Composable remove; false if absent. The unlinked node is tx_freed:
+    /// released through epoch reclamation only after the unlink commits.
+    bool erase_in(Transaction& tx, Key key) {
+        TVar<Node*>& head = bucket(key);
+        TVar<Node*>* prev_link = &head;
+        for (Node* cur = head.read(tx); cur != nullptr;) {
+            Node* next = cur->next.read(tx);
+            if (cur->key == key) {
+                prev_link->write(tx, next);
+                tx.tx_free(cur);
+                return true;
+            }
+            prev_link = &cur->next;
+            cur = next;
+        }
+        return false;
+    }
+
+    /// Composable upsert-add; returns the new value.
+    Value add_in(Transaction& tx, Key key, Value delta) {
+        TVar<Node*>& head = bucket(key);
+        for (Node* cur = head.read(tx); cur != nullptr;
+             cur = cur->next.read(tx)) {
+            if (cur->key == key) {
+                const Value updated =
+                    static_cast<Value>(cur->value.read(tx) + delta);
                 cur->value.write(tx, updated);
                 return updated;
             }
         }
-        tx.retry();  // absent key: by contract a misuse; retry loudly
+        Node* fresh = tx.tx_alloc<Node>(key, delta, head.read(tx));
+        head.write(tx, fresh);
+        return delta;
     }
 
-    void reclaim_retired() {
-        const std::lock_guard<std::mutex> guard(retired_mutex_);
-        for (Node* n : retired_) delete n;
-        retired_.clear();
+    /// Non-transactional traversal over every (key, value); safe only at
+    /// quiescent points (invariant checks in tests/workloads).
+    template <typename F>
+    void unsafe_for_each(F&& f) const {
+        for (auto* head : heads_) {
+            for (Node* cur = head->unsafe_read(); cur != nullptr;
+                 cur = cur->next.unsafe_read()) {
+                f(cur->key, cur->value.unsafe_read());
+            }
+        }
     }
 
     [[nodiscard]] std::size_t bucket_count() const noexcept { return mask_ + 1; }
 
 private:
     struct Node {
+        Node(Key k, Value v, Node* nxt) noexcept
+            : key(k), value(v), next(nxt) {}
         Key key;
         TVar<Value> value;
         TVar<Node*> next;
@@ -205,8 +191,6 @@ private:
     /// its own region of memory rather than one dense array that maps many
     /// buckets to one ownership-table block.
     std::vector<TVar<Node*>*> heads_;
-    std::mutex retired_mutex_;
-    std::vector<Node*> retired_;
 };
 
 }  // namespace tmb::stm

@@ -352,7 +352,8 @@ private:
 }  // namespace
 
 std::unique_ptr<Backend> make_tl2_backend(const StmConfig& config,
-                                          SharedStats& stats) {
+                                          SharedStats& stats,
+                                          ReclaimDomain& /*reclaim*/) {
     return std::make_unique<Tl2Backend>(config, stats);
 }
 

@@ -6,17 +6,16 @@
 // insert/erase/contains compose into serializable operations on any of the
 // library's backends.
 //
-// Memory reclamation: nodes unlinked by erase() are *retired*, not freed —
-// an optimistic reader (TL2 backend) may still dereference them after the
-// unlink commits. Retired nodes are reclaimed when the list is destroyed or
-// when the single-threaded owner calls reclaim_retired(). This is the
-// simplest sound policy; epoch-based reclamation would bound the footprint
-// but is orthogonal to this library's subject.
+// Memory reclamation is the runtime's (stm/txalloc.hpp): insert allocates
+// with Transaction::tx_alloc (freed automatically when the attempt aborts),
+// erase hands the unlinked node to tx_free (released via epoch-based
+// reclamation once no optimistic reader — doomed TL2 transactions included
+// — can still dereference it). The container itself keeps no retired-node
+// state and both composable variants are abort-safe.
 #pragma once
 
 #include <cstddef>
-#include <mutex>
-#include <vector>
+#include <utility>
 
 #include "stm/stm.hpp"
 
@@ -30,12 +29,14 @@ template <typename Key = long>
 class TList {
 public:
     explicit TList(Stm& stm) : stm_(stm) {
-        head_ = new Node{Key{}, TVar<Node*>{nullptr}};
+        head_ = new Node{Key{}, nullptr};
     }
 
     TList(const TList&) = delete;
     TList& operator=(const TList&) = delete;
 
+    /// Frees the nodes still linked in; erased nodes belong to the Stm's
+    /// reclamation domain and are released there.
     ~TList() {
         Node* n = head_;
         while (n != nullptr) {
@@ -43,29 +44,18 @@ public:
             delete n;
             n = next;
         }
-        reclaim_retired();
     }
 
     /// Inserts `key`; returns false if already present.
     bool insert(Key key) {
-        // The spare node is reused across conflict retries so aborted
-        // attempts do not leak an allocation; it is published at most once.
-        Node* spare = nullptr;
-        const bool inserted = stm_.atomically(
-            [&](Transaction& tx) { return insert_in_impl(tx, key, &spare); });
-        if (!inserted) delete spare;  // allocated on an attempt that then found the key
-        return inserted;
+        return stm_.atomically(
+            [&](Transaction& tx) { return insert_in(tx, key); });
     }
 
     /// Removes `key`; returns false if absent.
     bool erase(Key key) {
-        Node* victim = nullptr;
-        const bool removed = stm_.atomically([&](Transaction& tx) {
-            victim = nullptr;  // body may re-execute: reset captured state
-            return erase_in(tx, key, &victim);
-        });
-        if (removed && victim != nullptr) retire(victim);
-        return removed;
+        return stm_.atomically(
+            [&](Transaction& tx) { return erase_in(tx, key); });
     }
 
     [[nodiscard]] bool contains(Key key) {
@@ -100,12 +90,27 @@ public:
 
     // --- composable variants (run inside a caller-provided transaction) ---
 
-    /// Composable insert. Note: allocates a node that leaks if the caller's
-    /// enclosing transaction ultimately aborts for good; prefer insert() for
-    /// standalone use.
+    /// Composable insert. The node comes from tx_alloc, so nothing leaks if
+    /// the caller's enclosing transaction ultimately aborts.
     bool insert_in(Transaction& tx, Key key) {
-        Node* spare = nullptr;
-        return insert_in_impl(tx, key, &spare);
+        auto [prev, cur] = locate(tx, key);
+        if (cur != nullptr && cur->key == key) return false;
+        // Pre-publication init via the constructor is non-transactional by
+        // design: the node is invisible until the write to prev->next
+        // commits.
+        Node* fresh = tx.tx_alloc<Node>(key, cur);
+        write_next(tx, prev, fresh);
+        return true;
+    }
+
+    /// Composable erase; the unlinked node is tx_freed (epoch-reclaimed
+    /// after the unlink commits).
+    bool erase_in(Transaction& tx, Key key) {
+        auto [prev, cur] = locate(tx, key);
+        if (cur == nullptr || cur->key != key) return false;
+        write_next(tx, prev, read_next(tx, cur));
+        tx.tx_free(cur);
+        return true;
     }
 
     bool contains_in(Transaction& tx, Key key) {
@@ -114,21 +119,9 @@ public:
         return cur != nullptr && cur->key == key;
     }
 
-    /// Frees retired nodes. Caller must guarantee no transaction (on any
-    /// thread) can still hold pointers into this list.
-    void reclaim_retired() {
-        const std::lock_guard<std::mutex> guard(retired_mutex_);
-        for (Node* n : retired_) delete n;
-        retired_.clear();
-    }
-
-    [[nodiscard]] std::size_t retired_count() const {
-        const std::lock_guard<std::mutex> guard(retired_mutex_);
-        return retired_.size();
-    }
-
 private:
     struct Node {
+        Node(Key k, Node* nxt) noexcept : key(k), next(nxt) {}
         Key key;
         TVar<Node*> next;
     };
@@ -136,17 +129,6 @@ private:
     static Node* read_next(Transaction& tx, Node* n) { return n->next.read(tx); }
     static void write_next(Transaction& tx, Node* n, Node* value) {
         n->next.write(tx, value);
-    }
-
-    bool insert_in_impl(Transaction& tx, Key key, Node** spare) {
-        auto [prev, cur] = locate(tx, key);
-        if (cur != nullptr && cur->key == key) return false;
-        if (*spare == nullptr) *spare = new Node{key, TVar<Node*>{nullptr}};
-        // Pre-publication init is non-transactional by design: the node is
-        // invisible until the write to prev->next commits.
-        (*spare)->next.unsafe_write(cur);
-        write_next(tx, prev, *spare);
-        return true;
     }
 
     /// Finds the first node with key >= `key`; returns {predecessor, node}.
@@ -160,23 +142,8 @@ private:
         return {prev, cur};
     }
 
-    bool erase_in(Transaction& tx, Key key, Node** victim) {
-        auto [prev, cur] = locate(tx, key);
-        if (cur == nullptr || cur->key != key) return false;
-        write_next(tx, prev, read_next(tx, cur));
-        *victim = cur;
-        return true;
-    }
-
-    void retire(Node* node) {
-        const std::lock_guard<std::mutex> guard(retired_mutex_);
-        retired_.push_back(node);
-    }
-
     Stm& stm_;
     Node* head_;  ///< sentinel; never removed
-    mutable std::mutex retired_mutex_;
-    std::vector<Node*> retired_;
 };
 
 }  // namespace tmb::stm

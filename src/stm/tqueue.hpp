@@ -1,16 +1,18 @@
 // tqueue.hpp — a bounded transactional FIFO queue.
 //
-// A ring buffer whose head/tail cursors and slots are transactional
-// variables: push/pop are serializable, and a pop observes exactly the
-// prefix of pushes that committed before it. try_* variants return failure
-// on full/empty instead of blocking, which keeps tests deterministic;
-// blocking pop via Transaction::retry() is available through pop_or_retry
-// when composed by the caller.
+// A transactional linked list with head/tail cursors and a size counter:
+// push/pop are serializable, and a pop observes exactly the prefix of
+// pushes that committed before it. Nodes are allocated with tx_alloc and
+// popped nodes are handed to tx_free, so the queue exercises the runtime's
+// speculative-allocation and epoch-reclamation paths on every operation —
+// the block-reuse churn the paper's metadata-aliasing study cares about.
+// try_* variants return failure on full/empty instead of blocking, which
+// keeps tests deterministic; blocking pop via Transaction::retry() is
+// available through pop_or_retry when composed by the caller.
 #pragma once
 
 #include <cstddef>
 #include <optional>
-#include <vector>
 
 #include "stm/stm.hpp"
 
@@ -20,20 +22,36 @@ template <typename T = long>
     requires(std::is_trivially_copyable_v<T> && sizeof(T) <= 8)
 class TQueue {
 public:
-    TQueue(Stm& stm, std::size_t capacity)
-        : stm_(stm), capacity_(capacity), slots_(capacity) {}
+    TQueue(Stm& stm, std::size_t capacity) : stm_(stm), capacity_(capacity) {}
 
     TQueue(const TQueue&) = delete;
     TQueue& operator=(const TQueue&) = delete;
 
+    /// Frees the nodes still enqueued; popped nodes belong to the Stm's
+    /// reclamation domain and are released there.
+    ~TQueue() {
+        Node* n = head_.unsafe_read();
+        while (n != nullptr) {
+            Node* next = n->next.unsafe_read();
+            delete n;
+            n = next;
+        }
+    }
+
     /// Appends `value`; returns false when the queue is full.
     bool try_push(T value) {
         return stm_.atomically([&](Transaction& tx) {
-            const std::uint64_t head = head_.read(tx);
-            const std::uint64_t tail = tail_.read(tx);
-            if (tail - head == capacity_) return false;
-            slots_[tail % capacity_].write(tx, value);
-            tail_.write(tx, tail + 1);
+            const std::uint64_t count = size_.read(tx);
+            if (count == capacity_) return false;
+            Node* fresh = tx.tx_alloc<Node>(value);
+            Node* tail = tail_.read(tx);
+            if (tail == nullptr) {
+                head_.write(tx, fresh);
+            } else {
+                tail->next.write(tx, fresh);
+            }
+            tail_.write(tx, fresh);
+            size_.write(tx, count + 1);
             return true;
         });
     }
@@ -41,11 +59,9 @@ public:
     /// Removes the oldest element; nullopt when empty.
     std::optional<T> try_pop() {
         return stm_.atomically([&](Transaction& tx) -> std::optional<T> {
-            const std::uint64_t head = head_.read(tx);
-            if (head == tail_.read(tx)) return std::nullopt;
-            const T value = slots_[head % capacity_].read(tx);
-            head_.write(tx, head + 1);
-            return value;
+            Node* front = head_.read(tx);
+            if (front == nullptr) return std::nullopt;
+            return pop_front(tx, front);
         });
     }
 
@@ -56,16 +72,14 @@ public:
     ///       return q.pop_or_retry(tx);
     ///   });
     T pop_or_retry(Transaction& tx) {
-        const std::uint64_t head = head_.read(tx);
-        if (head == tail_.read(tx)) tx.retry();
-        const T value = slots_[head % capacity_].read(tx);
-        head_.write(tx, head + 1);
-        return value;
+        Node* front = head_.read(tx);
+        if (front == nullptr) tx.retry();
+        return pop_front(tx, front);
     }
 
     [[nodiscard]] std::size_t size() {
         return stm_.atomically([&](Transaction& tx) {
-            return static_cast<std::size_t>(tail_.read(tx) - head_.read(tx));
+            return static_cast<std::size_t>(size_.read(tx));
         });
     }
 
@@ -73,11 +87,33 @@ public:
     [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
 private:
+    struct Node {
+        explicit Node(T v) noexcept : value(v) {}
+        /// Immutable after the publishing push commits, so reading it
+        /// plainly is race-free; epoch reclamation keeps the node mapped
+        /// for any doomed reader that still holds the pointer.
+        T value;
+        TVar<Node*> next{nullptr};
+    };
+
+    /// Unlinks `front` (the current head, already read by the caller) and
+    /// returns its value. The node is tx_freed: memory is released only
+    /// after the pop commits and all possible observers finished.
+    T pop_front(Transaction& tx, Node* front) {
+        Node* next = front->next.read(tx);
+        head_.write(tx, next);
+        if (next == nullptr) tail_.write(tx, nullptr);
+        size_.write(tx, size_.read(tx) - 1);
+        const T value = front->value;
+        tx.tx_free(front);
+        return value;
+    }
+
     Stm& stm_;
     std::size_t capacity_;
-    TVar<std::uint64_t> head_{0};
-    TVar<std::uint64_t> tail_{0};
-    std::vector<TVar<T>> slots_;
+    TVar<Node*> head_{nullptr};
+    TVar<Node*> tail_{nullptr};
+    TVar<std::uint64_t> size_{0};
 };
 
 }  // namespace tmb::stm

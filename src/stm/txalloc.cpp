@@ -1,0 +1,224 @@
+// txalloc.cpp — ReclaimDomain implementation and the Transaction-side
+// recording of tx_alloc / tx_free (see txalloc.hpp for the design).
+#include "stm/txalloc.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "stm/backend.hpp"
+#include "stm/sched_hook.hpp"
+#include "stm/stm.hpp"
+
+namespace tmb::stm {
+namespace detail {
+
+namespace {
+constexpr std::uint64_t kNoPin = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+ReclaimSlot* ReclaimDomain::register_slot() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_slots_.empty()) {
+        ReclaimSlot* slot = free_slots_.back();
+        free_slots_.pop_back();
+        return slot;
+    }
+    return &slots_.emplace_back();
+}
+
+void ReclaimDomain::unregister_slot(ReclaimSlot* slot) noexcept {
+    if (slot == nullptr) return;
+    slot->state.store(0, std::memory_order_seq_cst);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    free_slots_.push_back(slot);
+}
+
+void ReclaimDomain::note_alloc(void* ptr) noexcept {
+    tx_allocs_.fetch_add(1, std::memory_order_relaxed);
+    if (ReclaimObserver* obs = observer_.load(std::memory_order_relaxed)) {
+        obs->on_alloc(ptr);
+    }
+}
+
+void ReclaimDomain::release(void* ptr, void (*deleter)(void*)) noexcept {
+    bool proceed = true;
+    if (ReclaimObserver* obs = observer_.load(std::memory_order_relaxed)) {
+        proceed = obs->on_reclaim(ptr);
+    }
+    if (proceed) deleter(ptr);
+}
+
+void ReclaimDomain::rollback(TxMemLog& log) noexcept {
+    if (log.empty()) return;
+    // Reverse order: later allocations may point into earlier ones.
+    for (auto it = log.allocs.rbegin(); it != log.allocs.rend(); ++it) {
+        speculative_rollbacks_.fetch_add(1, std::memory_order_relaxed);
+        release(it->ptr, it->deleter);
+    }
+    log.clear();  // deferred frees of an aborted attempt are no-ops
+}
+
+void ReclaimDomain::commit(TxMemLog& log) {
+    if (log.empty()) return;
+    std::uint64_t count = 0;
+    if (test_faults().eager_reclaim.load(std::memory_order_relaxed)) {
+        // Fault injection: free committed-freed blocks immediately, as a
+        // reclamation-free implementation would. Doomed readers then
+        // dereference released memory — the lifetime oracle must catch it.
+        for (const TxAllocRecord& rec : log.allocs) {
+            if (rec.freed) {
+                ++count;
+                release(rec.ptr, rec.deleter);
+            }
+        }
+        for (const TxFreeRecord& rec : log.frees) {
+            ++count;
+            release(rec.ptr, rec.deleter);
+        }
+        reclaimed_.fetch_add(count, std::memory_order_relaxed);
+    } else {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        // The retirement epoch is read under the mutex that also guards
+        // epoch advancement, so a tag can never lag an advance: any attempt
+        // still holding one of these pointers was pinned at an epoch <=
+        // this one. Retiring straight into retired_ (whose capacity the
+        // polling path retains) keeps committing allocation-free.
+        const std::uint64_t epoch =
+            global_epoch_.load(std::memory_order_relaxed);
+        for (const TxAllocRecord& rec : log.allocs) {
+            if (rec.freed) {
+                ++count;
+                retired_.push_back({rec.ptr, rec.deleter, epoch});
+            }
+        }
+        for (const TxFreeRecord& rec : log.frees) {
+            ++count;
+            retired_.push_back({rec.ptr, rec.deleter, epoch});
+        }
+        pending_.fetch_add(count, std::memory_order_relaxed);
+    }
+    tx_frees_.fetch_add(count, std::memory_order_relaxed);
+    log.clear();
+}
+
+void ReclaimDomain::poll() {
+    if (!has_pending()) return;
+    // Yield before acquiring anything: a cancelling throw here leaks
+    // nothing, and the reclaim step becomes an explorable interleaving
+    // point for the sched harness.
+    scheduler_yield(YieldPoint::kReclaim);
+    // Thread-local scratch: the eligible entries must be released outside
+    // the mutex (deleters are arbitrary code), and a retained-capacity
+    // buffer keeps the steady-state polling path allocation-free.
+    static thread_local std::vector<Retired> releasable;
+    releasable.clear();
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (retired_.empty()) return;
+        const std::uint64_t global =
+            global_epoch_.load(std::memory_order_relaxed);
+        std::uint64_t min_pinned = kNoPin;
+        for (ReclaimSlot& slot : slots_) {
+            const std::uint64_t state =
+                slot.state.load(std::memory_order_seq_cst);
+            if ((state & 1) != 0) {
+                min_pinned = std::min(min_pinned, state >> 1);
+            }
+        }
+        if (min_pinned == kNoPin || min_pinned >= global) {
+            // Every active attempt pinned the current epoch: blocks retired
+            // from now on get a strictly newer tag.
+            global_epoch_.store(global + 1, std::memory_order_seq_cst);
+        }
+        const std::uint64_t limit = min_pinned;  // free strictly below
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < retired_.size(); ++i) {
+            if (retired_[i].epoch < limit) {
+                releasable.push_back(retired_[i]);
+            } else {
+                retired_[keep++] = retired_[i];
+            }
+        }
+        retired_.resize(keep);
+        pending_.fetch_sub(releasable.size(), std::memory_order_relaxed);
+    }
+    reclaimed_.fetch_add(releasable.size(), std::memory_order_relaxed);
+    for (const Retired& rec : releasable) release(rec.ptr, rec.deleter);
+}
+
+void ReclaimDomain::drain_all() noexcept {
+    std::vector<Retired> releasable;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        releasable.swap(retired_);
+        pending_.store(0, std::memory_order_relaxed);
+    }
+    reclaimed_.fetch_add(releasable.size(), std::memory_order_relaxed);
+    for (const Retired& rec : releasable) release(rec.ptr, rec.deleter);
+}
+
+TxContext::~TxContext() {
+    if (reclaim_domain != nullptr) {
+        // A context never retires mid-attempt, so mem is normally empty
+        // here; rolling back defensively keeps an exceptional unwind (e.g.
+        // a throwing harness cancellation racing executor teardown) from
+        // leaking speculative blocks.
+        reclaim_domain->rollback(mem);
+        reclaim_domain->unregister_slot(reclaim_slot);
+    }
+}
+
+ReclaimStats ReclaimDomain::stats() const noexcept {
+    ReclaimStats s;
+    s.tx_allocs = tx_allocs_.load(std::memory_order_relaxed);
+    s.speculative_rollbacks =
+        speculative_rollbacks_.load(std::memory_order_relaxed);
+    s.tx_frees = tx_frees_.load(std::memory_order_relaxed);
+    s.reclaimed = reclaimed_.load(std::memory_order_relaxed);
+    return s;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Transaction-side recording (declared in stm.hpp).
+// ---------------------------------------------------------------------------
+
+void Transaction::alloc_hook() {
+    detail::scheduler_yield(detail::YieldPoint::kAlloc);
+    // Guarantee the upcoming record_alloc cannot throw: with capacity
+    // reserved, push_back is nothrow, so a fresh object can never leak
+    // between `new` and its log entry.
+    cx_.mem.allocs.reserve(cx_.mem.allocs.size() + 1);
+}
+
+void Transaction::record_alloc(void* ptr, void (*deleter)(void*)) noexcept {
+    cx_.mem.allocs.push_back({ptr, deleter, false});
+    if (cx_.reclaim_domain != nullptr) cx_.reclaim_domain->note_alloc(ptr);
+}
+
+void Transaction::record_free(void* ptr, void (*deleter)(void*)) {
+    if (ptr == nullptr) return;
+    detail::scheduler_yield(detail::YieldPoint::kFree);
+    for (detail::TxAllocRecord& rec : cx_.mem.allocs) {
+        if (rec.ptr == ptr) {
+            if (rec.freed) {
+                throw std::logic_error(
+                    "tx_free: double free of a block allocated in this "
+                    "transaction");
+            }
+            rec.freed = true;  // same-transaction alloc+free pair
+            return;
+        }
+    }
+    for (const detail::TxFreeRecord& rec : cx_.mem.frees) {
+        if (rec.ptr == ptr) {
+            throw std::logic_error(
+                "tx_free: block already freed in this transaction");
+        }
+    }
+    cx_.mem.frees.push_back({ptr, deleter});
+}
+
+}  // namespace tmb::stm

@@ -1,0 +1,247 @@
+// txalloc.hpp — transactional memory management: speculative allocation,
+// deferred frees, and epoch-based reclamation.
+//
+// Transactional data structures that grow need three guarantees the raw
+// heap cannot give:
+//
+//   1. An object allocated inside an attempt that later aborts must be
+//      freed (otherwise every conflict leaks a node). Transaction::tx_alloc
+//      records each allocation in the context's TxMemLog; the runtime rolls
+//      the log back — running the deleters — on every abort path.
+//   2. An object freed inside an attempt must NOT be freed until the
+//      attempt commits (an aborted free must be a no-op). tx_free only
+//      records a deferred-free entry; the runtime applies it at commit.
+//   3. An object whose free *has* committed may still be dereferenced by a
+//      concurrent doomed ("zombie") reader: a TL2 transaction that loaded
+//      the pointer before the unlinking commit keeps using it until
+//      commit-time validation kills the attempt. The committed free
+//      therefore only *retires* the block into a ReclaimDomain; the
+//      backing memory is released once every transaction that could have
+//      observed the old pointer has finished — tracked with per-context
+//      epoch pins (one ReclaimSlot per TxContext, pinned for the duration
+//      of each attempt).
+//
+// Epoch rule. The domain keeps a global epoch E (advanced only under the
+// domain mutex). pin() publishes the current epoch into the context's slot;
+// retirement tags each block with the epoch read under the mutex. Because
+// a transaction's loads all happen after its pin, any transaction that can
+// still hold a pointer retired at epoch e was pinned at an epoch <= e; a
+// retired block is freed once every active pin is > e (or no pin is
+// active). poll() — called by the runtime at executor-quiescent points,
+// i.e. between an executor's transactions — advances the epoch when every
+// active pin has caught up and frees what the rule allows.
+//
+// The hot path of transactions that never allocate is untouched: pin/unpin
+// are two uncontended atomic stores, and poll() is a single relaxed load
+// when nothing has been retired.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tmb::stm {
+
+/// Counters for the transactional-allocation subsystem, exposed through
+/// Stm::reclaim_stats(). Monotonic; exact at quiescent points.
+struct ReclaimStats {
+    /// tx_alloc calls that returned (speculative or later committed).
+    std::uint64_t tx_allocs = 0;
+    /// Allocations rolled back (and freed) because their attempt aborted.
+    std::uint64_t speculative_rollbacks = 0;
+    /// Committed tx_free calls (the block entered — or passed through —
+    /// the reclamation pipeline).
+    std::uint64_t tx_frees = 0;
+    /// Retired blocks whose backing memory has actually been released.
+    std::uint64_t reclaimed = 0;
+
+    /// Blocks currently reachable from committed state.
+    [[nodiscard]] std::uint64_t live_blocks() const noexcept {
+        return tx_allocs - speculative_rollbacks - tx_frees;
+    }
+    /// Blocks whose free committed but whose memory is still held back for
+    /// possible doomed readers.
+    [[nodiscard]] std::uint64_t pending_blocks() const noexcept {
+        return tx_frees - reclaimed;
+    }
+};
+
+namespace detail {
+
+/// Test/harness hook observing the allocation lifecycle. Installed only at
+/// quiescent points (the sched harness runs one OS thread at a time); the
+/// production engine never installs one.
+class ReclaimObserver {
+public:
+    virtual ~ReclaimObserver() = default;
+
+    /// A tx_alloc returned `ptr` (the attempt may still abort). Lets a
+    /// lifetime oracle un-flag a reused address.
+    virtual void on_alloc(void* ptr) noexcept = 0;
+
+    /// `ptr` is about to be released back to the heap (speculative
+    /// rollback or epoch reclamation). Return false to suppress the actual
+    /// deleter call — the harness uses this to turn a would-be double free
+    /// or use-after-free into a reported violation instead of UB.
+    [[nodiscard]] virtual bool on_reclaim(void* ptr) noexcept = 0;
+};
+
+/// One per-context epoch pin. state == 0 when idle; (epoch << 1) | 1 while
+/// an attempt is in flight.
+struct ReclaimSlot {
+    std::atomic<std::uint64_t> state{0};
+};
+
+/// One tx_alloc record: `freed` marks an allocation tx_freed later in the
+/// same transaction (applied at commit; never double-freed on abort).
+struct TxAllocRecord {
+    void* ptr;
+    void (*deleter)(void*);
+    bool freed;
+};
+
+/// One deferred tx_free of a pre-existing (committed) block.
+struct TxFreeRecord {
+    void* ptr;
+    void (*deleter)(void*);
+};
+
+/// Per-transaction allocation log, embedded in TxContext. Capacity is
+/// retained across attempts and transactions, so steady-state transactions
+/// of a warmed-up context never allocate for the log itself.
+struct TxMemLog {
+    std::vector<TxAllocRecord> allocs;
+    std::vector<TxFreeRecord> frees;
+
+    [[nodiscard]] bool empty() const noexcept {
+        return allocs.empty() && frees.empty();
+    }
+    void clear() noexcept {
+        allocs.clear();
+        frees.clear();
+    }
+};
+
+/// The reclamation domain — one per Stm instance, shared by every context.
+class ReclaimDomain {
+public:
+    ReclaimDomain() = default;
+    ~ReclaimDomain() { drain_all(); }
+
+    ReclaimDomain(const ReclaimDomain&) = delete;
+    ReclaimDomain& operator=(const ReclaimDomain&) = delete;
+
+    /// Registers an epoch slot for a new context (cold path, mutex).
+    [[nodiscard]] ReclaimSlot* register_slot();
+    void unregister_slot(ReclaimSlot* slot) noexcept;
+
+    /// Marks an attempt in flight: publishes the current epoch into `slot`.
+    /// Must happen before the attempt's first transactional load; the
+    /// runtime pins right after backend begin(). No-op on null.
+    ///
+    /// Orderings: the epoch load may be relaxed — a stale (lower) epoch
+    /// only makes the pin more conservative. The slot store must be
+    /// seq_cst: it needs a store-load barrier against the attempt's
+    /// subsequent transactional loads, or poll() could miss the pin while
+    /// the attempt reads a pointer being retired (the hazard-pointer
+    /// problem; one locked instruction per attempt is the standard price).
+    void pin(ReclaimSlot* slot) noexcept {
+        if (slot == nullptr) return;
+        const std::uint64_t epoch =
+            global_epoch_.load(std::memory_order_relaxed);
+        slot->state.store((epoch << 1) | 1, std::memory_order_seq_cst);
+    }
+    /// Release suffices here: it orders the attempt's loads before the
+    /// clear, and there is nothing after it to order against.
+    void unpin(ReclaimSlot* slot) noexcept {
+        if (slot == nullptr) return;
+        slot->state.store(0, std::memory_order_release);
+    }
+
+    /// Records a completed tx_alloc (counter + observer). Called at
+    /// allocation time so address reuse is visible to the observer before
+    /// the allocating transaction dereferences the block.
+    void note_alloc(void* ptr) noexcept;
+
+    /// Aborted attempt: frees every speculative allocation of `log` (the
+    /// blocks were never published — table backends roll the heap word
+    /// back before this runs, TL2 never wrote it) and drops deferred frees.
+    void rollback(TxMemLog& log) noexcept;
+
+    /// Committed attempt: retires the deferred frees (and same-transaction
+    /// alloc+free pairs) under the current epoch. Never yields — it runs
+    /// between a backend commit and the caller observing it.
+    void commit(TxMemLog& log);
+
+    /// Executor-quiescent maintenance: advances the epoch when every
+    /// active pin has caught up and releases every retired block no active
+    /// pin can still reference. Emits a kReclaim yield point (which may
+    /// throw, see sched_hook.hpp) before touching anything when there is
+    /// work. O(1) when nothing is pending.
+    void poll();
+
+    /// Releases every retired block regardless of epochs. Caller must
+    /// guarantee no in-flight attempt holds a retired pointer: the Stm
+    /// destructor, the adaptive wrapper's quiesce-and-swap (zero in-flight
+    /// transactions implies no attempt has performed a load), and
+    /// quiescent test/tool code.
+    void drain_all() noexcept;
+
+    [[nodiscard]] bool has_pending() const noexcept {
+        return pending_.load(std::memory_order_relaxed) != 0;
+    }
+
+    [[nodiscard]] ReclaimStats stats() const noexcept;
+
+    /// Installs (or clears, with nullptr) the lifecycle observer. Quiescent
+    /// points only.
+    void set_observer(ReclaimObserver* observer) noexcept {
+        observer_.store(observer, std::memory_order_relaxed);
+    }
+
+private:
+    struct Retired {
+        void* ptr;
+        void (*deleter)(void*);
+        std::uint64_t epoch;
+    };
+
+    void release(void* ptr, void (*deleter)(void*)) noexcept;
+
+    std::mutex mutex_;
+    std::atomic<std::uint64_t> global_epoch_{1};
+    std::deque<ReclaimSlot> slots_;          // stable addresses (mutex)
+    std::vector<ReclaimSlot*> free_slots_;   // unregistered, reusable (mutex)
+    std::vector<Retired> retired_;           // awaiting safe epoch (mutex)
+
+    std::atomic<std::uint64_t> pending_{0};
+    std::atomic<ReclaimObserver*> observer_{nullptr};
+
+    std::atomic<std::uint64_t> tx_allocs_{0};
+    std::atomic<std::uint64_t> speculative_rollbacks_{0};
+    std::atomic<std::uint64_t> tx_frees_{0};
+    std::atomic<std::uint64_t> reclaimed_{0};
+};
+
+/// RAII pin for one attempt; tolerates a null slot (unbound context).
+class PinGuard {
+public:
+    PinGuard(ReclaimDomain& domain, ReclaimSlot* slot) noexcept
+        : domain_(domain), slot_(slot) {
+        domain_.pin(slot_);
+    }
+    ~PinGuard() { domain_.unpin(slot_); }
+
+    PinGuard(const PinGuard&) = delete;
+    PinGuard& operator=(const PinGuard&) = delete;
+
+private:
+    ReclaimDomain& domain_;
+    ReclaimSlot* slot_;
+};
+
+}  // namespace detail
+}  // namespace tmb::stm

@@ -242,14 +242,72 @@ TEST(Executor, ReturnsValuesLikeAtomically) {
 
 TEST(Workloads, RegistryListsBuiltins) {
     const auto names = exec::workload_names();
-    ASSERT_EQ(names.size(), 5u);
+    ASSERT_EQ(names.size(), 7u);
     EXPECT_EQ(names[0], "counters");
     EXPECT_EQ(names[1], "zipf");
     EXPECT_EQ(names[2], "bank");
     EXPECT_EQ(names[3], "replay");
     EXPECT_EQ(names[4], "phases");
+    EXPECT_EQ(names[5], "vacation");
+    EXPECT_EQ(names[6], "kmeans");
     EXPECT_THROW((void)exec::make_workload(cfg("workload=nonesuch")),
                  std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// STAMP-class workloads (tx_alloc/tx_free churn through the engine)
+// ---------------------------------------------------------------------------
+
+TEST(StampWorkloads, VacationHoldsItsInvariantOnAllBackends) {
+    for (const char* backend : {"table", "atomic", "tl2", "adaptive"}) {
+        exec::ParallelRunner runner(cfg(
+            std::string("workload=vacation backend=") + backend +
+            " entries=16384 threads=4 ops=400 rows=32 customers=16 seed=5"));
+        const auto r = runner.run();  // verify() throws on violation
+        EXPECT_EQ(r.ops, 1600u) << backend;
+        const stm::ReclaimStats reclaim = runner.stm().reclaim_stats();
+        EXPECT_GT(reclaim.tx_allocs, 0u) << backend;
+        EXPECT_GT(reclaim.tx_frees, 0u) << backend;
+        EXPECT_EQ(reclaim.pending_blocks(), 0u) << backend;
+    }
+}
+
+TEST(StampWorkloads, KmeansHoldsItsInvariantOnAllBackends) {
+    for (const char* backend : {"table", "atomic", "tl2", "adaptive"}) {
+        exec::ParallelRunner runner(
+            cfg(std::string("workload=kmeans backend=") + backend +
+                " entries=16384 threads=4 ops=400 clusters=4"
+                " recenter_every=16 seed=5"));
+        const auto r = runner.run();
+        EXPECT_EQ(r.ops, 1600u) << backend;
+        const stm::ReclaimStats reclaim = runner.stm().reclaim_stats();
+        EXPECT_GT(reclaim.tx_frees, 0u) << backend;
+        EXPECT_EQ(reclaim.pending_blocks(), 0u) << backend;
+    }
+}
+
+TEST(StampWorkloads, OneThreadRunsAreDeterministic) {
+    for (const char* wl :
+         {"workload=vacation rows=16 customers=8", "workload=kmeans"}) {
+        const std::string spec =
+            std::string(wl) + " backend=tl2 threads=1 ops=300 seed=77";
+        exec::ParallelRunner a(cfg(spec));
+        exec::ParallelRunner b(cfg(spec));
+        EXPECT_EQ(a.run().state_hash, b.run().state_hash) << wl;
+    }
+}
+
+TEST(StampWorkloads, RejectBadShapes) {
+    EXPECT_THROW((void)exec::make_workload(cfg("workload=vacation rows=0")),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (void)exec::make_workload(cfg("workload=vacation queries=9")),
+        std::invalid_argument);
+    EXPECT_THROW((void)exec::make_workload(cfg("workload=kmeans clusters=0")),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (void)exec::make_workload(cfg("workload=kmeans recenter_every=0")),
+        std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------

@@ -261,6 +261,104 @@ TEST(SchedOracle, CleanBackendsPassEverywhere) {
 }
 
 // ---------------------------------------------------------------------------
+// Dyn mode: tx_alloc/tx_free churn under the lifetime oracle
+// ---------------------------------------------------------------------------
+
+/// A write-heavy dyn workload: every write replaces a heap node, so most
+/// scheduler steps sit between an allocation, a free, or a reclamation
+/// pass of some virtual thread.
+HarnessConfig dyn_config() {
+    HarnessConfig cfg = contended_config();
+    cfg.dynamic = true;
+    cfg.commutative = false;
+    cfg.slots = 3;
+    cfg.write_fraction = 0.8;
+    cfg.read_only_fraction = 0.1;  // doomed *readers* are the UAF risk
+    return cfg;
+}
+
+TEST(SchedDyn, ConfigParsesAndReproRoundTrips) {
+    const auto cfg = harness_config_from(sched_spec("mode=dyn"));
+    EXPECT_TRUE(cfg.dynamic);
+    EXPECT_FALSE(cfg.commutative);
+    EXPECT_NE(repro_flags(cfg).find("--mode=dyn"), std::string::npos);
+    EXPECT_EQ(harness_config_from(sched_spec(repro_flags(cfg))).dynamic,
+              true);
+}
+
+TEST(SchedDyn, CleanBackendsPassTheLifetimeOracle) {
+    auto pairs = default_backend_pairs();
+    pairs.push_back({"adaptive", "tagless", false});
+    for (const BackendPair& pair : pairs) {
+        HarnessConfig cfg = dyn_config();
+        cfg.backend = pair.backend;
+        if (!pair.table.empty()) cfg.table = pair.table;
+        cfg.commit_time_locks = pair.commit_time_locks;
+        if (pair.backend == "adaptive") {
+            cfg.policy = "cycle";  // engine swaps mid-run drain reclamation
+            cfg.epoch = 4;
+        }
+        const auto result = explore(cfg, sched_spec("sched=random"), 80, 29);
+        EXPECT_EQ(result.runs, 80u);
+        EXPECT_TRUE(result.violations.empty())
+            << pair.label() << ": " << result.violations.front().message;
+    }
+}
+
+TEST(SchedDyn, ReplayReproducesBitIdenticalRuns) {
+    HarnessConfig cfg = dyn_config();
+    cfg.backend = "tl2";
+    const auto programs = generate_programs(cfg);
+
+    const auto random1 = make_schedule(sched_spec("sched=random"), 77);
+    const RunResult original = run_schedule(cfg, programs, *random1);
+    EXPECT_FALSE(original.cancelled);
+    EXPECT_EQ(original.lifetime_error, std::nullopt);
+    EXPECT_EQ(check_serializable(cfg, programs, original), std::nullopt);
+
+    config::Config rc;
+    rc.set("schedule", original.schedule);
+    const auto replay = make_schedule(rc, 0);
+    const RunResult replayed = run_schedule(cfg, programs, *replay);
+    EXPECT_EQ(replayed.schedule, original.schedule);
+    EXPECT_EQ(replayed.state_hash, original.state_hash);
+    EXPECT_EQ(replayed.final_state, original.final_state);
+    EXPECT_TRUE(commit_logs_equal(replayed, original));
+}
+
+TEST(SchedDyn, EagerReclamationIsCaughtAsLifetimeViolation) {
+    // Break the reclaimer on purpose: eager_reclaim releases a committed
+    // free immediately, ignoring epoch pins. A doomed reader still holding
+    // the old pointer then dereferences a released block — the lifetime
+    // oracle must report that (as a violation, not a crash: the observer
+    // vetoes the actual double frees).
+    // Doomed readers need a backend whose reads do not lock out writers:
+    // TL2 and the commit-time (lazy) tables let a writer free a node and
+    // commit while a reader still holds the old pointer. (The eager tables
+    // protect lifetime as a side effect of encounter-time ownership — the
+    // freeing writer self-aborts while any reader holds the slot.)
+    const FaultGuard fault(stm::detail::test_faults().eager_reclaim);
+    bool caught_lifetime = false;
+    for (const BackendPair& pair :
+         {BackendPair{"tl2", "", false}, BackendPair{"table", "tagless", true},
+          BackendPair{"table", "tagged", true}}) {
+        HarnessConfig cfg = dyn_config();
+        cfg.backend = pair.backend;
+        if (!pair.table.empty()) cfg.table = pair.table;
+        cfg.commit_time_locks = pair.commit_time_locks;
+        const auto result = explore(cfg, sched_spec("sched=random"), 150, 41);
+        for (const Violation& v : result.violations) {
+            EXPECT_NE(v.repro.find("--mode=dyn"), std::string::npos);
+            caught_lifetime |=
+                v.message.find("lifetime oracle") != std::string::npos;
+        }
+    }
+    EXPECT_TRUE(caught_lifetime)
+        << "reclamation that ignores epoch pins must trip the lifetime "
+           "oracle somewhere in the sweep";
+}
+
+// ---------------------------------------------------------------------------
 // PCT coverage of the classic 2-thread write-skew interleaving
 // ---------------------------------------------------------------------------
 
