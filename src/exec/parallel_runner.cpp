@@ -140,10 +140,16 @@ ParallelResult ParallelRunner::run() {
         result.ops += ops_done[t];
         result.per_thread.push_back(executors[t]->stats());
     }
+    // Shards are snapshotted; destroy the executors NOW so their contexts
+    // retire — buffered retired blocks reach the shards (the pending==0
+    // check below needs them) and locally accumulated allocator counters
+    // land in the domain before the `after` snapshot.
+    executors.clear();
 
     // Merge: shards carry the engine threads' commit/abort counts; the
-    // backend's true/false-conflict classification lands in the instance
-    // block, so fold in this run's delta of it.
+    // backend's true/false-conflict classification and the allocator's
+    // domain-wide counters land in the instance block, so fold in this
+    // run's delta of them.
     for (const stm::StmStats& shard : result.per_thread) {
         result.stats.merge(shard);
     }
@@ -156,6 +162,14 @@ ParallelResult ParallelRunner::run() {
     result.stats.policy_switches +=
         after.policy_switches - before.policy_switches;
     result.stats.table_resizes += after.table_resizes - before.table_resizes;
+    result.stats.alloc_cache_hits +=
+        after.alloc_cache_hits - before.alloc_cache_hits;
+    result.stats.alloc_cache_misses +=
+        after.alloc_cache_misses - before.alloc_cache_misses;
+    result.stats.reclaim_shard_flushes +=
+        after.reclaim_shard_flushes - before.reclaim_shard_flushes;
+    result.stats.domain_mutex_acquires +=
+        after.domain_mutex_acquires - before.domain_mutex_acquires;
 
     lifetime_ops_ += result.ops;
     // Quiescent now (all threads joined, all executors destroyed): release

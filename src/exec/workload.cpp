@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "stm/thashmap.hpp"
+#include "stm/tqueue.hpp"
 #include "trace/source.hpp"
 #include "trace/zipf.hpp"
 #include "util/hash.hpp"
@@ -650,6 +651,199 @@ private:
     std::atomic<std::uint64_t> point_sum_{0};
 };
 
+// ---------------------------------------------------------------------------
+// pipeline — intruder-style staged packet processing over queues
+// ---------------------------------------------------------------------------
+
+/// A three-stage packet pipeline in the mold of STAMP's intruder: stage
+/// boundaries are bounded transactional queues, so every operation moves a
+/// packet (a queue node — tx_alloc on push, tx_free on pop) through
+/// allocator-heavy handoffs:
+///
+///   decode    — inject a fresh packet (flow id + payload) into the decoded
+///               queue; dropped (not injected) when the queue is full.
+///   analyze   — pop one decoded packet, bump its flow's live counter in
+///               the flows map (rows appear via tx_alloc), and forward it
+///               to the analyzed queue; if that queue is full the packet is
+///               retired directly (the overflow path skips the map).
+///   rebalance — pop one analyzed packet, decrement its flow counter
+///               (erasing the row — tx_free — when it reaches zero), and
+///               retire it into transactional totals.
+///
+/// Every op commits exactly one transaction (pops of empty queues commit as
+/// no-ops). Conservation invariant: packets injected == packets still in
+/// the two queues + packets retired, the same for payload sums, and the
+/// flows map's live counters must equal the analyzed queue's per-flow
+/// content. A block dropped, resurrected, or double-freed by a broken
+/// allocator breaks one of them.
+class PipelineWorkload final : public Workload {
+public:
+    /// Payload values live below this bound; a packet word is
+    /// flow * kPayloadSpace + payload.
+    static constexpr long kPayloadSpace = 1L << 20;
+
+    PipelineWorkload(std::uint64_t capacity, std::uint64_t flows)
+        : capacity_(capacity), flow_count_(flows) {
+        if (capacity == 0) {
+            throw std::invalid_argument("pipeline capacity must be > 0");
+        }
+        if (flows == 0 || flows > 4096) {
+            throw std::invalid_argument("pipeline flows must be in [1, 4096]");
+        }
+    }
+
+    std::string_view name() const noexcept override { return "pipeline"; }
+
+    void prepare(stm::Stm& stm) override {
+        decoded_ = std::make_unique<Queue>(stm, capacity_);
+        analyzed_ = std::make_unique<Queue>(stm, capacity_);
+        flows_ = std::make_unique<Table>(stm, flow_count_ * 2);
+    }
+
+    void op(stm::Executor& exec, util::Xoshiro256& rng) override {
+        if (!decoded_) throw std::logic_error("pipeline: op() before prepare()");
+        // Operands are drawn before the transaction so a retry re-runs the
+        // same logical operation.
+        const std::uint64_t kind = rng.below(3);
+        const long flow = static_cast<long>(rng.below(flow_count_));
+        const long payload = static_cast<long>(
+            rng.below(static_cast<std::uint64_t>(kPayloadSpace)));
+        if (kind == 0) {  // decode
+            const long packet = flow * kPayloadSpace + payload;
+            const bool pushed = exec.atomically([&](stm::Transaction& tx) {
+                return decoded_->try_push_in(tx, packet);
+            });
+            // Published only after the commit, so aborted attempts never
+            // count; a full-queue drop never entered the pipeline at all.
+            if (pushed) {
+                injected_.fetch_add(1, std::memory_order_relaxed);
+                injected_sum_.fetch_add(static_cast<std::uint64_t>(payload),
+                                        std::memory_order_relaxed);
+            }
+        } else if (kind == 1) {  // analyze
+            exec.atomically([&](stm::Transaction& tx) {
+                const auto packet = decoded_->try_pop_in(tx);
+                if (!packet) return;
+                if (analyzed_->try_push_in(tx, *packet)) {
+                    flows_->add_in(tx, *packet / kPayloadSpace, 1);
+                } else {
+                    retire_in(tx, *packet);  // overflow: retire directly
+                }
+            });
+        } else {  // rebalance
+            exec.atomically([&](stm::Transaction& tx) {
+                const auto packet = analyzed_->try_pop_in(tx);
+                if (!packet) return;
+                const long f = *packet / kPayloadSpace;
+                const auto live = flows_->get_in(tx, f);
+                if (live && *live <= 1) {
+                    flows_->erase_in(tx, f);
+                } else {
+                    flows_->add_in(tx, f, -1);
+                }
+                retire_in(tx, *packet);
+            });
+        }
+    }
+
+    void verify(std::uint64_t /*committed_ops*/) const override {
+        std::uint64_t in_decoded = 0, decoded_sum = 0;
+        decoded_->unsafe_for_each([&](long v) {
+            ++in_decoded;
+            decoded_sum += static_cast<std::uint64_t>(v % kPayloadSpace);
+        });
+        std::uint64_t in_analyzed = 0, analyzed_sum = 0;
+        std::unordered_map<long, long> analyzed_flows;
+        analyzed_->unsafe_for_each([&](long v) {
+            ++in_analyzed;
+            analyzed_sum += static_cast<std::uint64_t>(v % kPayloadSpace);
+            ++analyzed_flows[v / kPayloadSpace];
+        });
+        const auto retired =
+            static_cast<std::uint64_t>(retired_count_.unsafe_read());
+        const std::uint64_t accounted = in_decoded + in_analyzed + retired;
+        const std::uint64_t injected =
+            injected_.load(std::memory_order_relaxed);
+        if (accounted != injected) {
+            throw std::runtime_error(
+                "pipeline invariant violated: " + std::to_string(accounted) +
+                " packets accounted for (" + std::to_string(in_decoded) +
+                " decoded + " + std::to_string(in_analyzed) + " analyzed + " +
+                std::to_string(retired) + " retired) != " +
+                std::to_string(injected) + " injected");
+        }
+        const std::uint64_t sum_accounted =
+            decoded_sum + analyzed_sum +
+            static_cast<std::uint64_t>(retired_sum_.unsafe_read());
+        if (sum_accounted != injected_sum_.load(std::memory_order_relaxed)) {
+            throw std::runtime_error(
+                "pipeline invariant violated: payload sum " +
+                std::to_string(sum_accounted) + " != injected sum " +
+                std::to_string(
+                    injected_sum_.load(std::memory_order_relaxed)));
+        }
+        // The flows map must mirror the analyzed queue's live content.
+        std::uint64_t flow_rows = 0;
+        bool flows_ok = true;
+        flows_->unsafe_for_each([&](long k, long v) {
+            ++flow_rows;
+            const auto it = analyzed_flows.find(k);
+            flows_ok &= it != analyzed_flows.end() && it->second == v;
+        });
+        if (!flows_ok || flow_rows != analyzed_flows.size()) {
+            throw std::runtime_error(
+                "pipeline invariant violated: flows map (" +
+                std::to_string(flow_rows) +
+                " rows) does not mirror the analyzed queue (" +
+                std::to_string(analyzed_flows.size()) + " live flows)");
+        }
+    }
+
+    std::uint64_t state_hash() const override {
+        // Queue content is position-sensitive; the traversal order is
+        // deterministic for the 1-thread determinism contract.
+        std::uint64_t h = 0;
+        std::uint64_t pos = 0;
+        decoded_->unsafe_for_each([&](long v) {
+            h += slot_digest(++pos, static_cast<std::uint64_t>(v));
+        });
+        pos = 1u << 20;
+        analyzed_->unsafe_for_each([&](long v) {
+            h += slot_digest(++pos, static_cast<std::uint64_t>(v));
+        });
+        flows_->unsafe_for_each([&](long k, long v) {
+            h += slot_digest((std::uint64_t{1} << 21) +
+                                 static_cast<std::uint64_t>(k),
+                             static_cast<std::uint64_t>(v));
+        });
+        h += slot_digest(std::uint64_t{1} << 22,
+                         static_cast<std::uint64_t>(
+                             retired_count_.unsafe_read()));
+        h += slot_digest((std::uint64_t{1} << 22) + 1,
+                         static_cast<std::uint64_t>(retired_sum_.unsafe_read()));
+        return h;
+    }
+
+private:
+    using Queue = stm::TQueue<long>;
+    using Table = stm::THashMap<long, long>;
+
+    void retire_in(stm::Transaction& tx, long packet) {
+        retired_count_.write(tx, retired_count_.read(tx) + 1);
+        retired_sum_.write(tx, retired_sum_.read(tx) + packet % kPayloadSpace);
+    }
+
+    std::uint64_t capacity_;
+    std::uint64_t flow_count_;
+    std::unique_ptr<Queue> decoded_;
+    std::unique_ptr<Queue> analyzed_;
+    std::unique_ptr<Table> flows_;
+    stm::TVar<long> retired_count_{0};
+    stm::TVar<long> retired_sum_{0};
+    std::atomic<std::uint64_t> injected_{0};
+    std::atomic<std::uint64_t> injected_sum_{0};
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -822,6 +1016,10 @@ WorkloadRegistry& registry() {
             return std::make_unique<KmeansWorkload>(
                 cfg.get_u32("clusters", 8), cfg.get_u32("recenter_every", 64),
                 cfg.get_u64("space", 1024));
+        });
+        r.add_default("pipeline", [](const config::Config& cfg) {
+            return std::make_unique<PipelineWorkload>(
+                cfg.get_u64("capacity", 256), cfg.get_u64("flows", 64));
         });
         return true;
     }();

@@ -42,6 +42,13 @@
 //                 accumulators into the centroids and erase the rows
 //                 (tx_free) — a rebuild-heavy allocation churn pattern.
 //                 Invariant: live + absorbed assignments == assign ops.
+//   "pipeline"  — intruder-style staged packet processing: decode injects
+//                 packets into a bounded transactional queue, analyze moves
+//                 them to a second queue while tracking per-flow counts in
+//                 a hash map, rebalance retires them — every stage handoff
+//                 is a queue-node tx_alloc/tx_free, making this the purest
+//                 allocator-throughput workload of the set. Invariant:
+//                 injected == queued + retired (packets and payload sums).
 //
 // Every workload carries a checkable invariant (`verify`) and an
 // order-independent `state_hash` so the engine's stress and determinism
@@ -163,8 +170,8 @@ using WorkloadRegistry = config::Registry<Workload>;
 [[nodiscard]] std::vector<std::string> workload_names();
 
 /// Creates a workload from a Config. Keys:
-///   workload  counters | zipf | bank | replay | phases | vacation | kmeans
-///             (default "counters")
+///   workload  counters | zipf | bank | replay | phases | vacation |
+///             kmeans | pipeline (default "counters")
 ///   slots     counter/zipf/replay/phases array size (default 65536;
 ///             accepts "64k")
 ///   tx_size   transactional accesses per operation (default 4; replay
@@ -185,6 +192,8 @@ using WorkloadRegistry = config::Registry<Workload>;
 ///   clusters, recenter_every, space   kmeans: centroid count (default 8,
 ///             up to 32), mean ops between recenter transactions (default
 ///             64), point coordinate space (default 1024)
+///   capacity, flows   pipeline: per-stage queue bound (default 256),
+///             distinct flow ids (default 64, up to 4096)
 [[nodiscard]] std::unique_ptr<Workload> make_workload(const config::Config& cfg);
 
 }  // namespace tmb::exec

@@ -69,9 +69,13 @@ public:
     ~LifetimeTracker() override { release_all(); }
 
     void on_alloc(void* ptr) noexcept override {
-        if (released_.count(ptr) != 0) {
+        if (released_.erase(ptr) != 0) {
             // Impossible while we own every released block — the heap
-            // cannot hand one out again. Seeing it means the ledger broke.
+            // cannot hand one out again. Seeing it means a recycling path
+            // (the leaky_cache fault's magazine short-circuit) handed out
+            // a block before its epoch was safe. Ownership of the storage
+            // passes back to the allocator with the block now live again,
+            // so teardown frees it exactly once.
             record("allocator returned a block the lifetime oracle holds");
         }
     }
@@ -88,9 +92,13 @@ public:
     }
 
     /// Hands the impounded blocks back to the heap. End of run only (all
-    /// transactions finished, ledger checks done).
+    /// transactions finished, ledger checks done). Raw operator delete: the
+    /// blocks were vetoed *before* the runtime ran their destructors or
+    /// recycled their storage, so what we hold is size-class raw memory
+    /// from tx_alloc's cacheable path (DynNode's destructor is trivial —
+    /// skipping it loses nothing).
     void release_all() noexcept {
-        for (void* ptr : released_) delete static_cast<DynNode*>(ptr);
+        for (void* ptr : released_) ::operator delete(ptr);
         released_.clear();
     }
 
@@ -272,6 +280,10 @@ HarnessConfig harness_config_from(const config::Config& cfg) {
                                     "' (known: acc, incr, dyn)");
     }
     out.workload_seed = cfg.get_u64("wseed", out.workload_seed);
+    if (cfg.has("cache_blocks")) {
+        out.cache_blocks =
+            static_cast<std::int64_t>(cfg.get_u64("cache_blocks", 0));
+    }
     out.step_limit = cfg.get_u64("step_limit", out.step_limit);
     return out;
 }
@@ -297,6 +309,12 @@ config::Config stm_spec(const HarnessConfig& cfg) {
     // jitter from the retry loop.
     out.set("hash", "shift-mask");
     out.set("contention", "none");
+    // Shard count is pinned (not hardware concurrency): which shard a
+    // context binds to must not depend on the machine replaying a schedule.
+    out.set("reclaim_shards", "2");
+    if (cfg.cache_blocks >= 0) {
+        out.set("cache_blocks", std::to_string(cfg.cache_blocks));
+    }
     if (cfg.commit_time_locks) out.set("commit_time_locks", "1");
     if (!cfg.clock.empty()) out.set("clock", cfg.clock);
     return out;
@@ -327,6 +345,9 @@ std::string repro_flags(const HarnessConfig& cfg) {
     out += std::string(" --mode=") +
            (cfg.dynamic ? "dyn" : (cfg.commutative ? "incr" : "acc"));
     out += " --wseed=" + std::to_string(cfg.workload_seed);
+    if (cfg.cache_blocks >= 0) {
+        out += " --cache_blocks=" + std::to_string(cfg.cache_blocks);
+    }
     return out;
 }
 
@@ -623,12 +644,24 @@ RunResult run_schedule(const HarnessConfig& cfg,
     for (const auto& exec : executors) {
         result.stats.merge(exec->stats());  // commits/aborts (shards)
     }
+    // Retire the executor contexts before the dyn balance check: their
+    // buffered retired blocks must reach the shards for the full drain
+    // below to account for every tx_free.
+    executors.clear();
 
     if (cfg.dynamic) {
         // Free the surviving nodes through the runtime so the allocation
         // ledger must balance: after a full drain any remaining pending
         // block or live-count delta is a reclaimer bug, and it becomes the
         // run's lifetime verdict alongside anything the workers recorded.
+        // The leaky_cache fault is suspended for this cleanup: it targets
+        // the workers' steady-state recycling (already recorded by now),
+        // and letting it divert these frees into the runtime's *pooled*
+        // context — whose magazine outlives the tracker — would leave
+        // impounded blocks owned by both sides at teardown.
+        const bool leaky_was =
+            stm::detail::test_faults().leaky_cache.exchange(
+                false, std::memory_order_relaxed);
         for (std::uint32_t s = 0; s < cfg.slots; ++s) {
             tm.atomically([&](stm::Transaction& tx) {
                 auto* node =
@@ -656,6 +689,8 @@ RunResult run_schedule(const HarnessConfig& cfg,
         }
         result.lifetime_error = tracker.first_error();
         tracker.release_all();  // hand the impounded blocks back
+        stm::detail::test_faults().leaky_cache.store(
+            leaky_was, std::memory_order_relaxed);
     }
 
     if (!result.cancelled) {

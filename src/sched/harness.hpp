@@ -100,6 +100,11 @@ struct HarnessConfig {
     /// arms the lifetime oracle (RunResult::lifetime_error).
     bool dynamic = false;
     std::uint64_t workload_seed = 1;
+    /// Per-context free-block cache capacity forwarded to the runtime
+    /// (stm_spec). -1 = engine default; 0 = cache off (per-commit
+    /// retire/poll cadence) — the cache-on/cache-off differential axis the
+    /// dyn fuzz batches sweep.
+    std::int64_t cache_blocks = -1;
     /// Scheduler steps before the run is cancelled (livelocked replays
     /// under a mismatched config would otherwise never terminate).
     std::uint64_t step_limit = 1u << 20;
@@ -107,7 +112,7 @@ struct HarnessConfig {
 
 /// Parses harness keys: backend, table, entries, commit_time_locks, clock,
 /// engine, policy, epoch, max_entries, threads, txs, ops, slots, wfrac,
-/// rofrac, mode (acc|incr|dyn), wseed, step_limit.
+/// rofrac, mode (acc|incr|dyn), wseed, cache_blocks, step_limit.
 [[nodiscard]] HarnessConfig harness_config_from(const config::Config& cfg);
 
 /// The Config handed to stm::Stm::create for this harness config —

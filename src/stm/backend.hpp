@@ -43,20 +43,32 @@ public:
     virtual void flush_stats() noexcept {}
 
     /// Binds this context to the runtime's reclamation domain: registers
-    /// an epoch pin slot and enables tx_alloc/tx_free (txalloc.hpp). The
-    /// runtime binds every context it hands to a Transaction; the adaptive
-    /// wrapper's *inner* contexts stay unbound (only the outer context is
-    /// ever visible to the attempt loop).
+    /// an epoch pin slot, sizes the free-block cache, assigns a retirement
+    /// shard, and enables tx_alloc/tx_free (txalloc.hpp). The runtime binds
+    /// every context it hands to a Transaction; the adaptive wrapper's
+    /// *inner* contexts stay unbound (only the outer context is ever
+    /// visible to the attempt loop).
     void bind_reclaim(ReclaimDomain& domain) {
         reclaim_domain = &domain;
         reclaim_slot = domain.register_slot();
+        domain.bind_context(*this);
     }
 
     /// Transactional-allocation state (txalloc.hpp), applied by the
-    /// runtime's attempt loop: rollback on abort, retire on commit.
+    /// runtime's attempt loop: rollback on abort, retire on commit,
+    /// maintain between attempts.
     TxMemLog mem;
     ReclaimDomain* reclaim_domain = nullptr;
     ReclaimSlot* reclaim_slot = nullptr;
+    /// Per-context free-block magazines: tx_alloc pops, rollback and
+    /// same-transaction alloc+free pairs push — no shared state touched.
+    BlockCache cache;
+    /// Commit-deferred frees park here (no lock) until maintain() flushes
+    /// a batch into `reclaim_shard`'s striped retirement shard.
+    std::vector<RetiredBlock> retire_buffer;
+    std::uint32_t reclaim_shard = 0;
+    /// Commits since the last reclamation poll (maintain() cadence).
+    std::uint32_t maintain_tick = 0;
 };
 
 /// Metadata-organization-specific transactional engine.

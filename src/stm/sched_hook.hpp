@@ -52,6 +52,16 @@ enum class YieldPoint : std::uint8_t {
     kAlloc = 6,
     kFree = 7,
     kReclaim = 8,
+    /// Allocator maintenance (txalloc.hpp). kCacheRefill fires in tx_alloc
+    /// before a magazine miss takes the shared depot lock; kCacheSpill /
+    /// kShardFlush fire in ReclaimDomain::maintain before an overfull
+    /// magazine spills to the depot / a retire-buffer batch is parked in
+    /// its shard. All three run from the same pre-attempt / attempt-body
+    /// positions as kAlloc and kReclaim — never between a commit and its
+    /// completion — so the commit-order argument is unaffected.
+    kCacheRefill = 9,
+    kCacheSpill = 10,
+    kShardFlush = 11,
 };
 
 /// Cooperative scheduler interface; one instance per virtual thread.
@@ -99,6 +109,12 @@ struct TestFaults {
     /// retiring it into the epoch pipeline — doomed readers then touch
     /// freed memory, which the harness's lifetime oracle must catch.
     std::atomic<bool> eager_reclaim{false};
+    /// txalloc: committed tx_free of a cacheable block feeds the per-context
+    /// magazine directly, skipping the epoch pipeline and ignoring the
+    /// reclaim observer's impound verdict — a later tx_alloc then hands out
+    /// a block the lifetime oracle still holds, which must surface as an
+    /// allocation-time violation. No effect when caching is off.
+    std::atomic<bool> leaky_cache{false};
 };
 
 /// Process-wide fault block (all flags false unless a test sets them).

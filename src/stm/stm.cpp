@@ -1,9 +1,11 @@
 #include "stm/stm.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <limits>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "config/registry.hpp"
 #include "ownership/any_table.hpp"
@@ -206,6 +208,9 @@ StmConfig stm_config_from(const config::Config& cfg) {
     if (const auto policy = cfg.get_optional("contention")) {
         out.contention.policy = contention_policy_from(*policy);
     }
+    out.cache_blocks = cfg.get_u32("cache_blocks", out.cache_blocks);
+    out.cache_bytes = cfg.get_u64("cache_bytes", out.cache_bytes);
+    out.reclaim_shards = cfg.get_u32("reclaim_shards", out.reclaim_shards);
     return out;
 }
 
@@ -232,6 +237,13 @@ void Transaction::retry() {
 class Stm::Impl {
 public:
     explicit Impl(StmConfig config) : config_(std::move(config)) {
+        // Shape the reclamation domain (magazine capacity, shard count,
+        // flush/poll cadence) before anything can bind a context to it.
+        const std::uint32_t shards =
+            config_.reclaim_shards != 0
+                ? config_.reclaim_shards
+                : std::max(1u, std::thread::hardware_concurrency());
+        reclaim_.configure(config_.cache_blocks, config_.cache_bytes, shards);
         // All construction funnels through the registry, so an engine
         // registered at runtime is selectable exactly like the built-ins.
         backend_ = backend_registry().create(registry_key(config_.backend),
@@ -271,8 +283,11 @@ public:
 
     void release_context(std::unique_ptr<detail::TxContext> cx) {
         // A retiring context folds its locally accumulated counters into
-        // the shared block (destruction flushes too; pooling would not).
+        // the shared block (destruction flushes too; pooling would not),
+        // and parks any buffered retired blocks in their shard so a pooled
+        // context never sits on unreclaimable memory.
         cx->flush_stats();
+        reclaim_.flush_context(*cx);
         if (pool_contexts_) {
             const std::lock_guard<std::mutex> guard(pool_mutex_);
             if (context_pool_.size() < kMaxPooledContexts) {
@@ -307,7 +322,16 @@ std::unique_ptr<Stm> Stm::create(const config::Config& cfg) {
 }
 
 StmStats Stm::stats() const noexcept {
-    return snapshot(impl_->stats_);
+    StmStats out = snapshot(impl_->stats_);
+    // Allocator counters live on the reclamation domain (they are not
+    // per-executor-sharded like Instrumentation), so the instance snapshot
+    // carries them for Executor-run transactions too.
+    const ReclaimStats reclaim = impl_->reclaim_.stats();
+    out.alloc_cache_hits = reclaim.alloc_cache_hits;
+    out.alloc_cache_misses = reclaim.alloc_cache_misses;
+    out.reclaim_shard_flushes = reclaim.reclaim_shard_flushes;
+    out.domain_mutex_acquires = reclaim.domain_mutex_acquires;
+    return out;
 }
 
 const StmConfig& Stm::config() const noexcept { return impl_->config_; }
@@ -342,9 +366,10 @@ void Stm::run_in(detail::BodyRef body, detail::TxContext& cx,
     ContentionManager cm(impl_->config_.contention, cm_seed);
 
     // Executor-quiescent point: between this context's transactions nothing
-    // is pinned here, so retired blocks can advance toward release. O(1)
-    // when no tx_free is outstanding.
-    reclaim.poll();
+    // is pinned here, so allocator maintenance runs — flush a full retire
+    // buffer into its shard, spill an overfull magazine, and (on this
+    // context's poll cadence) advance reclamation. O(1) when idle.
+    reclaim.maintain(cx);
 
     std::uint32_t attempts = 0;
     for (;;) {
@@ -361,7 +386,7 @@ void Stm::run_in(detail::BodyRef body, detail::TxContext& cx,
             body.invoke(body.object, tx);
         } catch (const detail::ConflictAbort& conflict) {
             backend.abort(cx);
-            reclaim.rollback(cx.mem);
+            reclaim.rollback(cx);
             auto& counter = conflict.user_requested ? stats.explicit_retries
                                                     : stats.aborts;
             counter.fetch_add(1, std::memory_order_relaxed);
@@ -376,7 +401,7 @@ void Stm::run_in(detail::BodyRef body, detail::TxContext& cx,
             // The backend rolls shared words back first, so a speculative
             // block is unreachable before rollback() frees it.
             backend.abort(cx);
-            reclaim.rollback(cx.mem);
+            reclaim.rollback(cx);
             throw;
         }
 
@@ -384,15 +409,15 @@ void Stm::run_in(detail::BodyRef body, detail::TxContext& cx,
             detail::scheduler_yield(detail::YieldPoint::kCommit);
         } catch (...) {
             backend.abort(cx);  // harness cancellation: leave no metadata held
-            reclaim.rollback(cx.mem);
+            reclaim.rollback(cx);
             throw;
         }
         if (backend.commit(cx)) {
-            reclaim.commit(cx.mem);
+            reclaim.commit(cx);
             stats.record_commit(attempts);
             return;
         }
-        reclaim.rollback(cx.mem);
+        reclaim.rollback(cx);
         stats.aborts.fetch_add(1, std::memory_order_relaxed);
         if (impl_->config_.max_attempts != 0 &&
             attempts >= impl_->config_.max_attempts) {

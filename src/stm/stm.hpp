@@ -148,6 +148,17 @@ struct StmConfig {
     /// Abort an atomically() call with TooMuchContention after this many
     /// consecutive failed attempts (0 = retry forever).
     std::uint32_t max_attempts = 0;
+    /// Per-context free-block cache: blocks retained per size class in each
+    /// context's magazines (txalloc.hpp). 0 disables caching entirely AND
+    /// restores the per-commit retire/poll cadence — the differential
+    /// baseline for tests.
+    std::uint32_t cache_blocks = 64;
+    /// Byte budget across one context's magazines; the cache declines
+    /// blocks beyond it even when a magazine has block slots free.
+    std::uint64_t cache_bytes = std::uint64_t{1} << 18;
+    /// Striped retirement shards in the reclamation domain. 0 (default) =
+    /// hardware concurrency.
+    std::uint32_t reclaim_shards = 0;
     /// Policy layer (backend = kAdaptive only).
     AdaptConfig adapt{};
 };
@@ -165,6 +176,12 @@ struct StmConfig {
 ///   commit_time_locks eager (false, default) vs lazy write locking
 ///   max_attempts      TooMuchContention threshold (default 0 = forever)
 ///   contention        backoff | yield | none
+///   cache_blocks      free-block cache capacity per size class per context
+///                     (default 64; 0 = cache off + per-commit reclaim
+///                     cadence, the differential-test baseline)
+///   cache_bytes       per-context cache byte budget (default 256k)
+///   reclaim_shards    striped retirement shards (default 0 = hardware
+///                     concurrency)
 ///
 /// backend=adaptive adds:
 ///   engine       initial wrapped engine: table (organization from `table`,
@@ -202,6 +219,17 @@ struct StmStats {
     /// changed the ownership-table entry count.
     std::uint64_t policy_switches = 0;
     std::uint64_t table_resizes = 0;
+    /// Transactional allocator (txalloc.hpp): tx_allocs served from a
+    /// per-context magazine vs everything else (depot refill or heap), how
+    /// many retire-buffer batches were parked in a shard, and every
+    /// acquisition of any reclamation-domain mutex (epoch registry, shard,
+    /// depot) — the lock-pressure metric the free-block cache is meant to
+    /// crush. Domain-wide, so Stm::stats() reports them even for
+    /// Executor-run transactions; exact at quiescent points.
+    std::uint64_t alloc_cache_hits = 0;
+    std::uint64_t alloc_cache_misses = 0;
+    std::uint64_t reclaim_shard_flushes = 0;
+    std::uint64_t domain_mutex_acquires = 0;
     /// Attempts-per-committed-transaction distribution (bucket = attempt
     /// count, 1 = first-try commit); the user-visible retry cost of the
     /// conflicts — false ones included — that the paper models.
@@ -233,6 +261,10 @@ struct StmStats {
         clock_cas_failures += other.clock_cas_failures;
         policy_switches += other.policy_switches;
         table_resizes += other.table_resizes;
+        alloc_cache_hits += other.alloc_cache_hits;
+        alloc_cache_misses += other.alloc_cache_misses;
+        reclaim_shard_flushes += other.reclaim_shard_flushes;
+        domain_mutex_acquires += other.domain_mutex_acquires;
         attempts_per_commit.merge(other.attempts_per_commit);
     }
 };
@@ -293,24 +325,58 @@ public:
     /// commits. The object is private to this transaction until the store
     /// that publishes its address commits, so initializing it with
     /// TVar::unsafe_write before that store is safe.
+    ///
+    /// Small types (<= detail::kMaxCachedBytes, default-aligned) draw their
+    /// storage from the context's free-block magazine when one is resident —
+    /// the steady-state path touches no lock and no heap. A block allocated
+    /// here must be freed via tx_free<T> with the same type T (its storage
+    /// is size-class raw memory, not a `new T` allocation).
     template <typename T, typename... Args>
     [[nodiscard]] T* tx_alloc(Args&&... args) {
-        alloc_hook();
-        T* ptr = new T(std::forward<Args>(args)...);
-        record_alloc(ptr, [](void* p) noexcept { delete static_cast<T*>(p); });
-        return ptr;
+        constexpr std::uint16_t sc =
+            detail::size_class_for(sizeof(T), alignof(T));
+        if constexpr (sc != detail::kUncachedClass) {
+            void* raw = cache_fetch(sc);
+            T* ptr;
+            try {
+                ptr = ::new (raw) T(std::forward<Args>(args)...);
+            } catch (...) {
+                cache_unfetch(raw, sc);
+                throw;
+            }
+            record_alloc(
+                ptr, [](void* p) noexcept { static_cast<T*>(p)->~T(); }, sc);
+            return ptr;
+        } else {
+            alloc_hook();
+            T* ptr = new T(std::forward<Args>(args)...);
+            record_alloc(
+                ptr, [](void* p) noexcept { delete static_cast<T*>(p); },
+                detail::kUncachedClass);
+            return ptr;
+        }
     }
 
-    /// Transactionally frees `ptr` (a block obtained from tx_alloc, in this
-    /// or an earlier committed transaction). The free is deferred: nothing
-    /// happens unless the attempt commits, and even then the memory is only
-    /// *retired* — epoch-based reclamation releases it once no concurrent
-    /// (possibly doomed) reader can still hold the pointer. Freeing a block
-    /// twice in one transaction throws std::logic_error; tx_free(nullptr)
-    /// is a no-op.
+    /// Transactionally frees `ptr` (a block obtained from tx_alloc<T>, in
+    /// this or an earlier committed transaction — same T, cv-unqualified).
+    /// The free is deferred: nothing happens unless the attempt commits, and
+    /// even then the memory is only *retired* — epoch-based reclamation
+    /// releases it once no concurrent (possibly doomed) reader can still
+    /// hold the pointer (cacheable storage then recycles through the
+    /// magazines/depot). Freeing a block twice in one transaction throws
+    /// std::logic_error; tx_free(nullptr) is a no-op.
     template <typename T>
     void tx_free(T* ptr) {
-        record_free(ptr, [](void* p) noexcept { delete static_cast<T*>(p); });
+        constexpr std::uint16_t sc =
+            detail::size_class_for(sizeof(T), alignof(T));
+        if constexpr (sc != detail::kUncachedClass) {
+            record_free(
+                ptr, [](void* p) noexcept { static_cast<T*>(p)->~T(); }, sc);
+        } else {
+            record_free(
+                ptr, [](void* p) noexcept { delete static_cast<T*>(p); },
+                detail::kUncachedClass);
+        }
     }
 
 private:
@@ -318,10 +384,17 @@ private:
     Transaction(detail::Backend& backend, detail::TxContext& cx)
         : backend_(backend), cx_(cx) {}
 
-    // txalloc.cpp: yield + log-capacity hook, then the nothrow record.
+    // txalloc.cpp: yield + log-capacity hooks, storage fetch/unfetch against
+    // the context's magazine (falling back to depot/heap), then the nothrow
+    // record. `destroy` runs the destructor only for cacheable size classes
+    // (storage recycles separately); it is `delete` for uncached blocks.
     void alloc_hook();
-    void record_alloc(void* ptr, void (*deleter)(void*)) noexcept;
-    void record_free(void* ptr, void (*deleter)(void*));
+    [[nodiscard]] void* cache_fetch(std::uint16_t size_class);
+    void cache_unfetch(void* raw, std::uint16_t size_class) noexcept;
+    void record_alloc(void* ptr, void (*destroy)(void*),
+                      std::uint16_t size_class) noexcept;
+    void record_free(void* ptr, void (*destroy)(void*),
+                     std::uint16_t size_class);
 
     detail::Backend& backend_;
     detail::TxContext& cx_;

@@ -41,13 +41,15 @@ public:
     THashMap& operator=(const THashMap&) = delete;
 
     /// Frees the nodes still *linked in*. Nodes whose erase committed are
-    /// owned by the Stm's reclamation domain and released there.
+    /// owned by the Stm's reclamation domain and released there. Chain
+    /// nodes take tx_delete (their storage came from tx_alloc's size-class
+    /// path); the bucket heads are plain `new` allocations.
     ~THashMap() {
         for (auto* head : heads_) {
             Node* n = head->unsafe_read();
             while (n != nullptr) {
                 Node* next = n->next.unsafe_read();
-                delete n;
+                tx_delete(n);
                 n = next;
             }
             delete head;

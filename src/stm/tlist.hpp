@@ -36,12 +36,15 @@ public:
     TList& operator=(const TList&) = delete;
 
     /// Frees the nodes still linked in; erased nodes belong to the Stm's
-    /// reclamation domain and are released there.
+    /// reclamation domain and are released there. Linked nodes take
+    /// tx_delete (their storage came from tx_alloc's size-class path); the
+    /// sentinel is a plain `new` allocation.
     ~TList() {
-        Node* n = head_;
+        Node* n = head_->next.unsafe_read();
+        delete head_;
         while (n != nullptr) {
             Node* next = n->next.unsafe_read();
-            delete n;
+            tx_delete(n);
             n = next;
         }
     }

@@ -28,41 +28,54 @@ public:
     TQueue& operator=(const TQueue&) = delete;
 
     /// Frees the nodes still enqueued; popped nodes belong to the Stm's
-    /// reclamation domain and are released there.
+    /// reclamation domain and are released there. tx_delete, not delete:
+    /// the nodes' storage came from tx_alloc's size-class path.
     ~TQueue() {
         Node* n = head_.unsafe_read();
         while (n != nullptr) {
             Node* next = n->next.unsafe_read();
-            delete n;
+            tx_delete(n);
             n = next;
         }
     }
 
     /// Appends `value`; returns false when the queue is full.
     bool try_push(T value) {
-        return stm_.atomically([&](Transaction& tx) {
-            const std::uint64_t count = size_.read(tx);
-            if (count == capacity_) return false;
-            Node* fresh = tx.tx_alloc<Node>(value);
-            Node* tail = tail_.read(tx);
-            if (tail == nullptr) {
-                head_.write(tx, fresh);
-            } else {
-                tail->next.write(tx, fresh);
-            }
-            tail_.write(tx, fresh);
-            size_.write(tx, count + 1);
-            return true;
-        });
+        return stm_.atomically(
+            [&](Transaction& tx) { return try_push_in(tx, value); });
     }
 
     /// Removes the oldest element; nullopt when empty.
     std::optional<T> try_pop() {
-        return stm_.atomically([&](Transaction& tx) -> std::optional<T> {
-            Node* front = head_.read(tx);
-            if (front == nullptr) return std::nullopt;
-            return pop_front(tx, front);
-        });
+        return stm_.atomically(
+            [&](Transaction& tx) { return try_pop_in(tx); });
+    }
+
+    // --- composable variants (run inside a caller-provided transaction) ---
+
+    /// Composable push; false when the queue is full. The node comes from
+    /// tx_alloc, so nothing leaks if the caller's enclosing transaction
+    /// ultimately aborts.
+    bool try_push_in(Transaction& tx, T value) {
+        const std::uint64_t count = size_.read(tx);
+        if (count == capacity_) return false;
+        Node* fresh = tx.tx_alloc<Node>(value);
+        Node* tail = tail_.read(tx);
+        if (tail == nullptr) {
+            head_.write(tx, fresh);
+        } else {
+            tail->next.write(tx, fresh);
+        }
+        tail_.write(tx, fresh);
+        size_.write(tx, count + 1);
+        return true;
+    }
+
+    /// Composable pop; nullopt when empty.
+    std::optional<T> try_pop_in(Transaction& tx) {
+        Node* front = head_.read(tx);
+        if (front == nullptr) return std::nullopt;
+        return pop_front(tx, front);
     }
 
     /// Composable pop that requests a retry when empty; for use inside a
@@ -85,6 +98,16 @@ public:
 
     [[nodiscard]] bool empty() { return size() == 0; }
     [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+    /// Non-transactional head-to-tail traversal over the queued values;
+    /// safe only at quiescent points (invariant checks / state hashing).
+    template <typename F>
+    void unsafe_for_each(F&& f) const {
+        for (Node* n = head_.unsafe_read(); n != nullptr;
+             n = n->next.unsafe_read()) {
+            f(n->value);
+        }
+    }
 
 private:
     struct Node {

@@ -242,7 +242,7 @@ TEST(Executor, ReturnsValuesLikeAtomically) {
 
 TEST(Workloads, RegistryListsBuiltins) {
     const auto names = exec::workload_names();
-    ASSERT_EQ(names.size(), 7u);
+    ASSERT_EQ(names.size(), 8u);
     EXPECT_EQ(names[0], "counters");
     EXPECT_EQ(names[1], "zipf");
     EXPECT_EQ(names[2], "bank");
@@ -250,6 +250,7 @@ TEST(Workloads, RegistryListsBuiltins) {
     EXPECT_EQ(names[4], "phases");
     EXPECT_EQ(names[5], "vacation");
     EXPECT_EQ(names[6], "kmeans");
+    EXPECT_EQ(names[7], "pipeline");
     EXPECT_THROW((void)exec::make_workload(cfg("workload=nonesuch")),
                  std::invalid_argument);
 }

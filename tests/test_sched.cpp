@@ -358,6 +358,70 @@ TEST(SchedDyn, EagerReclamationIsCaughtAsLifetimeViolation) {
            "oracle somewhere in the sweep";
 }
 
+TEST(SchedDyn, CacheOffSweepPassesTheLifetimeOracle) {
+    // The cache-off half of the differential axis the CI fuzz batches
+    // sweep: cache_blocks=0 restores the per-commit retire/poll cadence, so
+    // the oracle exercises the sharded pipeline without magazines in play.
+    for (const BackendPair& pair :
+         {BackendPair{"tl2", "", false},
+          BackendPair{"table", "tagless", false},
+          BackendPair{"table", "tagged", true}}) {
+        HarnessConfig cfg = dyn_config();
+        cfg.backend = pair.backend;
+        if (!pair.table.empty()) cfg.table = pair.table;
+        cfg.commit_time_locks = pair.commit_time_locks;
+        cfg.cache_blocks = 0;
+        EXPECT_NE(repro_flags(cfg).find("--cache_blocks=0"),
+                  std::string::npos);
+        const auto result = explore(cfg, sched_spec("sched=random"), 60, 31);
+        EXPECT_EQ(result.runs, 60u);
+        EXPECT_TRUE(result.violations.empty())
+            << pair.label() << ": " << result.violations.front().message;
+    }
+}
+
+TEST(SchedDyn, LeakyCacheIsCaughtAsLifetimeViolation) {
+    // Break the free-block cache on purpose: leaky_cache short-circuits a
+    // committed free straight into the context's magazine, skipping epoch
+    // retirement and ignoring the observer's veto — exactly what a buggy
+    // recycling path would do. The next tx_alloc then hands out a block the
+    // lifetime oracle impounded, which must surface as a reported
+    // violation with a dyn repro line (not silent reuse).
+    const FaultGuard fault(stm::detail::test_faults().leaky_cache);
+    HarnessConfig cfg = dyn_config();
+    cfg.backend = "tl2";
+    const auto result = explore(cfg, sched_spec("sched=random"), 150, 47);
+    bool caught_lifetime = false;
+    for (const Violation& v : result.violations) {
+        EXPECT_NE(v.repro.find("--mode=dyn"), std::string::npos);
+        caught_lifetime |=
+            v.message.find("lifetime oracle") != std::string::npos;
+    }
+    EXPECT_TRUE(caught_lifetime)
+        << "a cache that recycles unretired blocks must trip the lifetime "
+           "oracle";
+}
+
+TEST(SchedDyn, LeakyCacheScheduleMinimizesAndStillFails) {
+    const FaultGuard fault(stm::detail::test_faults().leaky_cache);
+    HarnessConfig cfg = dyn_config();
+    cfg.backend = "tl2";
+    const auto programs = generate_programs(cfg);
+    const auto result = explore(cfg, sched_spec("sched=random"), 150, 47);
+    ASSERT_FALSE(result.violations.empty());
+
+    const std::string& original = result.violations.front().schedule;
+    const std::string shrunk = minimize_schedule(cfg, programs, original);
+    EXPECT_LE(shrunk.size(), original.size());
+
+    config::Config rc;
+    rc.set("schedule", shrunk);
+    const auto replay = make_schedule(rc, 0);
+    const RunResult run = run_schedule(cfg, programs, *replay);
+    EXPECT_TRUE(check_serializable(cfg, programs, run).has_value())
+        << "minimized leaky-cache schedule must still fail";
+}
+
 // ---------------------------------------------------------------------------
 // PCT coverage of the classic 2-thread write-skew interleaving
 // ---------------------------------------------------------------------------

@@ -20,6 +20,12 @@
 //
 //   sched_explorer --diff --schedules=200
 //
+// Fault injection: --fault=<name> arms one of the deliberate test faults
+// (ignore_acquire_conflicts | skip_tl2_validation | eager_reclaim |
+// leaky_cache) for the whole process — CI uses this to assert the oracles
+// still CATCH broken implementations (the run must exit 1 with repro
+// lines; a clean exit means the oracle went blind).
+//
 // Exit codes: 0 = all runs serializable; 1 = violations (repro lines on
 // stdout, also appended to --out=<file> when given); 2 = config error.
 #include <fstream>
@@ -30,6 +36,7 @@
 #include "config/config.hpp"
 #include "sched/harness.hpp"
 #include "sched/schedule.hpp"
+#include "stm/sched_hook.hpp"
 
 namespace {
 
@@ -74,6 +81,24 @@ int explorer_main(int argc, char** argv) {
     sched_cfg.set("sched", cli.get("sched", "random"));
     sched_cfg.set("depth", std::to_string(cli.get_u64("depth", 3)));
     sched_cfg.set("steps", std::to_string(cli.get_u64("steps", 256)));
+
+    // Fault injection: arm one deliberate fault for the whole process so
+    // CI can assert the oracles catch it (expected exit code: 1).
+    const std::string fault = cli.get("fault", "");
+    if (!fault.empty()) {
+        auto& faults = tmb::stm::detail::test_faults();
+        if (fault == "ignore_acquire_conflicts") {
+            faults.ignore_acquire_conflicts.store(true);
+        } else if (fault == "skip_tl2_validation") {
+            faults.skip_tl2_validation.store(true);
+        } else if (fault == "eager_reclaim") {
+            faults.eager_reclaim.store(true);
+        } else if (fault == "leaky_cache") {
+            faults.leaky_cache.store(true);
+        } else {
+            throw std::invalid_argument("unknown --fault=" + fault);
+        }
+    }
 
     // Workload / STM keys. Differential mode needs commutative writes.
     HarnessConfig base = tmb::sched::harness_config_from(cli);
