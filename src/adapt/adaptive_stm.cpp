@@ -285,7 +285,7 @@ private:
             if (try_swap()) break;
             // Someone is still in flight (or another thread owns the swap
             // lock): let them run. kRetry so PCT demotes this waiter.
-            scheduler_yield(YieldPoint::kRetry);
+            scheduler_yield(YieldPoint::kRetry, YieldSite::kAdaptDrain);
             std::this_thread::yield();
         }
         std::shared_ptr<EngineEpoch> ep;
@@ -318,7 +318,7 @@ private:
         // here (they will stand back on the pending flag). Yield outside
         // the lock — a granted thread may need it to park/bind.
         lock.unlock();
-        scheduler_yield(YieldPoint::kPolicySwitch);
+        scheduler_yield(YieldPoint::kPolicySwitch, YieldSite::kAdaptSwap);
         lock.lock();
         if (!pending_.load(std::memory_order_seq_cst)) return true;
         if (in_flight_.load(std::memory_order_seq_cst) != 0) return false;

@@ -1,0 +1,82 @@
+#include "sched/coverage.hpp"
+
+#include <bit>
+
+#include "util/hash.hpp"
+
+namespace tmb::sched {
+
+namespace {
+
+/// Compact event encoding: site * 16 + point. YieldPoint fits in 4 bits
+/// (12 kinds) and YieldSite in the remaining range; a synthetic
+/// "thread done" event sits one past the real vocabulary.
+[[nodiscard]] std::uint32_t encode(stm::detail::YieldPoint point,
+                                   stm::detail::YieldSite site) noexcept {
+    return static_cast<std::uint32_t>(site) * 16u +
+           static_cast<std::uint32_t>(point);
+}
+
+constexpr std::uint32_t kDoneEvent = stm::detail::kYieldSiteCount * 16u;
+
+}  // namespace
+
+std::uint32_t coverage_count_class(std::uint32_t count) noexcept {
+    if (count <= 3) return count;  // 0..3 exact
+    if (count <= 7) return 4;
+    if (count <= 15) return 5;
+    if (count <= 31) return 6;
+    if (count <= 127) return 7;
+    return 8;
+}
+
+std::uint32_t coverage_quantize(std::uint64_t value) noexcept {
+    return static_cast<std::uint32_t>(std::bit_width(value));
+}
+
+void CoverageAccumulator::edge(std::uint32_t thread,
+                               std::uint32_t event) noexcept {
+    if (thread >= kMaxScheduleThreads) return;
+    // Edge hash: previous event of the SAME thread → this event, salted by
+    // the thread index so per-thread sequences stay distinguishable.
+    const std::uint64_t key =
+        (std::uint64_t{prev_[thread]} << 20) ^ (std::uint64_t{event} << 8) ^
+        thread;
+    hits_[util::mix64(key) & (kCoverageBuckets - 1)]++;
+    prev_[thread] = event + 1;
+}
+
+void CoverageAccumulator::step(std::uint32_t thread,
+                               stm::detail::YieldPoint point,
+                               stm::detail::YieldSite site) noexcept {
+    edge(thread, encode(point, site));
+}
+
+void CoverageAccumulator::finish(std::uint32_t thread) noexcept {
+    edge(thread, kDoneEvent);
+}
+
+std::uint64_t CoverageAccumulator::signature(
+    const stm::StmStats& stats) const noexcept {
+    std::uint64_t h = 0xc0feefeedULL;
+    for (std::uint32_t i = 0; i < kCoverageBuckets; ++i) {
+        if (hits_[i] == 0) continue;
+        h = util::mix64(h ^ ((std::uint64_t{i} << 8) |
+                             coverage_count_class(hits_[i])));
+    }
+    // The quantized stats vector: order is part of the signature contract.
+    const std::uint64_t counters[] = {
+        stats.commits,          stats.aborts,
+        stats.explicit_retries, stats.true_conflicts,
+        stats.false_conflicts,  stats.clock_cas_failures,
+        stats.policy_switches,  stats.table_resizes,
+        stats.alloc_cache_hits, stats.alloc_cache_misses,
+        stats.reclaim_shard_flushes,
+    };
+    for (const std::uint64_t c : counters) {
+        h = util::mix64(h ^ coverage_quantize(c));
+    }
+    return h;
+}
+
+}  // namespace tmb::sched

@@ -10,6 +10,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "sched/coverage.hpp"
 #include "stm/sched_hook.hpp"
 #include "stm/txalloc.hpp"
 #include "util/hash.hpp"
@@ -20,6 +21,7 @@ namespace tmb::sched {
 namespace {
 
 using stm::detail::YieldPoint;
+using stm::detail::YieldSite;
 
 /// Thrown into a virtual thread at its next yield point when the run is
 /// cancelled (step budget exhausted). Never escapes run_schedule.
@@ -140,9 +142,13 @@ public:
 
     /// Yields from a worker's hook: parks the worker and wakes the
     /// scheduler. Throws HarnessCancelled when the run was cancelled while
-    /// parked.
-    void worker_yield(std::uint32_t id, YieldPoint point) {
+    /// parked — or already cancelled on entry, so a yield reached while
+    /// *unwinding* from a cancellation (each worker is granted exactly one
+    /// wake-up after cancel) can never park with nobody left to grant it.
+    void worker_yield(std::uint32_t id, YieldPoint point, YieldSite site) {
+        if (cancel_.load(std::memory_order_relaxed)) throw HarnessCancelled{};
         workers_[id].last_point = point;
+        workers_[id].last_site = site;
         scheduler_go_.release();
         workers_[id].go.acquire();
         if (cancel_.load(std::memory_order_relaxed)) throw HarnessCancelled{};
@@ -179,6 +185,9 @@ public:
     [[nodiscard]] YieldPoint last_point(std::uint32_t id) const {
         return workers_[id].last_point;
     }
+    [[nodiscard]] YieldSite last_site(std::uint32_t id) const {
+        return workers_[id].last_site;
+    }
     [[nodiscard]] std::exception_ptr error(std::uint32_t id) const {
         return workers_[id].error;
     }
@@ -187,6 +196,7 @@ private:
     struct Worker {
         std::binary_semaphore go{0};
         YieldPoint last_point = YieldPoint::kTxBegin;
+        YieldSite last_site = YieldSite::kRunBegin;
         bool finished = false;
         std::exception_ptr error;
     };
@@ -205,7 +215,9 @@ class WorkerHook final : public stm::detail::SchedulerHook {
 public:
     WorkerHook(Turnstile& ts, std::uint32_t id) : ts_(ts), id_(id) {}
 
-    void yield(YieldPoint point) override { ts_.worker_yield(id_, point); }
+    void yield(YieldPoint point, YieldSite site) override {
+        ts_.worker_yield(id_, point, site);
+    }
 
 private:
     Turnstile& ts_;
@@ -577,6 +589,7 @@ RunResult run_schedule(const HarnessConfig& cfg,
         if (!ts.finished(t)) runnable |= std::uint64_t{1} << t;
     }
 
+    CoverageAccumulator coverage;
     while (runnable != 0) {
         const std::uint32_t pick = schedule.pick(runnable, result.steps);
         if (pick >= 64 || ((runnable >> pick) & 1) == 0) {
@@ -597,8 +610,12 @@ RunResult run_schedule(const HarnessConfig& cfg,
         if (ts.finished(pick)) {
             runnable &= ~(std::uint64_t{1} << pick);
             schedule.observe(pick, Event::kThreadDone);
-        } else if (ts.last_point(pick) == YieldPoint::kRetry) {
-            schedule.observe(pick, Event::kAbort);
+            coverage.finish(pick);
+        } else {
+            coverage.step(pick, ts.last_point(pick), ts.last_site(pick));
+            if (ts.last_point(pick) == YieldPoint::kRetry) {
+                schedule.observe(pick, Event::kAbort);
+            }
         }
         if (result.commit_log.size() > commits_before) {
             schedule.observe(pick, Event::kCommit);
@@ -644,6 +661,7 @@ RunResult run_schedule(const HarnessConfig& cfg,
     for (const auto& exec : executors) {
         result.stats.merge(exec->stats());  // commits/aborts (shards)
     }
+    result.signature = coverage.signature(result.stats);
     // Retire the executor contexts before the dyn balance check: their
     // buffered retired blocks must reach the shards for the full drain
     // below to account for every tx_free.
@@ -707,26 +725,37 @@ RunResult run_schedule(const HarnessConfig& cfg,
 // Serializability oracle
 // ---------------------------------------------------------------------------
 
-std::optional<std::string> check_serializable(
+namespace {
+
+/// Shared oracle core. With `require_complete`, every transaction must have
+/// committed (the classic serializability oracle). Without it — the
+/// kill-point / crash-consistency mode — the run may have been cancelled
+/// mid-flight, and the oracle instead demands that whatever DID commit is a
+/// per-thread gap-free prefix whose serial replay reproduces memory: no
+/// torn writes from a transaction killed mid-commit, no lost effects of a
+/// transaction that reported commit before the kill.
+std::optional<std::string> oracle_core(
     const HarnessConfig& cfg,
-    const std::vector<std::vector<TxProgram>>& programs,
-    const RunResult& run) {
+    const std::vector<std::vector<TxProgram>>& programs, const RunResult& run,
+    bool require_complete) {
     const auto describe = [&](std::uint32_t t, std::uint32_t k) {
         return "thread " + std::to_string(t) + " tx " + std::to_string(k);
     };
     if (run.lifetime_error) {
         return "lifetime oracle: " + *run.lifetime_error;
     }
-    if (run.cancelled) {
+    if (require_complete && run.cancelled) {
         return "run cancelled after " + std::to_string(run.steps) +
                " steps (step_limit " + std::to_string(cfg.step_limit) +
                " exhausted — livelocked schedule or config mismatch)";
     }
     const std::uint64_t expected =
         std::uint64_t{cfg.threads} * cfg.txs_per_thread;
-    if (run.commit_log.size() != expected) {
+    if (require_complete ? run.commit_log.size() != expected
+                         : run.commit_log.size() > expected) {
         return "commit log holds " + std::to_string(run.commit_log.size()) +
-               " transactions, expected " + std::to_string(expected);
+               " transactions, expected " +
+               (require_complete ? "" : "at most ") + std::to_string(expected);
     }
 
     // Serial replay in commit order, keeping every intermediate state for
@@ -735,7 +764,11 @@ std::optional<std::string> check_serializable(
     snapshots.reserve(run.commit_log.size() + 1);
     snapshots.emplace_back(cfg.slots, 0);
 
-    std::vector<std::uint8_t> committed(cfg.threads * cfg.txs_per_thread, 0);
+    // Each thread runs its transactions in index order, so the global
+    // commit log must show every thread's tx indices as a gap-free,
+    // in-order prefix 0..k — in the kill-point mode this IS the
+    // prefix-consistency property.
+    std::vector<std::uint32_t> next_tx(cfg.threads, 0);
 
     for (std::size_t pos = 0; pos < run.commit_log.size(); ++pos) {
         const CommitRecord& rec = run.commit_log[pos];
@@ -743,11 +776,14 @@ std::optional<std::string> check_serializable(
             return "commit log names unknown " +
                    describe(rec.thread, rec.tx_index);
         }
-        auto& seen = committed[rec.thread * cfg.txs_per_thread + rec.tx_index];
-        if (seen) {
-            return describe(rec.thread, rec.tx_index) + " committed twice";
+        if (rec.tx_index != next_tx[rec.thread]) {
+            return describe(rec.thread, rec.tx_index) +
+                   " committed out of order: expected tx " +
+                   std::to_string(next_tx[rec.thread]) +
+                   " next for that thread (commit history is not a "
+                   "per-thread prefix)";
         }
-        seen = 1;
+        ++next_tx[rec.thread];
 
         const TxProgram& prog = programs[rec.thread][rec.tx_index];
         const bool writer = !prog.read_only();
@@ -832,6 +868,39 @@ std::optional<std::string> check_serializable(
                diff;
     }
     return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> check_serializable(
+    const HarnessConfig& cfg,
+    const std::vector<std::vector<TxProgram>>& programs,
+    const RunResult& run) {
+    return oracle_core(cfg, programs, run, /*require_complete=*/true);
+}
+
+std::optional<std::string> check_prefix_consistent(
+    const HarnessConfig& cfg,
+    const std::vector<std::vector<TxProgram>>& programs,
+    const RunResult& run) {
+    return oracle_core(cfg, programs, run, /*require_complete=*/false);
+}
+
+std::optional<std::string> check_kill_point(
+    const HarnessConfig& cfg,
+    const std::vector<std::vector<TxProgram>>& programs,
+    const std::string& schedule, std::uint64_t kill_step) {
+    HarnessConfig killed = cfg;
+    killed.step_limit = kill_step;
+    config::Config sc;
+    sc.set("sched", "replay");
+    sc.set("schedule", schedule);
+    const auto sch = make_schedule(sc, 0);
+    const RunResult run = run_schedule(killed, programs, *sch);
+    // A run that finishes before the kill point fires must pass the full
+    // oracle; a killed run must leave a prefix-consistent history.
+    if (!run.cancelled) return check_serializable(killed, programs, run);
+    return check_prefix_consistent(killed, programs, run);
 }
 
 // ---------------------------------------------------------------------------
@@ -992,23 +1061,7 @@ std::string minimize_schedule(
         const RunResult run = run_schedule(cfg, programs, *sch);
         return check_serializable(cfg, programs, run).has_value();
     };
-    if (schedule.empty() || !fails(schedule)) return schedule;
-
-    std::size_t chunk = std::max<std::size_t>(schedule.size() / 2, 1);
-    for (;;) {
-        for (std::size_t i = 0; i < schedule.size();) {
-            std::string candidate = schedule;
-            candidate.erase(i, chunk);
-            if (candidate.size() < schedule.size() && fails(candidate)) {
-                schedule = std::move(candidate);  // keep shrinking at i
-            } else {
-                i += chunk;
-            }
-        }
-        if (chunk == 1) break;
-        chunk /= 2;
-    }
-    return schedule;
+    return shrink_schedule(std::move(schedule), fails);
 }
 
 }  // namespace tmb::sched

@@ -177,6 +177,11 @@ struct RunResult {
     std::vector<std::uint64_t> final_state;  ///< slot values at quiescence
     std::vector<CommitRecord> commit_log;    ///< commit order
     stm::StmStats stats;
+    /// The run's 64-bit behavior signature (sched/coverage.hpp): AFL-style
+    /// bucketed per-thread yield-event edges + quantized stats. A pure
+    /// function of the replayed execution on a fresh engine, so identical
+    /// runs carry identical signatures.
+    std::uint64_t signature = 0;
     /// Lifetime-oracle verdict (dyn mode only): a use of a reclaimed block,
     /// a double reclamation, or an unbalanced allocation ledger at the end
     /// of the run. nullopt when clean (always nullopt outside dyn mode).
@@ -210,6 +215,27 @@ struct RunResult {
 [[nodiscard]] std::optional<std::string> check_serializable(
     const HarnessConfig& cfg,
     const std::vector<std::vector<TxProgram>>& programs, const RunResult& run);
+
+/// The crash/kill-consistency oracle's core: like check_serializable, but
+/// accepts a *partial* run (a kill-point cancellation): the commit log may
+/// hold any per-thread prefix of the programs, and a cancelled run is not
+/// itself a violation. What must still hold: the log is a gap-free prefix
+/// per thread, the serial replay of the log in commit order reproduces
+/// every recorded read/write, read-only windows close, the rolled-back
+/// final memory equals the serial replay of exactly the committed
+/// transactions, and (dyn mode) the lifetime ledger balances.
+[[nodiscard]] std::optional<std::string> check_prefix_consistent(
+    const HarnessConfig& cfg,
+    const std::vector<std::vector<TxProgram>>& programs, const RunResult& run);
+
+/// Kill-point oracle: replays `schedule` with the step budget cut to
+/// `kill_step` (the "crash"), then asserts the post-crash state is a
+/// prefix-consistent commit history. A schedule that finishes before the
+/// kill step is checked with the full serializability oracle instead.
+[[nodiscard]] std::optional<std::string> check_kill_point(
+    const HarnessConfig& cfg,
+    const std::vector<std::vector<TxProgram>>& programs,
+    const std::string& schedule, std::uint64_t kill_step);
 
 /// A failing schedule plus everything needed to reproduce it.
 struct Violation {

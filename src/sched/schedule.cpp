@@ -172,6 +172,151 @@ ScheduleRegistry& registry() {
 
 std::vector<std::string> schedule_names() { return registry().names(); }
 
+// ---------------------------------------------------------------------------
+// Mutation engine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] char random_pick(std::uint32_t threads, util::Xoshiro256& rng) {
+    return thread_to_char(static_cast<std::uint32_t>(rng.below(threads)));
+}
+
+/// Fresh random picks, length in [1, cap].
+[[nodiscard]] std::string random_picks(std::uint32_t threads,
+                                       std::uint64_t cap,
+                                       util::Xoshiro256& rng) {
+    std::string out;
+    const std::uint64_t len = 1 + rng.below(std::max<std::uint64_t>(cap, 1));
+    out.reserve(len);
+    for (std::uint64_t i = 0; i < len; ++i) out.push_back(random_pick(threads, rng));
+    return out;
+}
+
+}  // namespace
+
+std::string_view to_string(Mutator m) noexcept {
+    switch (m) {
+        case Mutator::kFlip: return "flip";
+        case Mutator::kTruncateExtend: return "truncate-extend";
+        case Mutator::kSplice: return "splice";
+        case Mutator::kShuffleRegion: return "shuffle-region";
+        case Mutator::kCrossover: return "crossover";
+    }
+    return "unknown";
+}
+
+bool schedule_valid(const std::string& schedule,
+                    std::uint32_t threads) noexcept {
+    if (schedule.empty()) return false;
+    for (const char c : schedule) {
+        const bool digit = c >= '0' && c <= '9';
+        const bool lower = c >= 'a' && c <= 'z';
+        if (!digit && !lower) return false;
+        const auto t = static_cast<std::uint32_t>(
+            digit ? c - '0' : c - 'a' + 10);
+        if (t >= threads) return false;
+    }
+    return true;
+}
+
+std::string mutate_schedule(const std::string& base, const std::string& partner,
+                            std::uint32_t threads, Mutator m,
+                            util::Xoshiro256& rng) {
+    if (threads == 0 || threads > kMaxScheduleThreads) {
+        throw std::invalid_argument("mutate_schedule: bad thread count");
+    }
+    // Degenerate parents: nothing to cut or splice — emit fresh picks.
+    if (base.empty()) return random_picks(threads, 32, rng);
+    const bool two_parent = m == Mutator::kSplice || m == Mutator::kCrossover;
+    if (two_parent && partner.empty()) m = Mutator::kTruncateExtend;
+
+    std::string out = base;
+    switch (m) {
+        case Mutator::kFlip: {
+            const std::uint64_t flips =
+                1 + rng.below(std::max<std::uint64_t>(out.size() / 8, 1));
+            for (std::uint64_t i = 0; i < flips; ++i) {
+                out[rng.below(out.size())] = random_pick(threads, rng);
+            }
+            break;
+        }
+        case Mutator::kTruncateExtend: {
+            out.resize(1 + rng.below(out.size()));  // keep a nonempty prefix
+            out += random_picks(threads, base.size() + 16, rng);
+            break;
+        }
+        case Mutator::kSplice: {
+            const std::size_t i = rng.below(out.size());
+            const std::size_t j = rng.below(partner.size());
+            out.resize(i);
+            out.append(partner, j, partner.npos);
+            if (out.empty()) out.push_back(random_pick(threads, rng));
+            break;
+        }
+        case Mutator::kShuffleRegion: {
+            // The PCT analogy: permuting one region reorders which thread
+            // wins each contended step without disturbing the rest of the
+            // run — a localized priority change.
+            const std::size_t i = rng.below(out.size());
+            const std::size_t len = std::min<std::size_t>(
+                out.size() - i, 2 + rng.below(14));
+            for (std::size_t k = len; k > 1; --k) {  // Fisher-Yates
+                std::swap(out[i + k - 1], out[i + rng.below(k)]);
+            }
+            break;
+        }
+        case Mutator::kCrossover: {
+            const std::size_t block = 1 + rng.below(8);
+            out.clear();
+            const std::size_t longest = std::max(base.size(), partner.size());
+            for (std::size_t i = 0; i < longest; i += block) {
+                const std::string& src = ((i / block) % 2 == 0) ? base : partner;
+                if (i < src.size()) {
+                    out.append(src, i, std::min(block, src.size() - i));
+                }
+            }
+            if (out.empty()) out.push_back(random_pick(threads, rng));
+            break;
+        }
+    }
+    return out;
+}
+
+std::string mutate_schedule(const std::string& base, const std::string& partner,
+                            std::uint32_t threads, util::Xoshiro256& rng) {
+    const auto m = static_cast<Mutator>(rng.below(kMutatorCount));
+    return mutate_schedule(base, partner, threads, m, rng);
+}
+
+std::string shrink_schedule(
+    std::string schedule, const std::function<bool(const std::string&)>& keep,
+    std::uint64_t max_probes) {
+    std::uint64_t probes = 0;
+    const auto probe = [&](const std::string& candidate) {
+        ++probes;
+        return keep(candidate);
+    };
+    if (schedule.empty() || !probe(schedule)) return schedule;
+
+    std::size_t chunk = std::max<std::size_t>(schedule.size() / 2, 1);
+    for (;;) {
+        for (std::size_t i = 0; i < schedule.size();) {
+            if (max_probes != 0 && probes >= max_probes) return schedule;
+            std::string candidate = schedule;
+            candidate.erase(i, chunk);
+            if (candidate.size() < schedule.size() && probe(candidate)) {
+                schedule = std::move(candidate);  // keep shrinking at i
+            } else {
+                i += chunk;
+            }
+        }
+        if (chunk == 1) break;
+        chunk /= 2;
+    }
+    return schedule;
+}
+
 std::unique_ptr<Schedule> make_schedule(const config::Config& cfg,
                                         std::uint64_t seed) {
     // An explicit pick string wins: `--schedule=0120` alone means replay.

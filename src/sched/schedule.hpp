@@ -25,12 +25,18 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "config/config.hpp"
 #include "config/registry.hpp"
+
+namespace tmb::util {
+class Xoshiro256;
+}
 
 namespace tmb::sched {
 
@@ -80,6 +86,58 @@ using ScheduleRegistry = config::Registry<Schedule, std::uint64_t>;
 
 /// Registered schedule names, in registration order.
 [[nodiscard]] std::vector<std::string> schedule_names();
+
+// ---------------------------------------------------------------------------
+// Schedule-string mutation (the fuzzing substrate)
+// ---------------------------------------------------------------------------
+//
+// A recorded base-36 pick string is a perfect mutation substrate: any
+// string whose characters name threads below the workload's thread count
+// is a valid schedule (replay adjusts picks that name finished threads via
+// nearest_runnable, and runs past the string's end fall back to
+// round-robin). The mutators below therefore only ever emit characters in
+// [0, threads) and never emit an empty string.
+
+/// The mutation operators the guided fuzzer draws from.
+enum class Mutator : std::uint8_t {
+    kFlip = 0,            ///< rewrite a few random picks
+    kTruncateExtend = 1,  ///< cut at a random point, extend with fresh picks
+    kSplice = 2,          ///< prefix of the base + suffix of the partner
+    kShuffleRegion = 3,   ///< shuffle the picks inside one region
+    kCrossover = 4,       ///< alternate blocks of base and partner
+};
+inline constexpr std::uint32_t kMutatorCount = 5;
+
+[[nodiscard]] std::string_view to_string(Mutator m) noexcept;
+
+/// Applies `m` to `base` (using `partner` as the second parent for splice
+/// and crossover; an empty partner degrades those to truncate-and-extend).
+/// Always returns a non-empty string of picks in [0, threads).
+[[nodiscard]] std::string mutate_schedule(const std::string& base,
+                                          const std::string& partner,
+                                          std::uint32_t threads, Mutator m,
+                                          util::Xoshiro256& rng);
+
+/// Applies an rng-chosen mutator.
+[[nodiscard]] std::string mutate_schedule(const std::string& base,
+                                          const std::string& partner,
+                                          std::uint32_t threads,
+                                          util::Xoshiro256& rng);
+
+/// True when every pick of `schedule` is a valid base-36 thread index
+/// below `threads` (the syntactic validity every mutant must preserve).
+[[nodiscard]] bool schedule_valid(const std::string& schedule,
+                                  std::uint32_t threads) noexcept;
+
+/// Greedy ddmin-style chunk removal: repeatedly drops substrings of
+/// `schedule` while `keep(candidate)` stays true, probing at most
+/// `max_probes` candidates (0 = unlimited). Returns the shortest string
+/// found; the input unchanged when keep(schedule) is false. This is the
+/// engine under both failure minimization (keep = "still violates") and
+/// corpus-entry shrinking (keep = "same coverage signature").
+[[nodiscard]] std::string shrink_schedule(
+    std::string schedule, const std::function<bool(const std::string&)>& keep,
+    std::uint64_t max_probes = 0);
 
 /// Creates the schedule named by `sched=` (default "random"). Keys:
 ///   sched      rr | random | pct | replay

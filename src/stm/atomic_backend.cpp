@@ -131,7 +131,8 @@ private:
 
     void acquire_block(AtomicContext& cx, std::uint64_t block, bool for_write) {
         scheduler_yield(for_write ? YieldPoint::kAcquireWrite
-                                  : YieldPoint::kAcquireRead);
+                                  : YieldPoint::kAcquireRead,
+                        YieldSite::kAtomicAcquire);
         const AcquireResult r = for_write ? table_.acquire_write(cx.slot_, block)
                                           : table_.acquire_read(cx.slot_, block);
         if (!r.ok) {

@@ -33,6 +33,33 @@
 
 namespace tmb::stm::detail {
 
+/// Stable identifier of the *call site* emitting a yield — the backend
+/// branch the runtime was in when it yielded. The schedule-exploration
+/// coverage signature (sched/coverage.hpp) hashes (site, point) pairs, so
+/// two runs that interleave the same YieldPoint kinds through *different*
+/// backend branches (eager acquire vs lazy commit-lock, depot refill vs
+/// heap) still count as distinct behavior. IDs are part of the recorded
+/// corpus vocabulary: append new sites at the end, never renumber.
+enum class YieldSite : std::uint8_t {
+    kRunBegin = 0,         ///< Stm::run_in attempt loop (begin + retry)
+    kRunCommit = 1,        ///< Stm::run_in pre-commit
+    kTableAcquire = 2,     ///< eager table acquire (read or write)
+    kTableLazyRead = 3,    ///< lazy table encounter-time read acquire
+    kTableLazyCommit = 4,  ///< lazy table commit-time lock acquisition
+    kTl2Load = 5,          ///< TL2 versioned load
+    kAtomicAcquire = 6,    ///< atomic-table acquire (read or write)
+    kAdaptDrain = 7,       ///< adaptive begin parked behind a pending swap
+    kAdaptSwap = 8,        ///< adaptive quiesce-and-swap transition
+    kTxAlloc = 9,          ///< tx_alloc about to allocate
+    kTxFree = 10,          ///< tx_free about to record the deferred free
+    kReclaimPoll = 11,     ///< ReclaimDomain::poll reclamation pass
+    kCacheRefill = 12,     ///< magazine miss about to take the depot lock
+    kCacheSpill = 13,      ///< overfull magazine spilling to the depot
+    kShardFlush = 14,      ///< retire-buffer batch parking in its shard
+};
+/// One past the largest YieldSite value (coverage table sizing).
+inline constexpr std::uint32_t kYieldSiteCount = 15;
+
 enum class YieldPoint : std::uint8_t {
     kTxBegin = 0,   ///< first attempt of an atomically() call
     kRetry = 1,     ///< re-execution after a conflict abort
@@ -69,9 +96,11 @@ class SchedulerHook {
 public:
     virtual ~SchedulerHook() = default;
 
-    /// Called at every yield point of the installing thread. Blocks until
-    /// the scheduler grants the next step; may throw to cancel the run.
-    virtual void yield(YieldPoint point) = 0;
+    /// Called at every yield point of the installing thread. `site` names
+    /// the backend branch the yield came from (stable across builds).
+    /// Blocks until the scheduler grants the next step; may throw to
+    /// cancel the run.
+    virtual void yield(YieldPoint point, YieldSite site) = 0;
 };
 
 /// The calling thread's installed hook (null in the real engine).
@@ -86,10 +115,12 @@ inline SchedulerHook* install_scheduler_hook(SchedulerHook* hook) noexcept {
 }
 
 /// The yield point the runtime and backends call. No-op (one branch on a
-/// thread-local) when no hook is installed.
-inline void scheduler_yield(YieldPoint point) {
+/// thread-local) when no hook is installed; the site argument is a
+/// compile-time constant at every call site, so the production fast path
+/// is unchanged.
+inline void scheduler_yield(YieldPoint point, YieldSite site) {
     if (tls_scheduler_hook != nullptr) [[unlikely]] {
-        tls_scheduler_hook->yield(point);
+        tls_scheduler_hook->yield(point, site);
     }
 }
 

@@ -375,7 +375,8 @@ void Stm::run_in(detail::BodyRef body, detail::TxContext& cx,
     for (;;) {
         ++attempts;
         detail::scheduler_yield(attempts == 1 ? detail::YieldPoint::kTxBegin
-                                              : detail::YieldPoint::kRetry);
+                                              : detail::YieldPoint::kRetry,
+                                detail::YieldSite::kRunBegin);
         backend.begin(cx);
         // Pinned after begin (an adaptive begin may park waiting for a
         // swap; nothing is held while parked) and before the body's first
@@ -406,7 +407,8 @@ void Stm::run_in(detail::BodyRef body, detail::TxContext& cx,
         }
 
         try {
-            detail::scheduler_yield(detail::YieldPoint::kCommit);
+            detail::scheduler_yield(detail::YieldPoint::kCommit,
+                                    detail::YieldSite::kRunCommit);
         } catch (...) {
             backend.abort(cx);  // harness cancellation: leave no metadata held
             reclaim.rollback(cx);

@@ -147,7 +147,8 @@ private:
     void acquire_block(TableContext<Table>& cx, std::uint64_t block,
                        bool for_write) {
         scheduler_yield(for_write ? YieldPoint::kAcquireWrite
-                                  : YieldPoint::kAcquireRead);
+                                  : YieldPoint::kAcquireRead,
+                        YieldSite::kTableAcquire);
         const std::lock_guard<std::mutex> guard(mutex_);
         const AcquireResult r = for_write ? table_.acquire_write(cx.slot_, block)
                                           : table_.acquire_read(cx.slot_, block);
@@ -254,7 +255,8 @@ public:
         }
         const std::uint64_t block = block_of(addr);
         if (!cx.held_.contains(block)) {
-            scheduler_yield(YieldPoint::kAcquireRead);
+            scheduler_yield(YieldPoint::kAcquireRead,
+                            YieldSite::kTableLazyRead);
             const std::lock_guard<std::mutex> guard(mutex_);
             const AcquireResult r = table_.acquire_read(cx.slot_, block);
             if (!r.ok) {
@@ -310,7 +312,8 @@ public:
                     if (held != nullptr && *held == Mode::kWrite) continue;
                 }
                 try {
-                    scheduler_yield(YieldPoint::kAcquireWrite);
+                    scheduler_yield(YieldPoint::kAcquireWrite,
+                                    YieldSite::kTableLazyCommit);
                 } catch (...) {
                     const std::lock_guard<std::mutex> guard(mutex_);
                     release_all_locked(cx);  // cancellation: clean exit

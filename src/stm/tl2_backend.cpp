@@ -157,7 +157,7 @@ public:
 
         // Version check + data read is the interleaving-sensitive window;
         // stores only buffer locally, so loads are TL2's scheduling points.
-        scheduler_yield(YieldPoint::kAcquireRead);
+        scheduler_yield(YieldPoint::kAcquireRead, YieldSite::kTl2Load);
         std::atomic<std::uint64_t>& lock = lock_for(addr);
         const std::uint64_t v1 = lock.load(std::memory_order_acquire);
         if ((v1 & 1) ||

@@ -124,7 +124,7 @@ void* ReclaimDomain::cache_refill(TxContext& cx, std::uint16_t sc) {
         return nullptr;
     }
     // Yield before the lock: a cancelling throw here holds nothing.
-    scheduler_yield(YieldPoint::kCacheRefill);
+    scheduler_yield(YieldPoint::kCacheRefill, YieldSite::kCacheRefill);
     void* out = nullptr;
     auto lock = lock_counted(depot_.mutex);
     auto& shelf = depot_.shelves[sc];
@@ -297,11 +297,11 @@ void ReclaimDomain::maintain(TxContext& cx) {
         absorb_cache_counters(cx);
     }
     if (cx.retire_buffer.size() >= flush_batch_) {
-        scheduler_yield(YieldPoint::kShardFlush);
+        scheduler_yield(YieldPoint::kShardFlush, YieldSite::kShardFlush);
         flush_retired(cx);
     }
     if (cx.cache.overfull) {
-        scheduler_yield(YieldPoint::kCacheSpill);
+        scheduler_yield(YieldPoint::kCacheSpill, YieldSite::kCacheSpill);
         spill_cache(cx);
     }
     if (++cx.maintain_tick >= poll_period_) {
@@ -319,7 +319,7 @@ void ReclaimDomain::poll_from(TxContext* cx) {
     // Yield before acquiring anything: a cancelling throw here leaks
     // nothing, and the reclaim step becomes an explorable interleaving
     // point for the sched harness.
-    scheduler_yield(YieldPoint::kReclaim);
+    scheduler_yield(YieldPoint::kReclaim, YieldSite::kReclaimPoll);
     // Thread-local scratch: eligible blocks must be destroyed outside the
     // locks (destructors are arbitrary code), and retained capacity keeps
     // the steady-state polling path allocation-free.
@@ -474,7 +474,8 @@ ReclaimStats ReclaimDomain::stats() const noexcept {
 // ---------------------------------------------------------------------------
 
 void Transaction::alloc_hook() {
-    detail::scheduler_yield(detail::YieldPoint::kAlloc);
+    detail::scheduler_yield(detail::YieldPoint::kAlloc,
+                            detail::YieldSite::kTxAlloc);
     // Guarantee the upcoming record_alloc cannot throw: with capacity
     // reserved, push_back is nothrow, so a fresh object can never leak
     // between the allocation and its log entry.
@@ -513,7 +514,8 @@ void Transaction::record_alloc(void* ptr, void (*destroy)(void*),
 void Transaction::record_free(void* ptr, void (*destroy)(void*),
                               std::uint16_t size_class) {
     if (ptr == nullptr) return;
-    detail::scheduler_yield(detail::YieldPoint::kFree);
+    detail::scheduler_yield(detail::YieldPoint::kFree,
+                            detail::YieldSite::kTxFree);
     for (detail::TxAllocRecord& rec : cx_.mem.allocs) {
         if (rec.ptr == ptr) {
             if (rec.freed) {

@@ -20,6 +20,24 @@
 //
 //   sched_explorer --diff --schedules=200
 //
+// Fuzz: coverage-guided exploration (sched/corpus.hpp) — mutate recorded
+// pick strings, keep mutants that reach new behavior signatures, spend the
+// whole budget where the coverage gradient points:
+//
+//   sched_explorer --fuzz --schedules=200000 --seed=7
+//   sched_explorer --fuzz --corpus=corpus.d --jobs=4 --kill_every=64
+//
+// --corpus=<dir> persists the corpus (and shares it between --jobs=N
+// forked workers via atomic file claims); --kill_every=N interleaves
+// kill-point checks (cancel the run at a random step, assert the commit
+// history is a per-thread prefix whose serial replay reproduces memory).
+// With --jobs=1 a fuzz campaign is bit-reproducible from --seed; with
+// more jobs the signature *set* is stable but claim races make corpus
+// contents worker-dependent.
+//
+// Kill-point replay: --schedule=<picks> --kill_step=S replays one schedule
+// cancelled at step S under the prefix-consistency oracle.
+//
 // Fault injection: --fault=<name> arms one of the deliberate test faults
 // (ignore_acquire_conflicts | skip_tl2_validation | eager_reclaim |
 // leaky_cache) for the whole process — CI uses this to assert the oracles
@@ -27,13 +45,22 @@
 // lines; a clean exit means the oracle went blind).
 //
 // Exit codes: 0 = all runs serializable; 1 = violations (repro lines on
-// stdout, also appended to --out=<file> when given); 2 = config error.
+// stdout, also appended to --out=<file> when given — deduplicated, so
+// replayed batches do not pile up duplicate lines); 2 = config error.
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "config/config.hpp"
+#include "sched/corpus.hpp"
 #include "sched/harness.hpp"
 #include "sched/schedule.hpp"
 #include "stm/sched_hook.hpp"
@@ -58,11 +85,37 @@ std::vector<BackendPair> selected_pairs(const tmb::config::Config& cli) {
     return {pair};
 }
 
+/// Appends repro lines to --out=<file>, deduplicated by the full line:
+/// the file is pre-read on open, so re-running a batch (or several batches
+/// against one file) never piles up duplicate repro lines for the same
+/// schedule string + config.
+class ReproSink {
+public:
+    explicit ReproSink(const std::string& path) {
+        if (path.empty()) return;
+        std::ifstream existing(path);
+        for (std::string line; std::getline(existing, line);) {
+            seen_.insert(line);
+        }
+        file_.open(path, std::ios::app);
+    }
+
+    void write(const std::string& line) {
+        if (!file_.is_open() || !seen_.insert(line).second) return;
+        file_ << line << '\n';
+        file_.flush();
+    }
+
+private:
+    std::ofstream file_;
+    std::unordered_set<std::string> seen_;
+};
+
 void report(std::ostream& os, const std::vector<tmb::sched::Violation>& found,
-            std::ofstream* out_file) {
+            ReproSink& sink) {
     for (const auto& v : found) {
         os << "VIOLATION: " << v.message << '\n';
-        if (out_file && out_file->is_open()) *out_file << v.repro << '\n';
+        sink.write(v.repro);
     }
 }
 
@@ -75,6 +128,20 @@ int explorer_main(int argc, char** argv) {
     const bool minimize = cli.get_bool("minimize", false);
     const std::string replay = cli.get("schedule", "");
     const std::string out_path = cli.get("out", "");
+    const std::uint64_t kill_step = cli.get_u64("kill_step", 0);
+
+    // Fuzz-mode knobs (sched/corpus.hpp).
+    const bool fuzz = cli.get_bool("fuzz", false);
+    const std::string corpus_path = cli.get("corpus", "");
+    const std::uint64_t jobs = cli.get_u64("jobs", 1);
+    tmb::sched::FuzzOptions fopts;
+    fopts.budget = schedules;
+    fopts.seed = seed;
+    fopts.init = cli.get_u64("init", fopts.init);
+    fopts.sync_every = cli.get_u64("sync_every", fopts.sync_every);
+    fopts.shrink = cli.get_bool("shrink", fopts.shrink);
+    fopts.shrink_probes = cli.get_u64("shrink_probes", fopts.shrink_probes);
+    fopts.kill_every = cli.get_u64("kill_every", fopts.kill_every);
 
     // Schedule-policy keys consumed by make_schedule inside the harness.
     tmb::config::Config sched_cfg;
@@ -105,12 +172,32 @@ int explorer_main(int argc, char** argv) {
     if (diff && !cli.has("mode")) base.commutative = true;
     tmb::config::reject_unknown(cli);
 
-    std::ofstream out_file;
-    if (!out_path.empty()) out_file.open(out_path, std::ios::app);
+    ReproSink sink(out_path);
 
     // --- replay mode ------------------------------------------------------
     if (!replay.empty()) {
         const auto programs = tmb::sched::generate_programs(base);
+
+        // Kill-point replay: cancel at --kill_step and demand a
+        // prefix-consistent commit history.
+        if (kill_step != 0) {
+            const auto error = tmb::sched::check_kill_point(
+                base, programs, replay, kill_step);
+            if (!error) {
+                std::cout << "kill-point oracle (step " << kill_step
+                          << "): prefix-consistent\n";
+                return 0;
+            }
+            tmb::sched::Violation v;
+            v.schedule = replay;
+            v.repro = tmb::sched::repro_line(base, replay) +
+                      " --kill_step=" + std::to_string(kill_step);
+            v.message = "kill-point (step " + std::to_string(kill_step) +
+                        "): " + *error + "\n  repro: " + v.repro;
+            report(std::cout, {v}, sink);
+            return 1;
+        }
+
         tmb::config::Config rc;
         rc.set("sched", "replay");
         rc.set("schedule", replay);
@@ -131,7 +218,7 @@ int explorer_main(int argc, char** argv) {
         v.schedule = run.schedule;
         v.repro = tmb::sched::repro_line(base, run.schedule);
         v.message = *error + "\n  repro: " + v.repro;
-        report(std::cout, {v}, &out_file);
+        report(std::cout, {v}, sink);
         if (minimize) {
             const auto shrunk =
                 tmb::sched::minimize_schedule(base, programs, replay);
@@ -145,6 +232,85 @@ int explorer_main(int argc, char** argv) {
     const std::vector<BackendPair> pairs = selected_pairs(cli);
     std::size_t total_violations = 0;
 
+    // --- fuzz mode --------------------------------------------------------
+    if (fuzz) {
+        if (!corpus_path.empty()) ::mkdir(corpus_path.c_str(), 0755);
+        // One corpus subdirectory per backend pair: signatures are only
+        // comparable within one engine shape.
+        const auto pair_dir = [&](const BackendPair& pair) {
+            if (corpus_path.empty()) return std::string();
+            std::string label = pair.label();
+            for (char& c : label) {
+                if (c == '/') c = '-';
+            }
+            return corpus_path + "/" + label;
+        };
+
+        int exit_code = 0;
+        for (const BackendPair& pair : pairs) {
+            HarnessConfig cfg = base;
+            cfg.backend = pair.backend;
+            if (!pair.table.empty()) cfg.table = pair.table;
+            cfg.commit_time_locks = pair.commit_time_locks;
+
+            const auto run_worker = [&](std::uint64_t worker) {
+                tmb::sched::FuzzOptions wopts = fopts;
+                wopts.seed = fopts.seed + worker * 0x9e3779b97f4a7c15ULL;
+                tmb::sched::Corpus corpus(pair_dir(pair));
+                if (!corpus.dir().empty()) (void)corpus.sync();  // warm start
+                const auto result =
+                    tmb::sched::fuzz_explore(cfg, wopts, corpus);
+                std::cout << pair.label()
+                          << (jobs > 1
+                                  ? " [worker " + std::to_string(worker) + "]"
+                                  : "")
+                          << ": fuzz " << result.runs << " runs, "
+                          << corpus.distinct_signatures() << " signatures, "
+                          << corpus.size() << " corpus entries, "
+                          << result.new_coverage_mutants
+                          << " coverage mutants, " << result.kill_checks
+                          << " kill checks, " << result.violations.size()
+                          << " violations\n";
+                report(std::cout, result.violations, sink);
+                return result.violations.empty() ? 0 : 1;
+            };
+
+            if (jobs <= 1) {
+                if (run_worker(0) != 0) exit_code = 1;
+                continue;
+            }
+            // Forked workers share the pair's corpus directory; each runs
+            // the full budget from its own seed stream. Fork happens before
+            // any harness threads exist in the child.
+            std::vector<pid_t> kids;
+            for (std::uint64_t w = 0; w < jobs; ++w) {
+                const pid_t pid = ::fork();
+                if (pid == 0) {
+                    const int rc = run_worker(w);
+                    std::cout.flush();
+                    std::_Exit(rc);
+                }
+                if (pid > 0) {
+                    kids.push_back(pid);
+                } else {
+                    std::cerr << "sched_explorer: fork failed\n";
+                    exit_code = 1;
+                }
+            }
+            for (const pid_t pid : kids) {
+                int status = 0;
+                if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+                    WEXITSTATUS(status) != 0) {
+                    exit_code = 1;
+                }
+            }
+        }
+        std::cout << (exit_code == 0
+                          ? "sched_explorer: fuzz clean\n"
+                          : "sched_explorer: fuzz VIOLATIONS above\n");
+        return exit_code;
+    }
+
     // --- differential mode ------------------------------------------------
     if (diff) {
         const auto programs = tmb::sched::generate_programs(base);
@@ -155,9 +321,8 @@ int explorer_main(int argc, char** argv) {
                 ++total_violations;
                 std::cout << "DIFF VIOLATION (round " << n << "): " << *error
                           << '\n';
-                if (out_file.is_open()) {
-                    out_file << "# diff round " << n << ": " << *error << '\n';
-                }
+                sink.write("# diff seed " + std::to_string(round_seed) + ": " +
+                           *error);
             }
         }
         std::cout << "differential: " << schedules << " rounds x "
@@ -184,7 +349,7 @@ int explorer_main(int argc, char** argv) {
                   << result.stats.clock_cas_failures
                   << " clock CAS failures, " << result.violations.size()
                   << " violations\n";
-        report(std::cout, result.violations, &out_file);
+        report(std::cout, result.violations, sink);
         if (minimize) {
             const auto programs = tmb::sched::generate_programs(cfg);
             for (const auto& v : result.violations) {
