@@ -8,7 +8,9 @@
 //       quadratic concurrency dependence (Eq. 8);
 //   plus the §4 text claim: intra-transaction aliasing < 3 % whenever the
 //   conflict rate is < 50 % (model assumption 5).
+#include <algorithm>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -43,8 +45,10 @@ OpenSystemResult point(std::uint32_t c, std::uint64_t w, std::uint64_t n) {
 int bench_main(int argc, char** argv) {
     tmb::bench::Runner runner("fig4_model_validation", argc, argv);
     g_table = runner.cfg().get("table", g_table);
+    const bool check = runner.cfg().get_bool("check", false);
     runner.header("Fig. 4 — model validation by statistical simulation",
                        "Zilles & Rajwar, SPAA 2007, Figure 4");
+    std::vector<std::string> failures;
 
     // --- Fig. 4(a) --------------------------------------------------------
     std::cout << "Fig. 4(a): conflict likelihood (%) vs W, C=2, alpha=2\n"
@@ -53,17 +57,34 @@ int bench_main(int argc, char** argv) {
                  "regime the paper analyzes)\n";
     {
         TablePrinter t({"W", "sim 512", "model 512", "sim 1024", "model 1024",
-                        "sim 2048", "model 2048", "sim 4096", "model 4096"});
+                        "sim 2048", "model 2048", "sim 4096", "model 4096",
+                        "maxDelta_pp"});
         for (std::uint64_t w = 5; w <= 50; w += 5) {
             std::vector<std::string> row{std::to_string(w)};
+            double max_delta = 0.0;
             for (const std::uint64_t n : {512u, 1024u, 2048u, 4096u}) {
                 const auto r = point(2, w, n);
                 const ModelParams p{.alpha = 2.0, .table_entries = n};
                 const double model =
                     1.0 - tmb::core::commit_probability_product(p, 2, w);
-                row.push_back(TablePrinter::fmt(100.0 * r.conflict_rate(), 1));
+                const double sim = r.conflict_rate();
+                const double delta = sim > model ? sim - model : model - sim;
+                max_delta = std::max(max_delta, delta);
+                // Machine-checkable agreement: the product-form model and
+                // the Monte Carlo must stay within sampling noise of each
+                // other everywhere Fig. 4(a) plots them.
+                if (delta > std::max(0.03, 0.15 * model)) {
+                    failures.push_back(
+                        "fig4a W=" + std::to_string(w) + " N=" +
+                        std::to_string(n) + ": sim " +
+                        TablePrinter::fmt(100.0 * sim, 1) + "% vs model " +
+                        TablePrinter::fmt(100.0 * model, 1) +
+                        "% exceeds max(3pp, 15% of model)");
+                }
+                row.push_back(TablePrinter::fmt(100.0 * sim, 1));
                 row.push_back(TablePrinter::fmt(100.0 * model, 1));
             }
+            row.push_back(TablePrinter::fmt(100.0 * max_delta, 1));
             t.add_row(std::move(row));
         }
         runner.emit("fig4a_model_vs_sim", t);
@@ -116,8 +137,34 @@ int bench_main(int argc, char** argv) {
         }
         runner.emit("fig4_intra_alias", t);
         std::cout << "paper claim: aliasing rate < 3% whenever conflict rate < 50%.\n";
+        // The claim itself, machine-checked.
+        for (const std::uint64_t n : {1024u, 4096u, 16384u}) {
+            for (const std::uint64_t w : {10u, 20u, 40u}) {
+                const auto r = point(2, w, n);
+                if (r.conflict_rate() < 0.5 &&
+                    r.intra_alias_block_rate >= 0.03) {
+                    failures.push_back(
+                        "assumption 5: intra-alias rate " +
+                        TablePrinter::fmt(100.0 * r.intra_alias_block_rate,
+                                          2) +
+                        "% at W=" + std::to_string(w) + " N=" +
+                        std::to_string(n) + " despite conflict rate " +
+                        TablePrinter::fmt(100.0 * r.conflict_rate(), 1) +
+                        "% < 50%");
+                }
+            }
+        }
     }
-    return runner.done();
+
+    for (const std::string& f : failures) {
+        std::cout << "CHECK FAIL: " << f << '\n';
+    }
+    const int rc = runner.done();
+    if (!check) return rc;
+    std::cout << (failures.empty() ? "fig4_model_validation: checks passed\n"
+                                   : "fig4_model_validation: CHECK FAILURES "
+                                     "above\n");
+    return failures.empty() ? rc : 1;
 }
 
 int main(int argc, char** argv) {

@@ -317,8 +317,17 @@ private:
         // it so the sched harness can interleave other virtual threads
         // here (they will stand back on the pending flag). Yield outside
         // the lock — a granted thread may need it to park/bind.
+        // Which transition the staged config represents: table regrow vs
+        // engine/tag/locks/clock flip. Read under the lock (pending_cfg_ is
+        // mutex-guarded), announced as its own decision site below so the
+        // fuzzer's coverage distinguishes interleavings around the two.
+        const bool resize =
+            pending_cfg_.table.entries != epoch_->cfg.table.entries;
         lock.unlock();
         scheduler_yield(YieldPoint::kPolicySwitch, YieldSite::kAdaptSwap);
+        scheduler_yield(YieldPoint::kPolicySwitch,
+                        resize ? YieldSite::kAdaptResize
+                               : YieldSite::kAdaptEngineSwitch);
         lock.lock();
         if (!pending_.load(std::memory_order_seq_cst)) return true;
         if (in_flight_.load(std::memory_order_seq_cst) != 0) return false;

@@ -129,10 +129,6 @@ ParallelResult ParallelRunner::run() {
     for (auto& th : threads) th.join();
     const auto end = Clock::now();
 
-    for (auto& err : errors) {
-        if (err) std::rethrow_exception(err);
-    }
-
     ParallelResult result;
     result.elapsed_seconds =
         std::chrono::duration<double>(end - start).count();
@@ -172,6 +168,17 @@ ParallelResult ParallelRunner::run() {
         after.domain_mutex_acquires - before.domain_mutex_acquires;
 
     lifetime_ops_ += result.ops;
+    lifetime_stats_.merge(result.stats);
+
+    // Rethrow only after the merge above: the surviving threads' shards
+    // (commit/abort/attempt counts) must reach lifetime_stats_ even when a
+    // worker threw — rethrowing first used to lose every histogram of the
+    // run. The quiescence checks below stay off the error path; they would
+    // report the interrupted run, not the bug that interrupted it.
+    for (auto& err : errors) {
+        if (err) std::rethrow_exception(err);
+    }
+
     // Quiescent now (all threads joined, all executors destroyed): release
     // every retired block — nothing can still hold one — then check that
     // the allocation ledger balances and the ownership table is empty.

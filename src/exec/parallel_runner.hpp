@@ -95,11 +95,21 @@ public:
     [[nodiscard]] stm::Stm& stm() noexcept { return *stm_; }
     [[nodiscard]] Workload& workload() noexcept { return *workload_; }
 
+    /// Runner-lifetime stats: every run() call's merged shards and instance
+    /// deltas, including runs that ended by rethrowing a worker exception.
+    /// The shards are merged before the rethrow, so the surviving threads'
+    /// commit/abort/attempt counts are observable here even when run()
+    /// never returned a ParallelResult.
+    [[nodiscard]] const stm::StmStats& lifetime_stats() const noexcept {
+        return lifetime_stats_;
+    }
+
 private:
     ParallelConfig config_;
     std::unique_ptr<stm::Stm> stm_;
     std::unique_ptr<Workload> workload_;
     std::uint64_t lifetime_ops_ = 0;
+    stm::StmStats lifetime_stats_;
 };
 
 }  // namespace tmb::exec

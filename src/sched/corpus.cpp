@@ -187,6 +187,7 @@ FuzzResult fuzz_explore(const HarnessConfig& cfg, const FuzzOptions& opts,
                 const RunResult probe = replay(cand);
                 ++out.runs;
                 out.stats.merge(probe.stats);
+                out.sites_seen |= probe.sites_seen;
                 oracle(probe);
                 (void)corpus.observe(probe.signature);
                 return probe.signature == run.signature;
@@ -206,6 +207,7 @@ FuzzResult fuzz_explore(const HarnessConfig& cfg, const FuzzOptions& opts,
         const RunResult run = run_schedule(run_cfg, programs, *sch);
         ++out.runs;
         out.stats.merge(run.stats);
+        out.sites_seen |= run.sites_seen;
         oracle(run);
         if (opts.stop_at_first && !out.violations.empty()) return out;
         if (corpus.observe(run.signature)) retain(run);
@@ -238,6 +240,7 @@ FuzzResult fuzz_explore(const HarnessConfig& cfg, const FuzzOptions& opts,
         ++out.runs;
         ++since_sync;
         out.stats.merge(run.stats);
+        out.sites_seen |= run.sites_seen;
         oracle(run);
         if (opts.stop_at_first && !out.violations.empty()) return out;
         if (corpus.observe(run.signature)) {

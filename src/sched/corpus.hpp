@@ -116,6 +116,9 @@ struct FuzzResult {
     std::uint64_t new_coverage_mutants = 0;  ///< mutants with a new signature
     std::vector<Violation> violations;
     stm::StmStats stats;  ///< merged over all runs
+    /// OR of every run's RunResult::sites_seen — which YieldSites the whole
+    /// campaign reached (reachability assertions for new decision sites).
+    std::uint32_t sites_seen = 0;
 };
 
 /// Coverage-guided schedule fuzzing over `cfg`'s workload. The caller owns

@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "sched/coverage.hpp"
+#include "sched/turnstile.hpp"
 #include "stm/sched_hook.hpp"
 #include "stm/txalloc.hpp"
 #include "util/hash.hpp"
@@ -22,10 +23,6 @@ namespace {
 
 using stm::detail::YieldPoint;
 using stm::detail::YieldSite;
-
-/// Thrown into a virtual thread at its next yield point when the run is
-/// cancelled (step budget exhausted). Never escapes run_schedule.
-struct HarnessCancelled {};
 
 /// The shared words all runs execute over: one 64-byte block per slot in a
 /// process-static 64-byte-aligned arena. A static arena means every run in
@@ -129,100 +126,6 @@ private:
                                      std::uint32_t k, std::size_t op_index) {
     return (util::mix64(tx_seed(cfg, t, k) ^ (op_index + 1)) & 0xff) + 1;
 }
-
-/// Semaphore turnstile: exactly one party — the scheduler or one worker —
-/// holds the baton. Semaphore handoff gives the happens-before edges that
-/// make the workers' plain accesses to the shared arena and commit log
-/// race-free (and TSan-clean) despite no further locking.
-class Turnstile {
-public:
-    explicit Turnstile(std::uint32_t n) : workers_(n) {}
-
-    // --- worker side -----------------------------------------------------
-
-    /// Yields from a worker's hook: parks the worker and wakes the
-    /// scheduler. Throws HarnessCancelled when the run was cancelled while
-    /// parked — or already cancelled on entry, so a yield reached while
-    /// *unwinding* from a cancellation (each worker is granted exactly one
-    /// wake-up after cancel) can never park with nobody left to grant it.
-    void worker_yield(std::uint32_t id, YieldPoint point, YieldSite site) {
-        if (cancel_.load(std::memory_order_relaxed)) throw HarnessCancelled{};
-        workers_[id].last_point = point;
-        workers_[id].last_site = site;
-        scheduler_go_.release();
-        workers_[id].go.acquire();
-        if (cancel_.load(std::memory_order_relaxed)) throw HarnessCancelled{};
-    }
-
-    /// Marks a worker done (normally or with `error`) and wakes the
-    /// scheduler one last time.
-    void worker_finish(std::uint32_t id, std::exception_ptr error) {
-        workers_[id].error = std::move(error);
-        workers_[id].finished = true;
-        scheduler_go_.release();
-    }
-
-    // --- scheduler side --------------------------------------------------
-
-    /// Waits until all n workers have reached their first yield point (each
-    /// release is one worker parking — or finishing instantly).
-    void await_parked(std::uint32_t n) {
-        for (std::uint32_t i = 0; i < n; ++i) scheduler_go_.acquire();
-    }
-
-    /// Runs worker `id` for one step: from its parked yield point to its
-    /// next one (or to completion).
-    void grant(std::uint32_t id) {
-        workers_[id].go.release();
-        scheduler_go_.acquire();
-    }
-
-    void cancel() { cancel_.store(true, std::memory_order_relaxed); }
-
-    [[nodiscard]] bool finished(std::uint32_t id) const {
-        return workers_[id].finished;
-    }
-    [[nodiscard]] YieldPoint last_point(std::uint32_t id) const {
-        return workers_[id].last_point;
-    }
-    [[nodiscard]] YieldSite last_site(std::uint32_t id) const {
-        return workers_[id].last_site;
-    }
-    [[nodiscard]] std::exception_ptr error(std::uint32_t id) const {
-        return workers_[id].error;
-    }
-
-private:
-    struct Worker {
-        std::binary_semaphore go{0};
-        YieldPoint last_point = YieldPoint::kTxBegin;
-        YieldSite last_site = YieldSite::kRunBegin;
-        bool finished = false;
-        std::exception_ptr error;
-    };
-
-    std::vector<Worker> workers_;
-    /// Counting, not binary: during startup all N workers release once
-    /// each (racing freely to their first yield point) before await_parked
-    /// drains them — a binary semaphore's max would be exceeded (UB).
-    std::counting_semaphore<64> scheduler_go_{0};
-    std::atomic<bool> cancel_{false};
-};
-
-/// The per-worker SchedulerHook: forwards every runtime yield point into
-/// the turnstile.
-class WorkerHook final : public stm::detail::SchedulerHook {
-public:
-    WorkerHook(Turnstile& ts, std::uint32_t id) : ts_(ts), id_(id) {}
-
-    void yield(YieldPoint point, YieldSite site) override {
-        ts_.worker_yield(id_, point, site);
-    }
-
-private:
-    Turnstile& ts_;
-    std::uint32_t id_;
-};
 
 void validate(const HarnessConfig& cfg, const stm::Stm& tm) {
     if (cfg.threads == 0 || cfg.threads > kMaxScheduleThreads) {
@@ -613,6 +516,9 @@ RunResult run_schedule(const HarnessConfig& cfg,
             coverage.finish(pick);
         } else {
             coverage.step(pick, ts.last_point(pick), ts.last_site(pick));
+            result.sites_seen |=
+                std::uint32_t{1} << static_cast<std::uint32_t>(
+                    ts.last_site(pick));
             if (ts.last_point(pick) == YieldPoint::kRetry) {
                 schedule.observe(pick, Event::kAbort);
             }

@@ -182,6 +182,11 @@ struct RunResult {
     /// function of the replayed execution on a fresh engine, so identical
     /// runs carry identical signatures.
     std::uint64_t signature = 0;
+    /// Bitmask of YieldSite values the run parked at (bit s set ⇔ some
+    /// granted step yielded from site s). Coarser than the signature, but
+    /// directly answers "did this campaign ever reach site X" — the
+    /// reachability assertion the decision-point sites exist for.
+    std::uint32_t sites_seen = 0;
     /// Lifetime-oracle verdict (dyn mode only): a use of a reclaimed block,
     /// a double reclamation, or an unbalanced allocation ledger at the end
     /// of the run. nullopt when clean (always nullopt outside dyn mode).

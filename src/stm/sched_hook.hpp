@@ -56,9 +56,21 @@ enum class YieldSite : std::uint8_t {
     kCacheRefill = 12,     ///< magazine miss about to take the depot lock
     kCacheSpill = 13,      ///< overfull magazine spilling to the depot
     kShardFlush = 14,      ///< retire-buffer batch parking in its shard
+    /// Adaptive-policy *decision* sites: which transition the staged config
+    /// represents, announced from the same begin-path position as
+    /// kAdaptSwap. Splitting resize from engine-switch lets the coverage
+    /// signature distinguish interleavings around a table regrow from those
+    /// around a tag/locks/clock flip.
+    kAdaptResize = 15,        ///< staged config changes table.entries
+    kAdaptEngineSwitch = 16,  ///< staged config changes engine/tag/locks/clock
+    /// Service harness (src/svc/): submission-queue push, dispatcher pop,
+    /// and per-request response/acknowledge.
+    kSvcEnqueue = 17,
+    kSvcDequeue = 18,
+    kSvcRespond = 19,
 };
 /// One past the largest YieldSite value (coverage table sizing).
-inline constexpr std::uint32_t kYieldSiteCount = 15;
+inline constexpr std::uint32_t kYieldSiteCount = 20;
 
 enum class YieldPoint : std::uint8_t {
     kTxBegin = 0,   ///< first attempt of an atomically() call
@@ -89,6 +101,13 @@ enum class YieldPoint : std::uint8_t {
     kCacheRefill = 9,
     kCacheSpill = 10,
     kShardFlush = 11,
+    /// Service harness (src/svc/). kSvcSubmit fires in client loops around
+    /// submission-queue operations; kSvcDispatch fires in dispatcher loops
+    /// around dequeue/batch/respond steps. Both run strictly outside any
+    /// transaction attempt — never between a commit and its completion — so
+    /// the commit-order serializability argument is unaffected.
+    kSvcSubmit = 12,
+    kSvcDispatch = 13,
 };
 
 /// Cooperative scheduler interface; one instance per virtual thread.

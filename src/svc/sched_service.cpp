@@ -1,0 +1,573 @@
+#include "svc/sched_service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+
+#include "sched/coverage.hpp"
+#include "sched/harness.hpp"
+#include "sched/turnstile.hpp"
+#include "stm/sched_hook.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace tmb::svc {
+
+namespace {
+
+using stm::detail::scheduler_yield;
+using stm::detail::YieldPoint;
+using stm::detail::YieldSite;
+
+/// The service harness's own static arena (same rationale as the sched
+/// harness's: process-stable addresses make replays exact; runs are
+/// serialized by the turnstile, zeroed per run).
+std::uint64_t* svc_arena() {
+    alignas(64) static std::uint64_t words[std::size_t{kSvcMaxSlots} * 8];
+    return words;
+}
+
+/// Virtual clock + yield-based waiting: the env the Service sees under the
+/// turnstile. now() reads the scheduler's step counter through a pointer —
+/// one step, one tick, so "deadline_us" is a deadline *step*.
+class StepClockEnv final : public SvcEnv {
+public:
+    explicit StepClockEnv(const std::uint64_t* steps) : steps_(steps) {}
+
+    std::uint64_t now() override { return *steps_; }
+    void backoff(std::uint32_t /*attempt*/) override {
+        // Backoff under virtual time is "let everyone else run once":
+        // kRetry so PCT demotes the retrying dispatcher.
+        scheduler_yield(YieldPoint::kRetry, YieldSite::kSvcDequeue);
+    }
+    void idle() override {}  // the loops' own yields pace everything
+    void pace_until(std::uint64_t /*t*/) override {
+        throw std::logic_error(
+            "svc sched: open arrival is not supported under virtual time");
+    }
+    void stall(std::uint32_t ms) override {
+        // A stall is ms extra yields: the dispatcher stays runnable but
+        // burns steps, exactly what a wall-clock stall does to a schedule.
+        for (std::uint32_t i = 0; i < ms; ++i) {
+            scheduler_yield(YieldPoint::kSvcDispatch, YieldSite::kSvcDequeue);
+        }
+    }
+    [[nodiscard]] bool record_commits() const override { return true; }
+
+private:
+    const std::uint64_t* steps_;
+};
+
+void validate(const SvcHarnessConfig& cfg) {
+    if (cfg.threads() == 0 || cfg.threads() > sched::kMaxScheduleThreads) {
+        throw std::invalid_argument(
+            "svc sched: clients + dispatchers must be in [1, " +
+            std::to_string(sched::kMaxScheduleThreads) + "]");
+    }
+    if (cfg.svc.slots == 0 || cfg.svc.slots > kSvcMaxSlots) {
+        throw std::invalid_argument("svc sched: slots must be in [1, " +
+                                    std::to_string(kSvcMaxSlots) + "]");
+    }
+    if (cfg.svc.open_arrival) {
+        throw std::invalid_argument(
+            "svc sched: arrival must be closed under virtual time");
+    }
+}
+
+/// The sched harness shim carrying the shared STM fields, so svc_stm_spec
+/// inherits stm_spec's determinism pins instead of duplicating them.
+[[nodiscard]] sched::HarnessConfig stm_shim(const SvcHarnessConfig& cfg) {
+    sched::HarnessConfig h;
+    h.backend = cfg.backend;
+    h.table = cfg.table;
+    h.entries = cfg.entries;
+    h.commit_time_locks = cfg.commit_time_locks;
+    h.clock = cfg.clock;
+    h.engine = cfg.engine;
+    h.policy = cfg.policy;
+    h.epoch = cfg.epoch;
+    h.max_entries = cfg.max_entries;
+    return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Config plumbing
+// ---------------------------------------------------------------------------
+
+SvcHarnessConfig svc_harness_config_from(const config::Config& cfg) {
+    SvcHarnessConfig out;
+    out.backend = cfg.get("backend", out.backend);
+    out.table = cfg.get("table", out.table);
+    out.entries = cfg.get_u64("entries", out.entries);
+    out.commit_time_locks =
+        cfg.get_bool("commit_time_locks", out.commit_time_locks);
+    out.clock = cfg.get("clock", out.clock);
+    out.engine = cfg.get("engine", out.engine);
+    out.policy = cfg.get("policy", out.policy);
+    out.epoch = cfg.get_u64("epoch", out.epoch);
+    out.max_entries = cfg.get_u64("max_entries", out.max_entries);
+    out.max_attempts = cfg.get_u32("max_attempts", out.max_attempts);
+    out.step_limit = cfg.get_u64("step_limit", out.step_limit);
+    out.svc.clients = cfg.get_u32("clients", out.svc.clients);
+    out.svc.dispatchers = cfg.get_u32("dispatchers", out.svc.dispatchers);
+    out.svc.shards = cfg.get_u32("shards", out.svc.shards);
+    out.svc.queue_depth = cfg.get_u32("queue_depth", out.svc.queue_depth);
+    out.svc.batch = cfg.get_u32("batch", out.svc.batch);
+    out.svc.requests_per_client =
+        cfg.get_u64("requests", out.svc.requests_per_client);
+    out.svc.ops_per_request = cfg.get_u32("ops", out.svc.ops_per_request);
+    out.svc.slots = cfg.get_u32("slots", out.svc.slots);
+    out.svc.rmw = cfg.get_bool("rmw", out.svc.rmw);
+    out.svc.seed = cfg.get_u64("wseed", out.svc.seed);
+    out.svc.deadline_us = cfg.get_u64("deadline_steps", out.svc.deadline_us);
+    const std::string retry = cfg.get("retry", "none");
+    if (retry.rfind("backoff:", 0) == 0) {
+        out.svc.retry_budget = static_cast<std::uint32_t>(
+            std::stoull(retry.substr(8)));
+    } else if (retry != "none") {
+        throw std::invalid_argument(
+            "svc sched: retry must be 'none' or 'backoff:<budget>'");
+    }
+    out.svc.fault = svc_fault_from(cfg.get("svc_fault", ""));
+    return out;
+}
+
+config::Config svc_stm_spec(const SvcHarnessConfig& cfg) {
+    config::Config spec = sched::stm_spec(stm_shim(cfg));
+    if (cfg.max_attempts != 0) {
+        spec.set("max_attempts", std::to_string(cfg.max_attempts));
+    }
+    return spec;
+}
+
+std::string svc_harness_repro_flags(const SvcHarnessConfig& cfg) {
+    std::string out = "--svc=1 --backend=" + cfg.backend;
+    if (cfg.backend == "table" || cfg.backend == "adaptive") {
+        out += " --table=" + cfg.table;
+    }
+    if (cfg.backend == "adaptive") {
+        if (!cfg.engine.empty()) out += " --engine=" + cfg.engine;
+        if (!cfg.policy.empty()) out += " --policy=" + cfg.policy;
+        if (cfg.epoch != 0) out += " --epoch=" + std::to_string(cfg.epoch);
+        if (cfg.max_entries != 0) {
+            out += " --max_entries=" + std::to_string(cfg.max_entries);
+        }
+    }
+    if (cfg.commit_time_locks) out += " --commit_time_locks=1";
+    if (!cfg.clock.empty()) out += " --clock=" + cfg.clock;
+    out += " --entries=" + std::to_string(cfg.entries);
+    out += " --max_attempts=" + std::to_string(cfg.max_attempts);
+    out += " --clients=" + std::to_string(cfg.svc.clients);
+    out += " --dispatchers=" + std::to_string(cfg.svc.dispatchers);
+    out += " --shards=" + std::to_string(cfg.svc.shards);
+    out += " --queue_depth=" + std::to_string(cfg.svc.queue_depth);
+    out += " --batch=" + std::to_string(cfg.svc.batch);
+    out += " --requests=" + std::to_string(cfg.svc.requests_per_client);
+    out += " --ops=" + std::to_string(cfg.svc.ops_per_request);
+    out += " --slots=" + std::to_string(cfg.svc.slots);
+    out += " --rmw=" + std::string(cfg.svc.rmw ? "1" : "0");
+    out += " --wseed=" + std::to_string(cfg.svc.seed);
+    if (cfg.svc.deadline_us != 0) {
+        out += " --deadline_steps=" + std::to_string(cfg.svc.deadline_us);
+    }
+    if (cfg.svc.retry_budget != 0) {
+        out += " --retry=backoff:" + std::to_string(cfg.svc.retry_budget);
+    }
+    const std::string fault = to_string(cfg.svc.fault);
+    if (fault != "none") out += " --svc_fault=" + fault;
+    return out;
+}
+
+std::string svc_harness_repro_line(const SvcHarnessConfig& cfg,
+                                   const std::string& schedule) {
+    return "sched_explorer " + svc_harness_repro_flags(cfg) +
+           " --schedule=" + schedule;
+}
+
+// ---------------------------------------------------------------------------
+// The scheduled service run
+// ---------------------------------------------------------------------------
+
+ServiceRunResult run_service_schedule(const SvcHarnessConfig& cfg,
+                                      sched::Schedule& schedule) {
+    validate(cfg);
+    const auto tm = stm::Stm::create(svc_stm_spec(cfg));
+    std::fill(svc_arena(), svc_arena() + std::size_t{kSvcMaxSlots} * 8, 0);
+
+    ServiceRunResult result;
+    result.schedule.reserve(256);
+    StepClockEnv env(&result.steps);
+    Service svc(cfg.svc, *tm, env, svc_arena());
+
+    const std::uint32_t threads = cfg.threads();
+    const std::uint32_t clients = cfg.svc.clients;
+    sched::Turnstile ts(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            sched::WorkerHook hook(ts, t);
+            stm::detail::SchedulerHook* previous =
+                stm::detail::install_scheduler_hook(&hook);
+            std::exception_ptr error;
+            try {
+                if (t < clients) {
+                    svc.client_loop(t);
+                } else {
+                    svc.dispatcher_loop(t - clients);
+                }
+            } catch (const sched::HarnessCancelled&) {
+                // Killed: unwind quietly; the oracle audits what remains.
+            } catch (...) {
+                error = std::current_exception();
+            }
+            stm::detail::install_scheduler_hook(previous);
+            ts.worker_finish(t, std::move(error));
+        });
+    }
+
+    ts.await_parked(threads);
+    std::uint64_t runnable = 0;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        if (!ts.finished(t)) runnable |= std::uint64_t{1} << t;
+    }
+
+    sched::CoverageAccumulator coverage;
+    while (runnable != 0) {
+        const std::uint32_t pick = schedule.pick(runnable, result.steps);
+        if (pick >= 64 || ((runnable >> pick) & 1) == 0) {
+            ts.cancel();
+            for (std::uint64_t m = runnable; m != 0; m &= m - 1) {
+                ts.grant(static_cast<std::uint32_t>(std::countr_zero(m)));
+            }
+            for (auto& w : workers) w.join();
+            throw std::logic_error(
+                "svc sched: schedule picked a non-runnable thread " +
+                std::to_string(pick));
+        }
+        result.schedule.push_back(sched::thread_to_char(pick));
+        const std::size_t commits_before = svc.commit_count();
+        // Tick before the grant: during step N every worker's now() reads N,
+        // so "timed out at step N" means the grant that was step N.
+        ++result.steps;
+        ts.grant(pick);
+
+        if (ts.finished(pick)) {
+            runnable &= ~(std::uint64_t{1} << pick);
+            schedule.observe(pick, sched::Event::kThreadDone);
+            coverage.finish(pick);
+        } else {
+            coverage.step(pick, ts.last_point(pick), ts.last_site(pick));
+            result.sites_seen |=
+                std::uint32_t{1}
+                << static_cast<std::uint32_t>(ts.last_site(pick));
+            if (ts.last_point(pick) == YieldPoint::kRetry) {
+                schedule.observe(pick, sched::Event::kAbort);
+            }
+        }
+        if (svc.commit_count() > commits_before) {
+            schedule.observe(pick, sched::Event::kCommit);
+        }
+
+        if (result.steps >= cfg.step_limit && runnable != 0) {
+            result.cancelled = true;
+            ts.cancel();
+            for (std::uint64_t m = runnable; m != 0; m &= m - 1) {
+                ts.grant(static_cast<std::uint32_t>(std::countr_zero(m)));
+            }
+            break;
+        }
+    }
+
+    for (auto& w : workers) w.join();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        if (ts.error(t)) std::rethrow_exception(ts.error(t));
+    }
+
+    result.final_state.resize(cfg.svc.slots);
+    std::uint64_t h = 0x5eedc0de ^ cfg.svc.slots;
+    for (std::uint32_t s = 0; s < cfg.svc.slots; ++s) {
+        result.final_state[s] = svc_arena()[std::size_t{s} * 8];
+        h = util::mix64(h ^
+                        (result.final_state[s] + s * 0x9e3779b97f4a7c15ULL));
+    }
+    result.state_hash = h;
+
+    result.commit_log = svc.commit_log();
+    const ServiceReport rep = svc.finish(/*complete=*/!result.cancelled);
+    result.counters = rep.counters;
+    result.ledger_ok = rep.ledger_ok;
+    result.ledger_note = rep.ledger_note;
+    result.stats = rep.stm;
+    result.signature = coverage.signature(result.stats);
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// The service oracle
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> check_service_consistent(
+    const SvcHarnessConfig& cfg, const ServiceRunResult& run) {
+    if (!run.ledger_ok) {
+        return "conservation ledger: " + run.ledger_note;
+    }
+    const SvcCounters& c = run.counters;
+    const std::uint64_t total =
+        std::uint64_t{cfg.svc.clients} * cfg.svc.requests_per_client;
+    if (!run.cancelled && c.submitted != total) {
+        return "complete run submitted " + std::to_string(c.submitted) +
+               " requests, expected " + std::to_string(total);
+    }
+
+    // Commit log vs counters: every completed request is in the log; a kill
+    // may strand at most one committed-but-uncounted batch per dispatcher.
+    std::uint64_t logged = 0;
+    for (const SvcCommit& cm : run.commit_log) {
+        logged += cm.request_ids.size();
+    }
+    const std::uint64_t dispatcher_window =
+        std::uint64_t{cfg.svc.dispatchers} * cfg.svc.batch;
+    if (logged < c.completed) {
+        return "counters claim " + std::to_string(c.completed) +
+               " completions but the commit log holds " +
+               std::to_string(logged);
+    }
+    if (run.cancelled ? logged - c.completed > dispatcher_window
+                      : logged != c.completed) {
+        return "commit log holds " + std::to_string(logged) +
+               " requests vs " + std::to_string(c.completed) +
+               " counted completions" +
+               (run.cancelled ? " (> one batch per dispatcher in flight)"
+                              : " on a complete run");
+    }
+
+    // At-most-once execution, and only requests that exist.
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(static_cast<std::size_t>(logged) * 2);
+    for (const SvcCommit& cm : run.commit_log) {
+        if (cm.dispatcher >= cfg.svc.dispatchers) {
+            return "commit names unknown dispatcher " +
+                   std::to_string(cm.dispatcher);
+        }
+        for (const std::uint64_t id : cm.request_ids) {
+            if (id >= total) {
+                return "commit log names unknown request " +
+                       std::to_string(id);
+            }
+            if (!seen.insert(id).second) {
+                return "request " + std::to_string(id) +
+                       " executed twice (appears in two commits)";
+            }
+        }
+    }
+
+    // Serial replay in commit order: recorded reads/writes must be exactly
+    // what the deterministic request logic produces against the serial
+    // state, and the final memory must match — for killed runs too (aborted
+    // attempts roll back, so memory holds exactly the committed prefix).
+    std::vector<std::uint64_t> state(cfg.svc.slots, 0);
+    for (std::size_t pos = 0; pos < run.commit_log.size(); ++pos) {
+        const SvcCommit& cm = run.commit_log[pos];
+        std::size_t ri = 0;
+        std::size_t wi = 0;
+        for (const std::uint64_t id : cm.request_ids) {
+            const std::uint64_t seed = svc_request_seed(cfg.svc.seed, id);
+            for (std::uint32_t i = 0; i < cfg.svc.ops_per_request; ++i) {
+                const std::uint32_t slot =
+                    svc_op_slot(seed, i, cfg.svc.slots);
+                if (cfg.svc.rmw) {
+                    if (ri >= cm.reads.size() ||
+                        cm.reads[ri].slot != slot) {
+                        return "commit #" + std::to_string(pos + 1) +
+                               ": read log does not match request " +
+                               std::to_string(id);
+                    }
+                    if (cm.reads[ri].value != state[slot]) {
+                        return "commit #" + std::to_string(pos + 1) +
+                               " (request " + std::to_string(id) +
+                               ") read slot " + std::to_string(slot) + " = " +
+                               std::to_string(cm.reads[ri].value) +
+                               " but the serial replay in commit order "
+                               "gives " +
+                               std::to_string(state[slot]) +
+                               " — not serializable";
+                    }
+                    ++ri;
+                }
+                const std::uint64_t nv =
+                    svc_op_value(seed, i, state[slot], cfg.svc.rmw);
+                if (wi >= cm.writes.size() || cm.writes[wi].slot != slot ||
+                    cm.writes[wi].value != nv) {
+                    return "commit #" + std::to_string(pos + 1) +
+                           " (request " + std::to_string(id) +
+                           ") wrote a value the serial replay does not "
+                           "produce";
+                }
+                ++wi;
+                state[slot] = nv;
+            }
+        }
+        if (ri != cm.reads.size() || wi != cm.writes.size()) {
+            return "commit #" + std::to_string(pos + 1) +
+                   " recorded more accesses than its requests perform";
+        }
+    }
+    if (state != run.final_state) {
+        std::string diff;
+        for (std::uint32_t s = 0; s < cfg.svc.slots; ++s) {
+            if (state[s] != run.final_state[s]) {
+                diff += " slot " + std::to_string(s) + ": serial " +
+                        std::to_string(state[s]) + " vs actual " +
+                        std::to_string(run.final_state[s]) + ";";
+            }
+        }
+        return "final state diverges from the serial replay of the commit "
+               "log:" +
+               diff;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string> check_service_kill_point(
+    const SvcHarnessConfig& cfg, const std::string& schedule,
+    std::uint64_t kill_step) {
+    SvcHarnessConfig killed = cfg;
+    killed.step_limit = kill_step;
+    config::Config sc;
+    sc.set("sched", "replay");
+    sc.set("schedule", schedule);
+    const auto sch = sched::make_schedule(sc, 0);
+    const ServiceRunResult run = run_service_schedule(killed, *sch);
+    return check_service_consistent(killed, run);
+}
+
+// ---------------------------------------------------------------------------
+// Guided fuzzing over service schedules
+// ---------------------------------------------------------------------------
+
+sched::FuzzResult fuzz_service(const SvcHarnessConfig& cfg,
+                               const sched::FuzzOptions& opts,
+                               sched::Corpus& corpus) {
+    SvcHarnessConfig run_cfg = cfg;
+    if (opts.step_limit != 0) {
+        run_cfg.step_limit = std::min(cfg.step_limit, opts.step_limit);
+    }
+    sched::FuzzResult out;
+    util::Xoshiro256 rng(opts.seed);
+
+    const auto replay = [&](const std::string& picks) {
+        config::Config sc;
+        sc.set("sched", "replay");
+        sc.set("schedule", picks);
+        const auto sch = sched::make_schedule(sc, 0);
+        return run_service_schedule(run_cfg, *sch);
+    };
+
+    const auto oracle = [&](const ServiceRunResult& run) {
+        if (const auto error = check_service_consistent(run_cfg, run)) {
+            sched::Violation v;
+            v.schedule = run.schedule;
+            v.repro = svc_harness_repro_line(cfg, run.schedule);
+            v.message = *error + "\n  repro: " + v.repro;
+            out.violations.push_back(std::move(v));
+        }
+    };
+
+    const auto retain = [&](const ServiceRunResult& run) {
+        std::string kept = run.schedule;
+        if (opts.shrink && kept.size() > 1 && out.runs < opts.budget) {
+            const std::uint64_t cap =
+                std::min(opts.shrink_probes, opts.budget - out.runs);
+            const auto same_signature = [&](const std::string& cand) {
+                const ServiceRunResult probe = replay(cand);
+                ++out.runs;
+                out.stats.merge(probe.stats);
+                out.sites_seen |= probe.sites_seen;
+                oracle(probe);
+                (void)corpus.observe(probe.signature);
+                return probe.signature == run.signature;
+            };
+            kept = sched::shrink_schedule(std::move(kept), same_signature, cap);
+        }
+        corpus.add(std::move(kept), run.signature);
+    };
+
+    config::Config random_cfg;
+    random_cfg.set("sched", "random");
+    for (std::uint64_t i = 0; i < opts.init && out.runs < opts.budget; ++i) {
+        const auto sch = sched::make_schedule(
+            random_cfg, util::mix64(opts.seed ^ (i + 1)));
+        const ServiceRunResult run = run_service_schedule(run_cfg, *sch);
+        ++out.runs;
+        out.stats.merge(run.stats);
+        out.sites_seen |= run.sites_seen;
+        oracle(run);
+        if (opts.stop_at_first && !out.violations.empty()) return out;
+        if (corpus.observe(run.signature)) retain(run);
+    }
+
+    constexpr std::size_t kNoBase = static_cast<std::size_t>(-1);
+    std::uint64_t since_sync = 0;
+    std::uint64_t since_kill = 0;
+    while (out.runs < opts.budget &&
+           !(opts.stop_at_first && !out.violations.empty())) {
+        std::size_t base_idx = kNoBase;
+        ServiceRunResult run;
+        if (corpus.empty() || rng.below(8) == 0) {
+            const auto sch = sched::make_schedule(random_cfg, rng());
+            run = run_service_schedule(run_cfg, *sch);
+        } else {
+            base_idx = corpus.select(rng);
+            ++corpus.entry(base_idx).trials;
+            const std::string mutant = sched::mutate_schedule(
+                corpus.entry(base_idx).schedule,
+                corpus.entry(corpus.select(rng)).schedule, cfg.threads(), rng);
+            run = replay(mutant);
+        }
+        ++out.runs;
+        ++since_sync;
+        out.stats.merge(run.stats);
+        out.sites_seen |= run.sites_seen;
+        oracle(run);
+        if (opts.stop_at_first && !out.violations.empty()) return out;
+        if (corpus.observe(run.signature)) {
+            ++out.new_coverage_mutants;
+            if (base_idx != kNoBase) ++corpus.entry(base_idx).yield;
+            retain(run);
+        }
+
+        ++since_kill;
+        if (opts.kill_every != 0 && since_kill >= opts.kill_every &&
+            run.steps > 0 && out.runs < opts.budget) {
+            since_kill = 0;
+            const std::uint64_t kill = 1 + rng.below(run.steps);
+            ++out.runs;
+            ++out.kill_checks;
+            if (const auto error = check_service_kill_point(
+                    run_cfg, run.schedule, kill)) {
+                sched::Violation v;
+                v.schedule = run.schedule;
+                v.repro = svc_harness_repro_line(cfg, run.schedule) +
+                          " --kill_step=" + std::to_string(kill);
+                v.message = "kill-point (step " + std::to_string(kill) +
+                            "): " + *error + "\n  repro: " + v.repro;
+                out.violations.push_back(std::move(v));
+            }
+        }
+
+        if (!corpus.dir().empty() && opts.sync_every != 0 &&
+            since_sync >= opts.sync_every) {
+            since_sync = 0;
+            (void)corpus.sync();
+        }
+    }
+    if (!corpus.dir().empty()) (void)corpus.sync();
+    return out;
+}
+
+}  // namespace tmb::svc

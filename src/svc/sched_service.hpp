@@ -1,0 +1,137 @@
+// sched_service.hpp — the service harness under the deterministic
+// turnstile: kill-at-any-step runs with a conservation + prefix-consistency
+// oracle, and guided schedule fuzzing over service interleavings.
+//
+// The same Service object that serves real threads (svc/service.hpp) runs
+// here on virtual threads: clients 0..C-1 and dispatchers C..C+D-1 advance
+// only when a sched::Schedule grants them a step, the clock is the step
+// counter itself (deadlines fire at exact steps — test-assertable), and
+// every committed batch is recorded for serial replay. Cancelling the run
+// at step K *is* killing the service at K; the oracle then checks
+//
+//   * conservation — submitted == completed + rejected + timed-out +
+//     in-flight-at-kill, with in-flight bounded by ring capacity +
+//     dispatcher batches + submissions in progress (never unbounded);
+//   * prefix consistency — the recorded commit log replayed serially
+//     reproduces every recorded read/write and the rolled-back final
+//     memory, i.e. a kill never tears a batch or loses a committed one.
+//
+// fuzz_service is the service-shaped twin of sched::fuzz_explore: same
+// Corpus, same mutators, same signature scheme, different subject.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/config.hpp"
+#include "sched/corpus.hpp"
+#include "sched/schedule.hpp"
+#include "svc/service.hpp"
+
+namespace tmb::svc {
+
+/// Largest service-arena size under the turnstile (its own static arena,
+/// independent of the sched harness's — the model-validation sweep wants
+/// slot counts matching real table sizes).
+inline constexpr std::uint32_t kSvcMaxSlots = 2048;
+
+/// One deterministic service subject: STM selection + service shape.
+/// Arrival is always closed (virtual time has no Poisson process), and
+/// svc.deadline_us is measured in scheduler *steps*.
+struct SvcHarnessConfig {
+    std::string backend = "table";
+    std::string table = "tagless";
+    std::uint64_t entries = 16;
+    bool commit_time_locks = false;
+    std::string clock;
+    std::string engine;
+    std::string policy;
+    std::uint64_t epoch = 0;
+    std::uint64_t max_entries = 0;
+    /// STM-internal attempts before TooMuchContention surfaces to the
+    /// dispatcher's retry/backoff layer. Small by default so schedules can
+    /// actually reach the service-level retry paths.
+    std::uint32_t max_attempts = 4;
+    SvcConfig svc = [] {
+        SvcConfig s;
+        s.clients = 2;
+        s.dispatchers = 1;
+        s.shards = 1;
+        s.queue_depth = 2;
+        s.batch = 2;
+        s.requests_per_client = 3;
+        s.ops_per_request = 2;
+        s.slots = 8;
+        s.rmw = true;
+        return s;
+    }();
+    std::uint64_t step_limit = std::uint64_t{1} << 20;
+
+    [[nodiscard]] std::uint32_t threads() const {
+        return svc.clients + svc.dispatchers;
+    }
+};
+
+/// Parses sched_explorer-style keys: the sched harness STM vocabulary
+/// (backend, table, entries, commit_time_locks, clock, engine, policy,
+/// epoch, max_entries) plus max_attempts, step_limit, and the service shape
+/// (clients, dispatchers, shards, queue_depth, batch, requests, ops, slots,
+/// rmw, wseed, deadline_steps, retry=none|backoff:<n>, svc_fault).
+[[nodiscard]] SvcHarnessConfig svc_harness_config_from(
+    const config::Config& cfg);
+
+/// The Config handed to stm::Stm::create — the sched harness determinism
+/// pins (hash=shift-mask, contention=none, reclaim_shards=2) plus
+/// max_attempts.
+[[nodiscard]] config::Config svc_stm_spec(const SvcHarnessConfig& cfg);
+
+[[nodiscard]] std::string svc_harness_repro_flags(const SvcHarnessConfig& cfg);
+[[nodiscard]] std::string svc_harness_repro_line(const SvcHarnessConfig& cfg,
+                                                 const std::string& schedule);
+
+/// Outcome of one scheduled service run.
+struct ServiceRunResult {
+    std::string schedule;  ///< recorded picks (replayable)
+    std::uint64_t steps = 0;
+    bool cancelled = false;  ///< killed at step_limit
+    SvcCounters counters;
+    std::vector<SvcCommit> commit_log;  ///< commit order
+    std::vector<std::uint64_t> final_state;
+    std::uint64_t state_hash = 0;
+    stm::StmStats stats;
+    std::uint64_t signature = 0;
+    std::uint32_t sites_seen = 0;  ///< YieldSite bitmask (harness.hpp)
+    bool ledger_ok = false;
+    std::string ledger_note;
+};
+
+/// Runs the service under `schedule`. Deterministic: identical inputs give
+/// identical results (virtual threads bind TxIds in index order, the clock
+/// is the step counter, and request contents derive from svc.seed).
+[[nodiscard]] ServiceRunResult run_service_schedule(
+    const SvcHarnessConfig& cfg, sched::Schedule& schedule);
+
+/// The service oracle: conservation ledger + commit-log/counter agreement +
+/// at-most-once execution per request + serial replay of the commit log
+/// reproducing every recorded read/write and the final memory. Handles
+/// killed runs (run.cancelled) with the relaxed in-flight ledger; complete
+/// runs must balance exactly. nullopt = consistent.
+[[nodiscard]] std::optional<std::string> check_service_consistent(
+    const SvcHarnessConfig& cfg, const ServiceRunResult& run);
+
+/// Kill-point oracle: replays `schedule` with the step budget cut to
+/// `kill_step` and applies check_service_consistent to whatever survived.
+[[nodiscard]] std::optional<std::string> check_service_kill_point(
+    const SvcHarnessConfig& cfg, const std::string& schedule,
+    std::uint64_t kill_step);
+
+/// Coverage-guided fuzzing over service schedules — sched::fuzz_explore's
+/// twin (same corpus format, mutators, signatures, kill cadence), with
+/// check_service_consistent as the oracle.
+[[nodiscard]] sched::FuzzResult fuzz_service(const SvcHarnessConfig& cfg,
+                                             const sched::FuzzOptions& opts,
+                                             sched::Corpus& corpus);
+
+}  // namespace tmb::svc

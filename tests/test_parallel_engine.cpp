@@ -152,6 +152,56 @@ TEST(ParallelEngine, AllBackendsRunAllWorkloads) {
     }
 }
 
+namespace {
+
+/// Commits real transactions, then one thread throws after the process-wide
+/// op count passes a threshold — the regression shape for the
+/// stats-lost-on-worker-throw bug: run() must rethrow, but the commits the
+/// workers already made have to survive into lifetime_stats().
+class ThrowingWorkload final : public exec::Workload {
+public:
+    ThrowingWorkload() : slots_(64) {}
+
+    std::string_view name() const noexcept override { return "throwing"; }
+
+    void op(stm::Executor& exec, util::Xoshiro256& rng) override {
+        if (issued_.fetch_add(1, std::memory_order_relaxed) >= 200) {
+            throw std::runtime_error("injected worker failure");
+        }
+        const std::uint64_t pick = rng.below(slots_.size());
+        exec.atomically([&](stm::Transaction& tx) {
+            auto& slot = slots_[pick];
+            slot.write(tx, slot.read(tx) + 1);
+        });
+    }
+
+    void verify(std::uint64_t) const override {}
+    std::uint64_t state_hash() const override { return 0; }
+
+private:
+    std::vector<stm::TVar<std::uint64_t>> slots_;
+    std::atomic<std::uint64_t> issued_{0};
+};
+
+}  // namespace
+
+TEST(ParallelEngine, WorkerThrowKeepsThePerThreadStats) {
+    auto stm = stm::Stm::create(cfg("backend=tl2 entries=1024"));
+    exec::ParallelRunner runner(
+        {.threads = 4, .ops_per_thread = 100000, .seed = 3,
+         .workload = "throwing"},
+        std::move(stm), std::make_unique<ThrowingWorkload>());
+    EXPECT_THROW(runner.run(), std::runtime_error);
+    // The throw must not discard what the workers committed before dying:
+    // attempt histograms and commit counters are merged before the rethrow.
+    const auto& stats = runner.lifetime_stats();
+    EXPECT_GT(stats.commits, 0u)
+        << "worker shards were dropped on the error path";
+    EXPECT_GE(stats.commits, 200u - 4u)
+        << "every pre-throw commit must be merged, not just one shard";
+    EXPECT_EQ(stats.attempts_per_commit.total(), stats.commits);
+}
+
 // ---------------------------------------------------------------------------
 // Determinism
 // ---------------------------------------------------------------------------

@@ -390,6 +390,35 @@ TEST(Fuzz, SingleJobIsBitReproducible) {
     EXPECT_EQ(signatures[0], signatures[1]);
 }
 
+TEST(Fuzz, ReachesAdaptiveDecisionSites) {
+    // Reachability, not luck: under policy=cycle with a 2-commit epoch the
+    // rotation visits engine swaps AND table resizes within a run, and the
+    // campaign's sites_seen union must prove the fuzzer parked threads at
+    // both decision points. A vocabulary regression (site dropped, wrong
+    // site id at the swap) fails this even while every oracle stays green.
+    HarnessConfig cfg = contended_config();
+    cfg.backend = "adaptive";
+    cfg.policy = "cycle";
+    cfg.epoch = 2;
+    cfg.max_entries = 64;
+    Corpus corpus;
+    FuzzOptions opts;
+    opts.budget = 120;
+    opts.seed = 17;
+    const auto result = fuzz_explore(cfg, opts, corpus);
+    EXPECT_TRUE(result.violations.empty())
+        << result.violations.front().message;
+    using stm::detail::YieldSite;
+    const auto bit = [](YieldSite s) {
+        return std::uint32_t{1} << static_cast<std::uint32_t>(s);
+    };
+    EXPECT_TRUE(result.sites_seen & bit(YieldSite::kAdaptEngineSwitch))
+        << "no run yielded at an engine-switch decision";
+    EXPECT_TRUE(result.sites_seen & bit(YieldSite::kAdaptResize))
+        << "no run yielded at a table-resize decision";
+    EXPECT_TRUE(result.sites_seen & bit(YieldSite::kAdaptSwap));
+}
+
 // ---------------------------------------------------------------------------
 // Guided vs random vs PCT
 // ---------------------------------------------------------------------------

@@ -38,6 +38,16 @@
 // Kill-point replay: --schedule=<picks> --kill_step=S replays one schedule
 // cancelled at step S under the prefix-consistency oracle.
 //
+// Service mode: --svc=1 swaps the transaction-program workload for the live
+// service front-end (svc/sched_service.hpp) — clients, queues, dispatchers —
+// under the same turnstile. Explore / replay / fuzz / --kill_step all work;
+// the oracle becomes request conservation + commit-log serial replay:
+//
+//   sched_explorer --svc=1 --schedules=2000 --seed=7
+//   sched_explorer --svc=1 --fuzz --schedules=5000 --kill_every=32
+//   sched_explorer --svc=1 --clients=2 --dispatchers=2 --retry=backoff:3 \
+//                  --schedule=01232021 --kill_step=17
+//
 // Fault injection: --fault=<name> arms one of the deliberate test faults
 // (ignore_acquire_conflicts | skip_tl2_validation | eager_reclaim |
 // leaky_cache) for the whole process — CI uses this to assert the oracles
@@ -64,6 +74,8 @@
 #include "sched/harness.hpp"
 #include "sched/schedule.hpp"
 #include "stm/sched_hook.hpp"
+#include "svc/sched_service.hpp"
+#include "util/hash.hpp"
 
 namespace {
 
@@ -119,6 +131,107 @@ void report(std::ostream& os, const std::vector<tmb::sched::Violation>& found,
     }
 }
 
+/// --svc=1: the same explore / replay / fuzz / kill-point modes over the
+/// service front-end instead of generated transaction programs.
+int svc_explorer_main(const tmb::config::Config& cli,
+                      const tmb::config::Config& sched_cfg,
+                      const tmb::sched::FuzzOptions& fopts,
+                      std::uint64_t schedules, std::uint64_t seed,
+                      const std::string& replay, std::uint64_t kill_step,
+                      bool fuzz, const std::string& corpus_path,
+                      ReproSink& sink) {
+    using tmb::svc::SvcHarnessConfig;
+    const SvcHarnessConfig cfg = tmb::svc::svc_harness_config_from(cli);
+    tmb::config::reject_unknown(cli);
+
+    // --- replay (and kill-point replay) ------------------------------------
+    if (!replay.empty()) {
+        if (kill_step != 0) {
+            const auto error =
+                tmb::svc::check_service_kill_point(cfg, replay, kill_step);
+            if (!error) {
+                std::cout << "service kill-point oracle (step " << kill_step
+                          << "): consistent\n";
+                return 0;
+            }
+            tmb::sched::Violation v;
+            v.schedule = replay;
+            v.repro = tmb::svc::svc_harness_repro_line(cfg, replay) +
+                      " --kill_step=" + std::to_string(kill_step);
+            v.message = "kill-point (step " + std::to_string(kill_step) +
+                        "): " + *error + "\n  repro: " + v.repro;
+            report(std::cout, {v}, sink);
+            return 1;
+        }
+        tmb::config::Config rc;
+        rc.set("sched", "replay");
+        rc.set("schedule", replay);
+        const auto schedule = tmb::sched::make_schedule(rc, seed);
+        const auto run = tmb::svc::run_service_schedule(cfg, *schedule);
+        std::cout << "replayed " << run.steps << " steps: "
+                  << run.counters.submitted << " submitted, "
+                  << run.counters.completed << " completed, "
+                  << run.counters.rejected_queue << "+"
+                  << run.counters.rejected_retry << " rejected, "
+                  << run.counters.timed_out << " timed out, "
+                  << run.counters.retries << " retries, "
+                  << run.commit_log.size() << " commits, state hash 0x"
+                  << std::hex << run.state_hash << std::dec << '\n';
+        const auto error = tmb::svc::check_service_consistent(cfg, run);
+        if (!error) {
+            std::cout << "service oracle: consistent\n";
+            return 0;
+        }
+        tmb::sched::Violation v;
+        v.schedule = run.schedule;
+        v.repro = tmb::svc::svc_harness_repro_line(cfg, run.schedule);
+        v.message = *error + "\n  repro: " + v.repro;
+        report(std::cout, {v}, sink);
+        return 1;
+    }
+
+    // --- fuzz ---------------------------------------------------------------
+    if (fuzz) {
+        if (!corpus_path.empty()) ::mkdir(corpus_path.c_str(), 0755);
+        tmb::sched::Corpus corpus(corpus_path);
+        if (!corpus.dir().empty()) (void)corpus.sync();  // warm start
+        const auto result = tmb::svc::fuzz_service(cfg, fopts, corpus);
+        std::cout << "svc fuzz: " << result.runs << " runs, "
+                  << corpus.distinct_signatures() << " signatures, "
+                  << corpus.size() << " corpus entries, "
+                  << result.new_coverage_mutants << " coverage mutants, "
+                  << result.kill_checks << " kill checks, sites 0x"
+                  << std::hex << result.sites_seen << std::dec << ", "
+                  << result.violations.size() << " violations\n";
+        report(std::cout, result.violations, sink);
+        return result.violations.empty() ? 0 : 1;
+    }
+
+    // --- explore ------------------------------------------------------------
+    std::size_t violations = 0;
+    tmb::svc::SvcCounters totals;
+    for (std::uint64_t n = 0; n < schedules; ++n) {
+        const auto schedule = tmb::sched::make_schedule(
+            sched_cfg, tmb::util::mix64(seed ^ (n + 1)));
+        const auto run = tmb::svc::run_service_schedule(cfg, *schedule);
+        totals.merge(run.counters);
+        if (const auto error = tmb::svc::check_service_consistent(cfg, run)) {
+            ++violations;
+            tmb::sched::Violation v;
+            v.schedule = run.schedule;
+            v.repro = tmb::svc::svc_harness_repro_line(cfg, run.schedule);
+            v.message = *error + "\n  repro: " + v.repro;
+            report(std::cout, {v}, sink);
+        }
+    }
+    std::cout << "svc explore: " << schedules << " schedules, "
+              << totals.completed << " completed, " << totals.rejected_queue
+              << "+" << totals.rejected_retry << " rejected, "
+              << totals.timed_out << " timed out, " << totals.retries
+              << " retries, " << violations << " violations\n";
+    return violations ? 1 : 0;
+}
+
 int explorer_main(int argc, char** argv) {
     const auto cli = tmb::config::Config::from_args(argc, argv);
 
@@ -165,6 +278,14 @@ int explorer_main(int argc, char** argv) {
         } else {
             throw std::invalid_argument("unknown --fault=" + fault);
         }
+    }
+
+    // Service mode: same knobs, different subject and oracle.
+    if (cli.get_bool("svc", false)) {
+        ReproSink svc_sink(out_path);
+        return svc_explorer_main(cli, sched_cfg, fopts, schedules, seed,
+                                 replay, kill_step, fuzz, corpus_path,
+                                 svc_sink);
     }
 
     // Workload / STM keys. Differential mode needs commutative writes.
